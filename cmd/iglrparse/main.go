@@ -1,0 +1,152 @@
+// Command iglrparse parses a source file with one of the bundled languages
+// and reports on the resulting abstract parse dag. It can print the dag,
+// trace parser actions (the Appendix B facility), run semantic
+// disambiguation, and replay edit scripts incrementally.
+//
+// Usage:
+//
+//	iglrparse -lang cpp [-dag] [-trace] [-resolve] [-edit off:rem:text]... file
+//	iglrparse -lang expr -text '1+2*3' -dag
+//
+// Each -edit is applied after the initial parse, followed by an
+// incremental reparse whose statistics are printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	incremental "iglr"
+)
+
+type editFlag []string
+
+func (e *editFlag) String() string     { return strings.Join(*e, ",") }
+func (e *editFlag) Set(s string) error { *e = append(*e, s); return nil }
+
+func main() {
+	langName := flag.String("lang", "c", "language: expr, exprdyn, c, cpp, java, lisp, mod2, lr2, scannerless")
+	text := flag.String("text", "", "parse this text instead of a file")
+	showDag := flag.Bool("dag", false, "print the abstract parse dag")
+	trace := flag.Bool("trace", false, "trace parser actions")
+	resolve := flag.Bool("resolve", false, "run semantic disambiguation after parsing")
+	recover := flag.Bool("recover", false, "use history-based error recovery for edits")
+	var edits editFlag
+	flag.Var(&edits, "edit", "apply edit offset:removed:text and reparse (repeatable)")
+	flag.Parse()
+
+	var lang *incremental.Language
+	switch *langName {
+	case "expr":
+		lang = incremental.ExprLanguage()
+	case "exprdyn":
+		lang = incremental.AmbiguousExprLanguage()
+	case "c":
+		lang = incremental.CSubset()
+	case "cpp":
+		lang = incremental.CPPSubset()
+	case "lr2":
+		lang = incremental.LR2Language()
+	case "java":
+		lang = incremental.JavaSubset()
+	case "lisp":
+		lang = incremental.LispSubset()
+	case "mod2":
+		lang = incremental.Modula2Subset()
+	case "scannerless":
+		lang = incremental.ScannerlessLanguage()
+	default:
+		fatal(fmt.Errorf("unknown language %q", *langName))
+	}
+
+	src := *text
+	if src == "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: iglrparse [flags] file   (or -text '...')")
+			os.Exit(2)
+		}
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	}
+
+	s := incremental.NewSession(lang, src)
+	if *trace {
+		s.Trace(func(f string, args ...any) { fmt.Printf("  "+f+"\n", args...) })
+	}
+
+	tree, err := s.Parse()
+	if err != nil {
+		fatal(err)
+	}
+	report(s, tree, *showDag, *resolve, lang)
+
+	for _, espec := range edits {
+		off, rem, ins, err := parseEdit(espec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n== edit @%d -%d +%q ==\n", off, rem, ins)
+		s.Edit(off, rem, ins)
+		if *recover {
+			out := s.ParseWithRecovery()
+			if out.Err != nil {
+				fatal(out.Err)
+			}
+			if len(out.Unincorporated) > 0 {
+				fmt.Printf("unincorporated edits: %d (reverted)\n", len(out.Unincorporated))
+			}
+			tree = out.Root
+		} else {
+			tree, err = s.Parse()
+			if err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("relexed %d token(s)\n", s.Relexed())
+		report(s, tree, *showDag, *resolve, lang)
+	}
+}
+
+func report(s *incremental.Session, tree *incremental.Node, showDag, resolve bool, lang *incremental.Language) {
+	st := incremental.Measure(tree)
+	ps := s.Stats()
+	fmt.Printf("parse ok: %d dag nodes, %d in embedded tree, %d ambiguous region(s), overhead %.3f%%\n",
+		st.DagNodes, st.TreeNodes, st.AmbiguousRegions, st.SpaceOverheadPercent())
+	fmt.Printf("parser: %d terminal shift(s), %d subtree shift(s), %d reduction(s), %d breakdown(s), max %d parser(s)\n",
+		ps.TerminalShifts, ps.SubtreeShifts, ps.Reductions, ps.Breakdowns, ps.MaxActiveParsers)
+	if resolve {
+		r := s.Resolve()
+		fmt.Printf("semantics: %d→declaration, %d→statement, %d unresolved; %d type / %d ordinary binding(s)\n",
+			r.ResolvedDecl, r.ResolvedStmt, r.Unresolved, r.TypeBindings, r.OrdinaryBindings)
+	}
+	if showDag {
+		fmt.Print(incremental.FormatDag(lang, tree))
+	}
+}
+
+func parseEdit(spec string) (off, rem int, ins string, err error) {
+	parts := strings.SplitN(spec, ":", 3)
+	if len(parts) != 3 {
+		return 0, 0, "", fmt.Errorf("edit %q: want offset:removed:text", spec)
+	}
+	off, err = strconv.Atoi(parts[0])
+	if err != nil {
+		return
+	}
+	rem, err = strconv.Atoi(parts[1])
+	if err != nil {
+		return
+	}
+	return off, rem, parts[2], nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iglrparse:", err)
+	os.Exit(1)
+}

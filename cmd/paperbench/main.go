@@ -1,0 +1,154 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+// paper-vs-measured record).
+//
+// Usage:
+//
+//	paperbench [-exp all|table1|figure4|figure7|section5|asymptotics|staging] [-scale 1.0]
+//
+// -scale shrinks the Table 1 / Figure 4 program sizes for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iglr/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, table1, figure4, figure7, section5, asymptotics, staging, earley, ablation")
+	scale := flag.Float64("scale", 1.0, "scale factor for program sizes")
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("==== %s ====\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table1", func() error {
+		rows, err := experiments.Table1(*scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable1(rows))
+		var sum float64
+		for _, r := range rows {
+			sum += r.MeasuredPct
+		}
+		fmt.Printf("mean measured overhead: %.3f%% (paper: all rows ≤ 0.52%%, ~0.5%% headline)\n",
+			sum/float64(len(rows)))
+		return nil
+	})
+
+	run("figure4", func() error {
+		res, err := experiments.Figure4(int(120**scale)+10, 900)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFigure4(res))
+		return nil
+	})
+
+	run("figure7", func() error {
+		r, err := experiments.RunFigure7()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFigure7(r))
+		return nil
+	})
+
+	run("section5", func() error {
+		b, err := experiments.RunSection5Batch(int(20000**scale)+500, 5)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("batch: det %.0f ns/token, IGLR %.0f ns/token, ratio %.2f (paper: 12%% vs 15%% parse share ≈ 1.25x)\n",
+			b.DetNsPerTok, b.IGLRNsPerTok, b.Ratio)
+		fmt.Printf("parse share of lex+parse: det %.0f%%, IGLR %.0f%% (paper: 12%% / 15%% of full analysis)\n",
+			100*b.DetShare, 100*b.IGLRShare)
+
+		inc, err := experiments.RunSection5Incremental(int(8000**scale)+500, 40)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("incremental: det %.0f ns/reparse, IGLR %.0f ns/reparse, ratio %.2f (paper: undetectable difference)\n",
+			inc.DetNsPerRe, inc.IGLRNsPerRe, inc.Ratio)
+		fmt.Printf("IGLR work per reparse: %.1f shifts over %d statements\n",
+			inc.IGLRShiftsPerRe, inc.Statements)
+
+		sp, err := experiments.RunSection5Space(2000)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("space: node %dB, state field %dB = %.1f%% of node (paper: ~5%% over sentential-form nodes); node-count parity %.3f\n",
+			sp.NodeBytes, sp.StateBytes, sp.StatePct, sp.NodeCountRatio)
+
+		amb, err := experiments.RunSection5Ambiguity(int(12000**scale)+1000, 30)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ambiguity carry cost: plain %.0f ns/reparse, with %d ambiguous regions %.0f ns/reparse → %.2f%% time overhead (paper: well under 1%%)\n",
+			amb.PlainNsPerRe, amb.Ambiguous, amb.AmbNsPerRe, amb.OverheadPct)
+		fmt.Printf("  parser work per reparse: plain %.1f, ambiguous %.1f → %.2f%% work overhead\n",
+			amb.PlainWorkPerRe, amb.AmbWorkPerRe, amb.WorkOverheadPct)
+		return nil
+	})
+
+	run("asymptotics", func() error {
+		sizes := []int{1000, 4000, 16000, 64000}
+		if *scale < 0.5 {
+			sizes = []int{500, 2000, 8000}
+		}
+		pts, err := experiments.RunAsymptotics(sizes, 8)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatAsymptotics(pts))
+		fmt.Println("paper §3.4: list-shaped sequences degrade incremental parsing to linear;")
+		fmt.Println("balanced sequences restore O(t + s·lg N) (depth column grows logarithmically).")
+		return nil
+	})
+
+	run("ablation", func() error {
+		r, err := experiments.RunAblation(int(4000**scale)+500, 12)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatAblation(r))
+		fmt.Println("paper §3.3: LALR tables are significantly smaller than LR(1) and merge")
+		fmt.Println("like-cored states, which improves incremental reuse; speeds are comparable.")
+		return nil
+	})
+
+	run("earley", func() error {
+		pts, err := experiments.RunEarleyComparison([]int{500, 2000, 8000})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatEarleyComparison(pts))
+		fmt.Println("paper footnote 4 (Tomita/Rekers): programming-language grammars are near-LR(1),")
+		fmt.Println("so GLR parses in linear time while Earley pays its general-case overhead.")
+		return nil
+	})
+
+	run("staging", func() error {
+		pts, err := experiments.RunFilterStaging([]int{4, 8, 16, 32, 64}, 3)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFilterStaging(pts))
+		fmt.Println("paper §4.1: static filters keep expressions deterministic (linear nodes);")
+		fmt.Println("dynamic-only filtering pays quadratic space per expression before filtering.")
+		return nil
+	})
+}

@@ -1,0 +1,76 @@
+// filters demonstrates disambiguation staging (paper §4): the same
+// ambiguous expression grammar handled three ways —
+//
+//  1. statically, with yacc-style precedence filters compiled into the
+//     parse table (no non-determinism at parse time);
+//  2. dynamically, with the raw ambiguous grammar and a post-parse
+//     operator filter that *discards* losing interpretations;
+//  3. semantically, on the C++ subset, where typedef bindings select an
+//     interpretation *reversibly*.
+//
+// It prints the retained-forest sizes that motivate the paper's advice to
+// filter as early as possible.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	incremental "iglr"
+)
+
+func main() {
+	src := "a+b*c-d*e+f"
+	ops := incremental.Operators{Prec: map[string]int{"+": 1, "-": 1, "*": 2, "/": 2}}
+
+	// 1. Static filtering: precedence resolved at table-construction time.
+	static := incremental.ExprLanguage()
+	s1 := incremental.NewSession(static, src)
+	t1, err := s1.Parse()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("static  : %2d parse(s), %3d dag nodes, %d conflicts in the table\n",
+		incremental.CountParses(t1), incremental.Measure(t1).DagNodes, static.Conflicts())
+
+	// 2. Dynamic filtering: the GLR parser retains every grouping, a
+	// structural filter picks afterwards.
+	dynamic := incremental.AmbiguousExprLanguage()
+	s2 := incremental.NewSession(dynamic, src)
+	t2, err := s2.Parse()
+	if err != nil {
+		log.Fatal(err)
+	}
+	before := incremental.CountParses(t2)
+	nodesBefore := incremental.Measure(t2).DagNodes
+	filtered, discarded := incremental.ApplyFilter(t2, ops.Filter())
+	fmt.Printf("dynamic : %2d parse(s) and %3d nodes before filtering; %d interpretations discarded → %d node(s)\n",
+		before, nodesBefore, discarded, incremental.Measure(filtered).DagNodes)
+
+	// 3. Semantic filtering: reversible selection by binding information.
+	cpp := incremental.CPPSubset()
+	s3 := incremental.NewSession(cpp, "typedef int a; a(b); c(d);")
+	t3, err := s3.Parse()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := s3.Resolve()
+	fmt.Printf("semantic: %d region(s) → declaration, %d unresolved (retained for future edits)\n",
+		res.ResolvedDecl, res.Unresolved)
+	_ = t3
+
+	// The "prefer declaration" rule of C++ (§4.1) as a *syntactic* filter:
+	// no semantic information, losing readings discarded outright.
+	s4 := incremental.NewSession(cpp, "a(b); c(d);")
+	t4, err := s4.Parse()
+	if err != nil {
+		log.Fatal(err)
+	}
+	preferDecl := incremental.Prefer(func(n *incremental.Node) bool {
+		return !n.IsTerminal() && len(n.Kids) > 0 &&
+			cpp.SymName(n.Kids[0].Sym) == "Decl"
+	})
+	t4f, dropped := incremental.ApplyFilter(t4, preferDecl)
+	fmt.Printf("prefer-decl rule: discarded %d expression reading(s); ambiguous now: %v\n",
+		dropped, t4f.Ambiguous())
+}

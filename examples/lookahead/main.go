@@ -1,0 +1,56 @@
+// lookahead demonstrates dynamic lookahead tracking (paper Figures 5 and
+// 7): an unambiguous LR(2) grammar parsed with LALR(1) tables. The GLR
+// parser forks where one token of lookahead is not enough, discards the
+// losing parser when the decisive terminal arrives, and records which dag
+// nodes were built under uncertainty (the MultiState equivalence class) so
+// the incremental parser knows to reconstruct them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	incremental "iglr"
+)
+
+func main() {
+	lang := incremental.LR2Language()
+	fmt.Println("grammar (Figure 7):  A → B c | D e ;  B → U z ;  D → V z ;  U → x ;  V → x")
+	fmt.Printf("the table has %d conflict(s): on input x, lookahead z cannot decide U vs V\n\n",
+		lang.Conflicts())
+
+	s := incremental.NewSession(lang, "x z c")
+	s.Trace(func(f string, args ...any) { fmt.Printf("  "+f+"\n", args...) })
+	tree, err := s.Parse()
+	if err != nil {
+		log.Fatal(err)
+	}
+	s.Trace(nil)
+
+	fmt.Printf("\n\"x z c\": %d parse (unambiguous), max %d simultaneous parsers\n",
+		incremental.CountParses(tree), s.Stats().MaxActiveParsers)
+
+	fmt.Println("\nrecorded states (MultiState = built while parsers were split):")
+	tree.Walk(func(n *incremental.Node) {
+		if n.IsTerminal() || n.Prod < 0 {
+			return
+		}
+		kind := fmt.Sprintf("deterministic state %d", n.State)
+		if n.State < 0 {
+			kind = "MultiState — reconstruct on reuse"
+		}
+		fmt.Printf("  %-2s  %s\n", lang.SymName(n.Sym), kind)
+	})
+
+	// Edit the decisive terminal: c → e. The nodes marked MultiState are
+	// exactly the ones the incremental parser refuses to reuse, so the
+	// region reparses and the D/V interpretation wins this time.
+	fmt.Println("\nedit: c → e, then reparse incrementally")
+	s.Edit(4, 1, "e")
+	tree, err = s.Parse()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("new structure:")
+	fmt.Print(incremental.FormatDag(lang, tree))
+}

@@ -1,0 +1,3 @@
+module iglr
+
+go 1.22

@@ -1,0 +1,390 @@
+// Package incremental (import path "iglr") is the public API of a
+// reproduction of Wagner & Graham, "Incremental Analysis of Real
+// Programming Languages" (PLDI 1997). It provides:
+//
+//   - language definition from a yacc-like grammar and regex token rules,
+//     with conflicts retained for generalized LR parsing;
+//   - batch and incremental GLR parsing into abstract parse dags, which
+//     represent unresolved syntactic ambiguity explicitly;
+//   - disambiguation at every stage: static table filters (precedence,
+//     associativity, prefer-shift), dynamic syntactic filters, and
+//     semantic filters driven by typedef/namespace analysis;
+//   - self-versioning documents with incremental lexing, history-based
+//     error recovery, and balanced sequence storage.
+//
+// The typical flow is:
+//
+//	lang, _ := incremental.DefineLanguage(def)
+//	s := incremental.NewSession(lang, source)
+//	tree, _ := s.Parse()
+//	s.Edit(offset, removed, inserted)
+//	tree, _ = s.Parse() // incremental: reuses unmodified subtrees
+package incremental
+
+import (
+	"fmt"
+
+	"iglr/internal/dag"
+	"iglr/internal/detparse"
+	"iglr/internal/disambig"
+	"iglr/internal/document"
+	"iglr/internal/grammar"
+	"iglr/internal/iglr"
+	"iglr/internal/langs"
+	"iglr/internal/langs/cppsub"
+	"iglr/internal/langs/csub"
+	"iglr/internal/langs/expr"
+	"iglr/internal/langs/javasub"
+	"iglr/internal/langs/lispsub"
+	"iglr/internal/langs/lr2"
+	"iglr/internal/langs/mod2sub"
+	"iglr/internal/langs/scannerless"
+	"iglr/internal/lexer"
+	"iglr/internal/lr"
+	"iglr/internal/recovery"
+	"iglr/internal/semantics"
+)
+
+// Core re-exported types. Aliases keep the internal packages' methods and
+// let the pieces interoperate without copying.
+type (
+	// Node is an abstract-parse-dag node: a terminal, a production
+	// instance, a symbol (choice) node holding alternative
+	// interpretations, or a balanced-sequence node.
+	Node = dag.Node
+	// DagStats summarizes dag size versus the embedded disambiguated tree.
+	DagStats = dag.Stats
+	// ParseStats counts parser work (shifts, reductions, breakdowns, ...).
+	ParseStats = iglr.Stats
+	// Sym identifies a grammar symbol.
+	Sym = grammar.Sym
+	// LexRule defines one token kind by regular expression.
+	LexRule = lexer.Rule
+	// SemanticsConfig adapts semantic disambiguation to a language.
+	SemanticsConfig = semantics.Config
+	// SemanticsResult reports one resolution pass.
+	SemanticsResult = semantics.Result
+	// Reinterpreted records an ambiguous region whose interpretation
+	// flipped between semantic passes (§4.2).
+	Reinterpreted = semantics.ReinterpretedRegion
+	// Filter is a dynamic syntactic disambiguation filter.
+	Filter = disambig.Filter
+	// RecoveryOutcome reports a history-based error-recovery run.
+	RecoveryOutcome = recovery.Outcome
+	// AppliedEdit is a recorded, revertible document edit.
+	AppliedEdit = document.AppliedEdit
+	// TableMethod selects the LR table construction algorithm.
+	TableMethod = lr.Method
+)
+
+// Table construction methods.
+const (
+	LALR = lr.LALR
+	SLR  = lr.SLR
+	LR1  = lr.LR1
+)
+
+// Measure computes space statistics for a dag — the paper's Table 1 /
+// Figure 4 metric.
+func Measure(root *Node) DagStats { return dag.Measure(root) }
+
+// CountParses returns the number of distinct parse trees a dag encodes.
+func CountParses(root *Node) int { return iglr.CountParses(root) }
+
+// FormatDag renders a dag as an indented outline.
+func FormatDag(l *Language, n *Node) string { return dag.Format(l.def.Grammar, n) }
+
+// ApplyFilter rewrites a dag with a dynamic syntactic filter, discarding
+// losing interpretations (§4.1). It returns the new root and the number of
+// interpretations discarded.
+func ApplyFilter(root *Node, f Filter) (*Node, int) { return disambig.Apply(root, f) }
+
+// Prefer builds a filter keeping interpretations that satisfy pred.
+func Prefer(pred func(*Node) bool) Filter { return disambig.Prefer(pred) }
+
+// Operators applies precedence/associativity dynamically to expression
+// dags parsed with a raw ambiguous grammar.
+type Operators = disambig.Operators
+
+// LanguageDef defines a language from sources.
+type LanguageDef struct {
+	Name string
+	// Grammar is a yacc-like grammar (see internal/grammar.Parse for the
+	// syntax, including X* / X+ associative sequences).
+	Grammar string
+	// Lexer lists the token rules; earlier rules win ties.
+	Lexer []LexRule
+	// TokenSyms maps lexer rule names to grammar terminal names.
+	TokenSyms map[string]string
+	// Keywords maps identifier lexemes to keyword terminal names;
+	// IdentRule names the identifier rule they are recognized under.
+	Keywords  map[string]string
+	IdentRule string
+	// Method selects the table algorithm (default LALR, as in the paper).
+	Method TableMethod
+	// PreferShift resolves remaining shift/reduce conflicts statically.
+	PreferShift bool
+	// NoPrecedence disables precedence/associativity resolution.
+	NoPrecedence bool
+}
+
+// Language is a compiled language definition.
+type Language struct {
+	def *langs.Language
+	sem *SemanticsConfig
+}
+
+// DefineLanguage compiles a language definition.
+func DefineLanguage(d LanguageDef) (*Language, error) {
+	b := &langs.Builder{
+		Name:      d.Name,
+		GramSrc:   d.Grammar,
+		LexRules:  d.Lexer,
+		TokenSyms: d.TokenSyms,
+		Keywords:  d.Keywords,
+		IdentRule: d.IdentRule,
+		Options: lr.Options{
+			Method:       d.Method,
+			PreferShift:  d.PreferShift,
+			NoPrecedence: d.NoPrecedence,
+		},
+	}
+	lang, err := buildSafely(b)
+	if err != nil {
+		return nil, err
+	}
+	return &Language{def: lang}, nil
+}
+
+func buildSafely(b *langs.Builder) (l *langs.Language, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = e
+			} else {
+				err = &defError{msg: r}
+			}
+		}
+	}()
+	return b.Lang(), nil
+}
+
+type defError struct{ msg any }
+
+func (e *defError) Error() string { return "incremental: invalid language definition" }
+
+// WithSemantics attaches a semantic-disambiguation configuration.
+func (l *Language) WithSemantics(cfg SemanticsConfig) *Language {
+	l.sem = &cfg
+	return l
+}
+
+// Name returns the language name.
+func (l *Language) Name() string { return l.def.Name }
+
+// Conflicts returns the number of unresolved parse-table conflicts (GLR
+// fork points).
+func (l *Language) Conflicts() int { return len(l.def.Table.Conflicts()) }
+
+// Deterministic reports whether the table is conflict-free.
+func (l *Language) Deterministic() bool { return l.def.Table.Deterministic() }
+
+// Sym resolves a grammar symbol by name (panics on unknown names).
+func (l *Language) Sym(name string) Sym { return l.def.Sym(name) }
+
+// SymName returns the display name of a symbol.
+func (l *Language) SymName(s Sym) string { return l.def.Grammar.Name(s) }
+
+// Bundled languages.
+
+// ExprLanguage returns an arithmetic expression language disambiguated by
+// static precedence filters.
+func ExprLanguage() *Language { return &Language{def: expr.Lang()} }
+
+// AmbiguousExprLanguage returns the raw ambiguous expression grammar; use
+// Operators filters to disambiguate dynamically.
+func AmbiguousExprLanguage() *Language { return &Language{def: expr.AmbiguousLang()} }
+
+// CSubset returns a C subset with the Figure 1 typedef ambiguities,
+// semantic disambiguation preconfigured.
+func CSubset() *Language {
+	l := csub.Lang()
+	cfg := langs.CStyleSemantics(l)
+	return &Language{def: l, sem: &cfg}
+}
+
+// CPPSubset returns a C++ subset (the paper's running example), semantic
+// disambiguation preconfigured and the dangling else resolved by a static
+// prefer-shift filter.
+func CPPSubset() *Language {
+	l := cppsub.Lang()
+	cfg := langs.CStyleSemantics(l)
+	return &Language{def: l, sem: &cfg}
+}
+
+// LR2Language returns the paper's Figure 7 LR(2) grammar.
+func LR2Language() *Language { return &Language{def: lr2.Lang()} }
+
+// JavaSubset returns a Java subset whose array-declaration syntax needs
+// LR(2)-style forking (`T[] x;` vs `a[i] = v;`), with precedence and
+// prefer-shift static filters handling the rest.
+func JavaSubset() *Language { return &Language{def: javasub.Lang()} }
+
+// LispSubset returns an s-expression language — nested associative
+// sequences throughout, the extreme case for balanced storage (§3.4).
+func LispSubset() *Language { return &Language{def: lispsub.Lang()} }
+
+// Modula2Subset returns a conflict-free Modula-2 subset (the first
+// Ensemble language), suitable for both the deterministic and the GLR
+// incremental parsers.
+func Modula2Subset() *Language { return &Language{def: mod2sub.Lang()} }
+
+// ScannerlessLanguage returns a character-level (scannerless) GLR language
+// in which identifiers/numbers are associative character sequences and the
+// keyword/identifier prefix problem is carried as GLR non-determinism.
+func ScannerlessLanguage() *Language { return &Language{def: scannerless.Lang()} }
+
+// Session couples a document with an incremental parser.
+type Session struct {
+	lang     *Language
+	doc      *document.Document
+	parser   *iglr.Parser
+	det      *detparse.Parser // non-nil when UseDeterministic succeeded
+	resolver *semantics.Resolver
+}
+
+// NewSession creates an editing session over source.
+func NewSession(lang *Language, source string) *Session {
+	return &Session{
+		lang:   lang,
+		doc:    lang.def.NewDocument(source),
+		parser: iglr.New(lang.def.Table),
+	}
+}
+
+// UseDeterministic switches the session to the deterministic incremental
+// parser (§3.2 baseline). It fails if the language's table has conflicts.
+func (s *Session) UseDeterministic() error {
+	p, err := detparse.New(s.lang.def.Table)
+	if err != nil {
+		return err
+	}
+	s.det = p
+	return nil
+}
+
+// Text returns the current document text.
+func (s *Session) Text() string { return s.doc.Text() }
+
+// Len returns the document length in bytes.
+func (s *Session) Len() int { return s.doc.Len() }
+
+// Tree returns the last committed parse dag (nil before the first Parse).
+func (s *Session) Tree() *Node { return s.doc.Root() }
+
+// Edit applies a text modification. Any number of edits may be batched
+// before the next Parse.
+func (s *Session) Edit(offset, removed int, inserted string) {
+	s.doc.Replace(offset, removed, inserted)
+}
+
+// ParseError wraps a parser error with its text position.
+type ParseError struct {
+	// Line and Col are 1-based; Offset is the byte offset of the
+	// offending token.
+	Line, Col, Offset int
+	// Expected lists acceptable terminals at the error point (IGLR only).
+	Expected []string
+	Inner    error
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("%d:%d: %v", e.Line, e.Col, e.Inner)
+}
+
+// Unwrap exposes the underlying parser error.
+func (e *ParseError) Unwrap() error { return e.Inner }
+
+// Parse (re)parses the document incrementally, committing on success. The
+// previous tree is retained on failure; the returned error carries the
+// line/column of the offending token.
+func (s *Session) Parse() (*Node, error) {
+	root, err := s.parseOnce()
+	if err != nil {
+		return nil, s.locate(err)
+	}
+	s.doc.Commit(root)
+	return root, nil
+}
+
+// locate attaches position information to a parser error.
+func (s *Session) locate(err error) error {
+	se, ok := err.(*iglr.SyntaxError)
+	if !ok {
+		return err
+	}
+	off := s.doc.SignificantTokenOffset(se.TokenIndex)
+	line, col := s.doc.Position(off)
+	return &ParseError{Line: line, Col: col, Offset: off, Expected: se.Expected, Inner: err}
+}
+
+func (s *Session) parseOnce() (*Node, error) {
+	if s.det != nil {
+		return s.det.Parse(s.doc.Stream())
+	}
+	return s.parser.Parse(s.doc.Stream())
+}
+
+// ParseWithRecovery parses with history-based error recovery (§4.3):
+// failing edits are reverted and reported as unincorporated.
+func (s *Session) ParseWithRecovery() RecoveryOutcome {
+	return recovery.Parse(s.doc, func(d *document.Document) (*Node, error) {
+		return s.parseOnce()
+	})
+}
+
+// Resolve runs semantic disambiguation (§4.2) over the committed tree with
+// the language's configuration. Filter attributes on losing alternatives
+// are recomputed; the dag itself is unchanged, so decisions reverse
+// automatically when bindings change.
+func (s *Session) Resolve() SemanticsResult {
+	res, _ := s.ResolveTracked()
+	return res
+}
+
+// ResolveTracked is Resolve plus the §4.2 re-interpretation report: the
+// ambiguous regions whose reading flipped since the previous pass (e.g.
+// after a typedef was removed), located via the resolver's use-site index
+// rather than a tree search.
+func (s *Session) ResolveTracked() (SemanticsResult, []Reinterpreted) {
+	if s.lang.sem == nil || s.doc.Root() == nil {
+		return SemanticsResult{}, nil
+	}
+	if s.resolver == nil {
+		s.resolver = semantics.NewResolver(*s.lang.sem)
+	}
+	return s.resolver.Resolve(s.doc.Root())
+}
+
+// UseSites returns the ambiguous regions whose interpretation depends on
+// the given identifier, as of the last Resolve.
+func (s *Session) UseSites(name string) []*Node {
+	if s.resolver == nil {
+		return nil
+	}
+	return s.resolver.UseSites(name)
+}
+
+// Stats returns the work counters of the most recent IGLR parse.
+func (s *Session) Stats() ParseStats { return s.parser.Stats }
+
+// LexErrors returns the number of lexically invalid tokens currently in
+// the document.
+func (s *Session) LexErrors() int { return s.doc.LexErrorCount }
+
+// Relexed returns the token count rescanned by the most recent edit.
+func (s *Session) Relexed() int { return s.doc.LastRelexed }
+
+// Trace installs a parser trace callback (the Appendix B facility);
+// pass nil to disable.
+func (s *Session) Trace(f func(format string, args ...any)) { s.parser.Trace = f }

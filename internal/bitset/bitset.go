@@ -1,0 +1,157 @@
+// Package bitset provides a compact, fixed-capacity bit set used by the
+// grammar analyses and LR table construction.
+package bitset
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// Set is a bit set over the integers [0, capacity). The zero value is an
+// empty set of capacity zero; use New to create a set with room for n bits.
+type Set struct {
+	words []uint64
+}
+
+// New returns an empty set with capacity for n bits.
+func New(n int) Set {
+	return Set{words: make([]uint64, (n+63)/64)}
+}
+
+// Clone returns a copy of s.
+func (s Set) Clone() Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return Set{words: w}
+}
+
+// Add inserts i into the set. It panics if i is out of range.
+func (s Set) Add(i int) {
+	s.words[i/64] |= 1 << uint(i%64)
+}
+
+// Remove deletes i from the set.
+func (s Set) Remove(i int) {
+	s.words[i/64] &^= 1 << uint(i%64)
+}
+
+// Has reports whether i is in the set.
+func (s Set) Has(i int) bool {
+	w := i / 64
+	if w >= len(s.words) {
+		return false
+	}
+	return s.words[w]&(1<<uint(i%64)) != 0
+}
+
+// Union adds every element of t to s, reporting whether s changed.
+func (s Set) Union(t Set) bool {
+	changed := false
+	for i, w := range t.words {
+		if i >= len(s.words) {
+			break
+		}
+		nw := s.words[i] | w
+		if nw != s.words[i] {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Intersects reports whether s and t share any element.
+func (s Set) Intersects(t Set) bool {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and t contain exactly the same elements.
+func (s Set) Equal(t Set) bool {
+	n := len(s.words)
+	if len(t.words) > n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		var a, b uint64
+		if i < len(s.words) {
+			a = s.words[i]
+		}
+		if i < len(t.words) {
+			b = t.words[i]
+		}
+		if a != b {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of elements in the set.
+func (s Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no elements.
+func (s Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes all elements.
+func (s Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// ForEach calls f for each element in ascending order.
+func (s Set) ForEach(f func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(wi*64 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Elems returns the elements in ascending order.
+func (s Set) Elems() []int {
+	out := make([]int, 0, s.Len())
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// String renders the set as "{1 5 9}".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		b.WriteString(strconv.Itoa(i))
+	})
+	b.WriteByte('}')
+	return b.String()
+}

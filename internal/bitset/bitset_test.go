@@ -1,0 +1,144 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(200)
+	if !s.Empty() || s.Len() != 0 {
+		t.Fatal("new set should be empty")
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
+		s.Add(i)
+	}
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for _, i := range []int{0, 63, 64, 199} {
+		if !s.Has(i) {
+			t.Fatalf("missing %d", i)
+		}
+	}
+	if s.Has(2) || s.Has(100) {
+		t.Fatal("spurious members")
+	}
+	s.Remove(64)
+	if s.Has(64) || s.Len() != 7 {
+		t.Fatal("remove failed")
+	}
+	if s.Has(100000) {
+		t.Fatal("out-of-capacity Has should be false")
+	}
+}
+
+func TestUnionAndEqual(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Add(3)
+	a.Add(50)
+	b.Add(50)
+	b.Add(99)
+	if a.Equal(b) {
+		t.Fatal("unequal sets reported equal")
+	}
+	changed := a.Union(b)
+	if !changed {
+		t.Fatal("union should change a")
+	}
+	for _, i := range []int{3, 50, 99} {
+		if !a.Has(i) {
+			t.Fatalf("union missing %d", i)
+		}
+	}
+	if a.Union(b) {
+		t.Fatal("second union should be a no-op")
+	}
+	c := a.Clone()
+	if !c.Equal(a) {
+		t.Fatal("clone not equal")
+	}
+	c.Add(7)
+	if a.Has(7) {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a, b := New(128), New(128)
+	a.Add(10)
+	b.Add(11)
+	if a.Intersects(b) {
+		t.Fatal("disjoint sets intersect")
+	}
+	b.Add(10)
+	if !a.Intersects(b) {
+		t.Fatal("intersection missed")
+	}
+}
+
+func TestElemsOrderedAndString(t *testing.T) {
+	s := New(70)
+	for _, i := range []int{69, 1, 33} {
+		s.Add(i)
+	}
+	e := s.Elems()
+	if len(e) != 3 || e[0] != 1 || e[1] != 33 || e[2] != 69 {
+		t.Fatalf("Elems = %v", e)
+	}
+	if s.String() != "{1 33 69}" {
+		t.Fatalf("String = %q", s.String())
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestQuickAgainstMap(t *testing.T) {
+	// Property: Set behaves like map[int]bool under random ops.
+	f := func(ops []uint16) bool {
+		s := New(256)
+		m := map[int]bool{}
+		for _, op := range ops {
+			i := int(op % 256)
+			switch (op / 256) % 3 {
+			case 0:
+				s.Add(i)
+				m[i] = true
+			case 1:
+				s.Remove(i)
+				delete(m, i)
+			case 2:
+				if s.Has(i) != m[i] {
+					return false
+				}
+			}
+		}
+		if s.Len() != len(m) {
+			return false
+		}
+		for i := range m {
+			if !s.Has(i) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachAbortsNever(t *testing.T) {
+	s := New(64)
+	s.Add(5)
+	s.Add(6)
+	count := 0
+	s.ForEach(func(i int) { count++ })
+	if count != 2 {
+		t.Fatalf("ForEach visited %d", count)
+	}
+}

@@ -1,0 +1,119 @@
+package corpus_test
+
+import (
+	"strings"
+	"testing"
+
+	"iglr/internal/corpus"
+	"iglr/internal/dag"
+	"iglr/internal/iglr"
+	"iglr/internal/langs"
+	"iglr/internal/langs/cppsub"
+	"iglr/internal/langs/csub"
+	"iglr/internal/semantics"
+)
+
+func langFor(spec corpus.Spec) *langs.Language {
+	if spec.Lang == "c++" {
+		return cppsub.Lang()
+	}
+	return csub.Lang()
+}
+
+func TestGenerateParsesCleanly(t *testing.T) {
+	for _, spec := range []corpus.Spec{
+		{Name: "tiny-c", Lines: 200, Lang: "c", AmbiguousPerKLoC: 10, Seed: 1},
+		{Name: "tiny-cpp", Lines: 200, Lang: "c++", AmbiguousPerKLoC: 10, Seed: 2},
+		{Name: "no-amb", Lines: 300, Lang: "c", AmbiguousPerKLoC: 0, Seed: 3},
+	} {
+		t.Run(spec.Name, func(t *testing.T) {
+			src, amb := corpus.Generate(spec)
+			l := langFor(spec)
+			d := l.NewDocument(src)
+			if d.LexErrorCount != 0 {
+				t.Fatalf("lex errors in generated source")
+			}
+			p := iglr.New(l.Table)
+			root, err := p.Parse(d.Stream())
+			if err != nil {
+				t.Fatalf("generated program does not parse: %v", err)
+			}
+			st := dag.Measure(root)
+			if st.AmbiguousRegions != amb {
+				t.Fatalf("ambiguous regions = %d, generator says %d", st.AmbiguousRegions, amb)
+			}
+			// All ambiguities are typedef-resolvable.
+			res := semantics.Resolve(root, langs.CStyleSemantics(l))
+			if res.ResolvedDecl != amb || res.Unresolved != 0 {
+				t.Fatalf("resolution = %+v, want %d decls", res, amb)
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := corpus.Spec{Name: "d", Lines: 150, Lang: "c", AmbiguousPerKLoC: 20, Seed: 9}
+	a, _ := corpus.Generate(s)
+	b, _ := corpus.Generate(s)
+	if a != b {
+		t.Fatal("generation must be deterministic per seed")
+	}
+}
+
+func TestLineCounts(t *testing.T) {
+	s := corpus.Spec{Name: "lc", Lines: 1000, Lang: "c", AmbiguousPerKLoC: 5, Seed: 4}
+	src, _ := corpus.Generate(s)
+	lines := strings.Count(src, "\n")
+	if lines < 950 || lines > 1100 {
+		t.Fatalf("lines = %d, want ≈1000", lines)
+	}
+}
+
+func TestSelfCancellingEdits(t *testing.T) {
+	s := corpus.Spec{Name: "e", Lines: 300, Lang: "c", AmbiguousPerKLoC: 5, Seed: 5}
+	src, _ := corpus.Generate(s)
+	pairs := corpus.SelfCancellingEdits(src, 50, 6)
+	if len(pairs) != 50 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	l := csub.Lang()
+	d := l.NewDocument(src)
+	p := iglr.New(l.Table)
+	root, err := p.Parse(d.Stream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Commit(root)
+	for i, pair := range pairs[:10] {
+		for _, e := range pair[:] {
+			d.Replace(e.Offset, e.Removed, e.Inserted)
+			r, err := p.Parse(d.Stream())
+			if err != nil {
+				t.Fatalf("pair %d: %v (text %q...)", i, err, d.Text()[:50])
+			}
+			d.Commit(r)
+		}
+	}
+	if d.Text() != src {
+		t.Fatal("self-cancelling edits must restore the original text")
+	}
+}
+
+func TestTable1Specs(t *testing.T) {
+	specs := corpus.Table1Specs()
+	if len(specs) != 13 {
+		t.Fatalf("specs = %d, want 13 (Table 1 rows)", len(specs))
+	}
+	totalCpp := 0
+	for _, s := range specs {
+		if s.Lines <= 0 {
+			t.Fatalf("%s: bad line count", s.Name)
+		}
+		if s.Lang == "c++" {
+			totalCpp++
+		}
+	}
+	if totalCpp != 2 {
+		t.Fatalf("C++ programs = %d, want 2 (ensemble, idl)", totalCpp)
+	}
+}

@@ -1,0 +1,338 @@
+package dag
+
+import (
+	"iglr/internal/grammar"
+)
+
+// Associative sequences (§3.4): grammars express repetition with generated
+// left-recursive productions (X+ → X | X+ X), which parse deterministically
+// but produce linked-list-shaped trees — incremental algorithms over them
+// degenerate to linear time. Because sequence productions are marked
+// associative, the dag is free to store their yields as balanced binary
+// trees of KindSeq nodes, restoring the O(lg N) node-access bound the
+// incremental analysis requires.
+
+// maxImbalance is the scapegoat-style rebalancing threshold: a KindSeq node
+// is rebuilt when one side exceeds this multiple of the other.
+const maxImbalance = 3
+
+// seqLeafLimit is the number of elements kept in one KindSeq node before it
+// splits; small fan-out keeps depth logarithmic while avoiding a node per
+// element.
+const seqLeafLimit = 8
+
+// IsSequenceRoot reports whether n is structure belonging to the sequence
+// nonterminal sym: either a generated left-recursive production node or a
+// balanced KindSeq node.
+func IsSequenceRoot(g *grammar.Grammar, n *Node) bool {
+	if n.Kind == KindSeq {
+		return true
+	}
+	if n.Kind != KindProduction {
+		return false
+	}
+	return g.Symbol(n.Sym).IsSequence()
+}
+
+// SeqElements flattens sequence structure (left-recursive chains, balanced
+// KindSeq nodes, or a mix) into the ordered element list. Non-sequence
+// nodes yield themselves.
+func SeqElements(g *grammar.Grammar, n *Node) []*Node {
+	var out []*Node
+	var flatten func(m *Node)
+	flatten = func(m *Node) {
+		switch {
+		case m.Kind == KindSeq:
+			for _, k := range m.Kids {
+				flatten(k)
+			}
+		case m.Kind == KindProduction && g.Symbol(m.Sym).IsSequence():
+			for _, k := range m.Kids {
+				// Children that are themselves sequence structure of the
+				// same family (X+ inside X+ or X*) flatten recursively;
+				// element children are appended.
+				if k.Kind == KindSeq ||
+					(k.Kind != KindTerminal && g.Symbol(k.Sym).IsSequence()) {
+					flatten(k)
+				} else {
+					out = append(out, k)
+				}
+			}
+		default:
+			out = append(out, m)
+		}
+	}
+	flatten(n)
+	return out
+}
+
+// BuildSeq constructs a balanced sequence for sym over elems. For zero
+// elements it returns an empty KindSeq node.
+func BuildSeq(sym grammar.Sym, elems []*Node) *Node {
+	n := buildSeq(sym, elems)
+	if n == nil {
+		return NewSeq(sym, nil)
+	}
+	return n
+}
+
+func buildSeq(sym grammar.Sym, elems []*Node) *Node {
+	switch {
+	case len(elems) == 0:
+		return nil
+	case len(elems) <= seqLeafLimit:
+		kids := make([]*Node, len(elems))
+		copy(kids, elems)
+		return NewSeq(sym, kids)
+	default:
+		mid := len(elems) / 2
+		return NewSeq(sym, []*Node{buildSeq(sym, elems[:mid]), buildSeq(sym, elems[mid:])})
+	}
+}
+
+// Rebalance rewrites, in place, every associative-sequence region reachable
+// from root into balanced form: each production node whose LHS is a
+// sequence nonterminal and that heads a left-recursive chain is replaced by
+// a KindSeq tree over the chain's elements. It returns the new root (the
+// root itself may be replaced when it is sequence structure).
+func Rebalance(g *grammar.Grammar, root *Node) *Node {
+	seen := map[*Node]*Node{}
+	var rb func(n *Node) *Node
+	rb = func(n *Node) *Node {
+		if r, ok := seen[n]; ok {
+			return r
+		}
+		seen[n] = n // provisional, protects against cycles
+		var out *Node
+		if n.Kind == KindProduction && g.Symbol(n.Sym).IsSequence() {
+			elems := SeqElements(g, n)
+			for i, e := range elems {
+				elems[i] = rb(e)
+			}
+			out = BuildSeq(n.Sym, elems)
+		} else {
+			for i, k := range n.Kids {
+				n.Kids[i] = rb(k)
+			}
+			out = n
+		}
+		seen[n] = out
+		return out
+	}
+	return rb(root)
+}
+
+// SeqLen returns the number of elements in balanced sequence structure.
+func SeqLen(n *Node) int {
+	if n.Kind != KindSeq {
+		return 1
+	}
+	total := 0
+	for _, k := range n.Kids {
+		total += SeqLen(k)
+	}
+	return total
+}
+
+// SeqDepth returns the height of balanced sequence structure (diagnostic).
+func SeqDepth(n *Node) int {
+	if n.Kind != KindSeq {
+		return 0
+	}
+	max := 0
+	for _, k := range n.Kids {
+		if d := SeqDepth(k); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// SeqEditor performs O(lg n) amortized persistent edits on a balanced
+// sequence: the spine from root to the touched element is path-copied, so
+// the previous version remains intact (self-versioning document model).
+// Element counts are carried in the nodes (SeqCount), so indexing costs
+// O(1) per level with no auxiliary state.
+type SeqEditor struct {
+	sym grammar.Sym
+}
+
+// NewSeqEditor creates an editor for sequences of the given nonterminal.
+func NewSeqEditor(sym grammar.Sym) *SeqEditor {
+	return &SeqEditor{sym: sym}
+}
+
+func (ed *SeqEditor) size(n *Node) int { return int(seqCountOf(n)) }
+
+// Get returns element i of the sequence.
+func (ed *SeqEditor) Get(root *Node, i int) *Node {
+	for root.Kind == KindSeq {
+		for _, k := range root.Kids {
+			sz := ed.size(k)
+			if i < sz {
+				root = k
+				goto next
+			}
+			i -= sz
+		}
+		return nil
+	next:
+	}
+	if i != 0 {
+		return nil
+	}
+	return root
+}
+
+// Replace returns a new root with element i replaced by e.
+func (ed *SeqEditor) Replace(root *Node, i int, e *Node) *Node {
+	return ed.splice(root, i, 1, []*Node{e})
+}
+
+// Insert returns a new root with e inserted before element i.
+func (ed *SeqEditor) Insert(root *Node, i int, e *Node) *Node {
+	return ed.splice(root, i, 0, []*Node{e})
+}
+
+// Delete returns a new root with element i removed.
+func (ed *SeqEditor) Delete(root *Node, i int) *Node {
+	return ed.splice(root, i, 1, nil)
+}
+
+// splice replaces elements [i, i+removed) with repl, path-copying the
+// spine. Subtrees that become badly imbalanced along the spine are rebuilt.
+func (ed *SeqEditor) splice(root *Node, i, removed int, repl []*Node) *Node {
+	if root.Kind != KindSeq {
+		// Single element (or chain head): flatten trivially.
+		elems := []*Node{root}
+		elems = spliceSlice(elems, i, removed, repl)
+		return BuildSeq(ed.sym, elems)
+	}
+	total := ed.size(root)
+	if i < 0 || i+removed > total {
+		panic("dag: sequence splice out of range")
+	}
+	out := ed.spliceNode(root, i, removed, repl)
+	if out == nil {
+		return NewSeq(ed.sym, nil)
+	}
+	return out
+}
+
+func (ed *SeqEditor) spliceNode(n *Node, i, removed int, repl []*Node) *Node {
+	if n.Kind != KindSeq {
+		// Leaf element: i==0 and removed∈{0,1}.
+		var elems []*Node
+		if removed == 0 {
+			if i == 0 {
+				elems = append(append([]*Node{}, repl...), n)
+			} else {
+				elems = append([]*Node{n}, repl...)
+			}
+		} else {
+			elems = repl
+		}
+		return buildSeq(ed.sym, elems)
+	}
+	// Small subtrees are rebuilt wholesale; this bounds constant factors
+	// without affecting the logarithmic spine length.
+	sz := ed.size(n)
+	if sz <= 2*seqLeafLimit {
+		elems := SeqElementsFlat(n)
+		elems = spliceSlice(elems, i, removed, repl)
+		return buildSeq(ed.sym, elems)
+	}
+	kids := make([]*Node, 0, len(n.Kids))
+	pos := 0
+	changed := false
+	replUsed := repl == nil
+	for idx, k := range n.Kids {
+		ksz := ed.size(k)
+		lo, hi := pos, pos+ksz
+		pos = hi
+		// Portion of the removed range [i, i+removed) inside this child.
+		remLo, remHi := max(i, lo), min(i+removed, hi)
+		kidRemoved := remHi - remLo
+		if kidRemoved < 0 {
+			kidRemoved = 0
+		}
+		// The replacement is attached where the edit begins: the child
+		// containing position i (the last child accepts i == total for
+		// appends).
+		var kidRepl []*Node
+		if !replUsed && i >= lo && (i < hi || (idx == len(n.Kids)-1 && i == hi)) {
+			kidRepl = repl
+			replUsed = true
+		}
+		if kidRemoved == 0 && kidRepl == nil {
+			kids = append(kids, k)
+			continue
+		}
+		nk := ed.spliceNode(k, max(i, lo)-lo, kidRemoved, kidRepl)
+		if nk != nil {
+			kids = append(kids, nk)
+		}
+		changed = true
+	}
+	if !changed {
+		return n
+	}
+	if len(kids) == 0 {
+		return nil
+	}
+	out := NewSeq(ed.sym, kids)
+	return ed.maybeRebuild(out)
+}
+
+// maybeRebuild rebuilds a KindSeq node whose children are badly imbalanced.
+func (ed *SeqEditor) maybeRebuild(n *Node) *Node {
+	if len(n.Kids) == 2 {
+		a, b := ed.size(n.Kids[0]), ed.size(n.Kids[1])
+		if a > maxImbalance*b+seqLeafLimit || b > maxImbalance*a+seqLeafLimit {
+			return buildSeq(ed.sym, SeqElementsFlat(n))
+		}
+	}
+	if len(n.Kids) > seqLeafLimit {
+		return buildSeq(ed.sym, SeqElementsFlat(n))
+	}
+	return n
+}
+
+// SeqElementsFlat flattens pure KindSeq structure (no grammar needed).
+func SeqElementsFlat(n *Node) []*Node {
+	var out []*Node
+	var rec func(m *Node)
+	rec = func(m *Node) {
+		if m.Kind == KindSeq {
+			for _, k := range m.Kids {
+				rec(k)
+			}
+			return
+		}
+		out = append(out, m)
+	}
+	rec(n)
+	return out
+}
+
+func spliceSlice(elems []*Node, i, removed int, repl []*Node) []*Node {
+	out := make([]*Node, 0, len(elems)-removed+len(repl))
+	out = append(out, elems[:i]...)
+	out = append(out, repl...)
+	out = append(out, elems[i+removed:]...)
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,309 @@
+package dag
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"iglr/internal/grammar"
+)
+
+func term(text string) *Node { return NewTerminal(5, text) }
+
+func TestChoiceBasics(t *testing.T) {
+	a := NewProduction(2, 1, 7, []*Node{term("x")})
+	b := NewProduction(2, 2, 7, []*Node{term("x")})
+	c := NewChoice(2, a)
+	c.AddChoice(b)
+	if !c.IsChoice() || c.Arity() != 2 {
+		t.Fatalf("choice node malformed: %v", c)
+	}
+	if c.State != MultiState {
+		t.Fatalf("choice node state = %d, want MultiState", c.State)
+	}
+	if c.Selected() != nil {
+		t.Fatalf("ambiguous choice should have no selection")
+	}
+	b.Filtered = true
+	if c.Selected() != a {
+		t.Fatalf("filtering should select the surviving alternative")
+	}
+	if c.Ambiguous() {
+		t.Fatalf("filtered choice should not count as ambiguous")
+	}
+	b.Filtered = false
+	if !c.Ambiguous() {
+		t.Fatalf("unfiltered choice should be ambiguous")
+	}
+}
+
+func TestYieldAndTerminals(t *testing.T) {
+	x, y := term("foo"), term("bar")
+	p := NewProduction(3, 1, NoState, []*Node{x, y})
+	if p.Yield() != "foobar" {
+		t.Fatalf("yield = %q", p.Yield())
+	}
+	alt := NewProduction(3, 2, NoState, []*Node{x, y})
+	ch := NewChoice(3, p, alt)
+	if ch.Yield() != "foobar" {
+		t.Fatalf("choice yield = %q", ch.Yield())
+	}
+	terms := ch.Terminals(nil)
+	if len(terms) != 2 || terms[0] != x || terms[1] != y {
+		t.Fatalf("terminals = %v", terms)
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	// Two interpretations sharing their terminals (the paper's Figure 3
+	// shape): dag = choice + 2 productions + shared terminals.
+	x, y := term("a"), term("b")
+	declInterp := NewProduction(2, 1, NoState, []*Node{x, y})
+	callInterp := NewProduction(2, 2, NoState, []*Node{x, y})
+	ch := NewChoice(2, declInterp, callInterp)
+	root := NewProduction(1, 0, NoState, []*Node{ch})
+
+	s := Measure(root)
+	// Unique nodes: root, choice, 2 interps, 2 terminals = 6.
+	if s.DagNodes != 6 {
+		t.Fatalf("DagNodes = %d, want 6", s.DagNodes)
+	}
+	// Embedded tree: root, one interp, 2 terminals = 4.
+	if s.TreeNodes != 4 {
+		t.Fatalf("TreeNodes = %d, want 4", s.TreeNodes)
+	}
+	if s.ChoiceNodes != 1 || s.AmbiguousRegions != 1 || s.MaxAlternatives != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.SpaceOverheadPercent() <= 0 {
+		t.Fatalf("overhead should be positive: %v", s.SpaceOverheadPercent())
+	}
+	if s.Terminals != 2 {
+		t.Fatalf("terminals = %d", s.Terminals)
+	}
+}
+
+func TestUnshareEpsilon(t *testing.T) {
+	// A shared null-yield subtree under two parents must be duplicated.
+	eps := NewProduction(4, 9, NoState, nil) // ε production instance
+	p1 := NewProduction(2, 1, NoState, []*Node{term("a"), eps})
+	p2 := NewProduction(2, 2, NoState, []*Node{term("b"), eps})
+	root := NewProduction(1, 0, NoState, []*Node{p1, p2})
+
+	shared := SharedNullYields(root)
+	if len(shared) != 1 || shared[0] != eps {
+		t.Fatalf("SharedNullYields = %v, want [eps]", shared)
+	}
+	dups := UnshareEpsilon(root)
+	if dups != 1 {
+		t.Fatalf("dups = %d, want 1", dups)
+	}
+	if p1.Kids[1] == p2.Kids[1] {
+		t.Fatalf("epsilon structure still shared after unsharing")
+	}
+	if len(SharedNullYields(root)) != 0 {
+		t.Fatalf("sharing should be gone")
+	}
+	// Non-null sharing must be left intact.
+	sharedTerm := term("x")
+	q1 := NewProduction(2, 1, NoState, []*Node{sharedTerm})
+	q2 := NewProduction(2, 2, NoState, []*Node{sharedTerm})
+	root2 := NewChoice(2, q1, q2)
+	UnshareEpsilon(root2)
+	if q1.Kids[0] != q2.Kids[0] {
+		t.Fatalf("non-null sharing should be preserved")
+	}
+}
+
+func seqGrammar(t testing.TB) *grammar.Grammar {
+	g, err := grammar.Parse(`
+%token x ';'
+%start Block
+Block : Stmt* ;
+Stmt : x ';' ;
+`)
+	if err != nil {
+		t.Fatalf("grammar: %v", err)
+	}
+	return g
+}
+
+// chainOf builds the left-recursive parse structure the parser produces for
+// n statements.
+func chainOf(t testing.TB, g *grammar.Grammar, n int) *Node {
+	stmtSym := g.Lookup("Stmt")
+	plus := g.Lookup("Stmt+")
+	var plusProds []*grammar.Production
+	for _, p := range g.ProductionsFor(plus) {
+		plusProds = append(plusProds, p)
+	}
+	if len(plusProds) != 2 {
+		t.Fatalf("expected 2 productions for Stmt+")
+	}
+	single, rec := plusProds[0], plusProds[1]
+	if len(single.RHS) != 1 {
+		single, rec = rec, single
+	}
+	stmt := func(i int) *Node {
+		return NewProduction(stmtSym, g.ProductionsFor(stmtSym)[0].ID, NoState,
+			[]*Node{NewTerminal(g.Lookup("x"), fmt.Sprintf("x%d", i)), NewTerminal(g.Lookup("';'"), ";")})
+	}
+	root := NewProduction(plus, single.ID, NoState, []*Node{stmt(0)})
+	for i := 1; i < n; i++ {
+		root = NewProduction(plus, rec.ID, NoState, []*Node{root, stmt(i)})
+	}
+	return root
+}
+
+func TestRebalance(t *testing.T) {
+	g := seqGrammar(t)
+	n := 1000
+	chain := chainOf(t, g, n)
+	bal := Rebalance(g, chain)
+	if got := SeqLen(bal); got != n {
+		t.Fatalf("SeqLen = %d, want %d", got, n)
+	}
+	if d := SeqDepth(bal); d > 14 {
+		t.Fatalf("depth %d too large for %d elements", d, n)
+	}
+	elems := SeqElementsFlat(bal)
+	if len(elems) != n {
+		t.Fatalf("elements = %d", len(elems))
+	}
+	// Order preserved.
+	for i, e := range elems {
+		want := fmt.Sprintf("x%d;", i)
+		if e.Yield() != want {
+			t.Fatalf("element %d yield = %q, want %q", i, e.Yield(), want)
+		}
+	}
+}
+
+func TestSeqEditorOps(t *testing.T) {
+	g := seqGrammar(t)
+	sym := g.Lookup("Stmt+")
+	ed := NewSeqEditor(sym)
+	root := Rebalance(g, chainOf(t, g, 50))
+
+	// Replace.
+	repl := term("REPL")
+	root2 := ed.Replace(root, 10, repl)
+	if ed.Get(root2, 10) != repl {
+		t.Fatalf("Replace failed")
+	}
+	if ed.Get(root, 10) == repl {
+		t.Fatalf("Replace mutated the old version (must be persistent)")
+	}
+	if SeqLen(root2) != 50 {
+		t.Fatalf("length changed on replace: %d", SeqLen(root2))
+	}
+
+	// Insert.
+	ins := term("INS")
+	root3 := ed.Insert(root2, 0, ins)
+	if SeqLen(root3) != 51 || ed.Get(root3, 0) != ins {
+		t.Fatalf("Insert at 0 failed")
+	}
+	root4 := ed.Insert(root3, 51, term("END"))
+	if SeqLen(root4) != 52 || ed.Get(root4, 51).Text != "END" {
+		t.Fatalf("append failed: len=%d", SeqLen(root4))
+	}
+
+	// Delete.
+	root5 := ed.Delete(root4, 0)
+	if SeqLen(root5) != 51 || ed.Get(root5, 0) == ins {
+		t.Fatalf("Delete failed")
+	}
+}
+
+func TestSeqEditorRandomAgainstSlice(t *testing.T) {
+	g := seqGrammar(t)
+	sym := g.Lookup("Stmt+")
+	ed := NewSeqEditor(sym)
+	rng := rand.New(rand.NewSource(7))
+
+	var model []string
+	root := NewSeq(sym, nil)
+	for i := 0; i < 20; i++ {
+		e := term(fmt.Sprintf("e%d", i))
+		model = append(model, e.Text)
+		root = ed.Insert(root, len(model)-1, e)
+	}
+	for step := 0; step < 2000; step++ {
+		op := rng.Intn(3)
+		switch {
+		case op == 0 || len(model) == 0: // insert
+			i := rng.Intn(len(model) + 1)
+			e := term(fmt.Sprintf("n%d", step))
+			root = ed.Insert(root, i, e)
+			model = append(model[:i:i], append([]string{e.Text}, model[i:]...)...)
+		case op == 1: // delete
+			i := rng.Intn(len(model))
+			root = ed.Delete(root, i)
+			model = append(model[:i:i], model[i+1:]...)
+		default: // replace
+			i := rng.Intn(len(model))
+			e := term(fmt.Sprintf("r%d", step))
+			root = ed.Replace(root, i, e)
+			model = append(append(model[:i:i], e.Text), model[i+1:]...)
+		}
+		if SeqLen(root) != len(model) {
+			t.Fatalf("step %d: len %d, model %d", step, SeqLen(root), len(model))
+		}
+		if step%97 == 0 {
+			elems := SeqElementsFlat(root)
+			for i, e := range elems {
+				if e.Text != model[i] {
+					t.Fatalf("step %d: element %d = %q, want %q", step, i, e.Text, model[i])
+				}
+			}
+			// Depth stays logarithmic-ish.
+			if d, n := SeqDepth(root), len(model); n > 16 && d > 4*log2(n) {
+				t.Fatalf("step %d: depth %d too large for %d elements", step, d, n)
+			}
+		}
+	}
+}
+
+func log2(n int) int {
+	d := 0
+	for n > 1 {
+		n /= 2
+		d++
+	}
+	return d
+}
+
+func TestSeqDepthLogarithmicProperty(t *testing.T) {
+	g := seqGrammar(t)
+	f := func(k uint8) bool {
+		n := int(k)%2000 + 1
+		bal := Rebalance(g, chainOf(t, g, n))
+		return SeqDepth(bal) <= 2*log2(n)+4 && SeqLen(bal) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	g := seqGrammar(t)
+	root := Rebalance(g, chainOf(t, g, 3))
+	s := Format(g, root)
+	if s == "" {
+		t.Fatal("empty format")
+	}
+}
+
+func TestWalkVisitsSharedOnce(t *testing.T) {
+	shared := term("s")
+	p1 := NewProduction(2, 1, NoState, []*Node{shared})
+	p2 := NewProduction(2, 2, NoState, []*Node{shared})
+	root := NewChoice(2, p1, p2)
+	count := 0
+	root.Walk(func(n *Node) { count++ })
+	if count != 4 {
+		t.Fatalf("walk visited %d nodes, want 4", count)
+	}
+}

@@ -1,0 +1,346 @@
+// Package dag implements the abstract parse dag of Wagner & Graham (PLDI
+// 1997, §2): a parse-tree-like representation in which a region may have
+// multiple interpretations. Deterministic regions are conventional
+// production nodes; ambiguity introduces symbol (choice) nodes whose
+// children are the alternative interpretations of a common yield. The
+// package also provides the balanced representation of associative
+// sequences (§3.4), the epsilon-unsharing post-pass (§3.5), and the space
+// accounting used by the paper's evaluation (Table 1, Figure 4).
+package dag
+
+import (
+	"fmt"
+	"strings"
+
+	"iglr/internal/grammar"
+)
+
+// Parse states recorded in nodes (§3.3).
+const (
+	// NoState marks nodes that have not been assigned a parse state —
+	// terminals before shifting, choice nodes (multi-state by definition),
+	// and freshly built structure.
+	NoState = -1
+	// MultiState is the equivalence class representing "constructed while
+	// multiple parsers were active": dynamic lookahead was consumed, so the
+	// incremental parser must decompose rather than reuse (§3.3).
+	MultiState = -2
+)
+
+// Kind discriminates dag node varieties.
+type Kind uint8
+
+// Node kinds.
+const (
+	// KindTerminal is a token leaf.
+	KindTerminal Kind = iota
+	// KindProduction is an instance of a grammar production (a "rule
+	// node"): Sym is the LHS phylum, Prod the production.
+	KindProduction
+	// KindChoice is a symbol node representing only a phylum; its children
+	// are the alternative interpretations of their common yield.
+	KindChoice
+	// KindSeq is an internal node of a balanced associative sequence: Sym
+	// is the sequence nonterminal; its children are elements and/or other
+	// KindSeq nodes. Created by rebalancing, not by the parser.
+	KindSeq
+)
+
+// Node is one abstract-parse-dag node. Nodes are compared by pointer
+// identity; structural sharing is what makes the representation a dag.
+type Node struct {
+	Kind Kind
+	// Sym is the symbol this node represents: the terminal for leaves, the
+	// production LHS for production nodes, the phylum for choice nodes.
+	Sym grammar.Sym
+	// Prod is the production instance for KindProduction nodes; -1
+	// otherwise.
+	Prod int
+	// State is the deterministic parse state recorded when the node was
+	// shifted (state-matching, §3.2), or NoState / MultiState.
+	State int
+	// Kids are the children: RHS instances for production nodes,
+	// alternatives for choice nodes, elements/subsequences for KindSeq.
+	Kids []*Node
+	// Text is the lexeme (terminals only).
+	Text string
+	// Filtered marks an interpretation rejected by a semantic filter. The
+	// node is retained (semantic filtering is reversible, §4.2) but
+	// ignored by pipeline stages that read the embedded tree.
+	Filtered bool
+	// Changed marks terminals removed or modified since the last parse;
+	// the document layer maintains it.
+	Changed bool
+
+	// Incremental bookkeeping (§3.2–3.3). The paper notes that recording
+	// the leftmost terminal descendant in every node trades space for the
+	// ability to locate reuse candidates without traversal; we also record
+	// the rightmost terminal (for the right-context check) and the
+	// terminal count (to advance the input cursor past a shifted subtree).
+
+	// Parent is the node's parent in the last committed tree. Shared nodes
+	// (ambiguous regions) record one representative parent; any parent
+	// chain reaches the root, which is all change propagation needs.
+	Parent *Node
+	// LeftmostTerm/RightmostTerm delimit the node's terminal yield; nil
+	// for null-yield subtrees.
+	LeftmostTerm, RightmostTerm *Node
+	// TermCount is the number of terminal leaves in the subtree.
+	TermCount int32
+	// SeqCount is the number of sequence elements under a KindSeq node
+	// (1 for any other node); it makes balanced-sequence indexing O(1)
+	// per level.
+	SeqCount int32
+	// NestedChange marks interior nodes whose yield contains an edit since
+	// the last parse.
+	NestedChange bool
+	// RightChanged marks a terminal whose following token was edited — the
+	// right-context invalidation of §3.2.
+	RightChanged bool
+	// Committed marks nodes that belong to a committed (parsed) tree;
+	// used to distinguish reused structure from freshly built structure.
+	Committed bool
+}
+
+// computeCover fills the terminal-yield bookkeeping from the children.
+func (n *Node) computeCover() {
+	n.TermCount = 0
+	n.LeftmostTerm, n.RightmostTerm = nil, nil
+	kids := n.Kids
+	if n.Kind == KindChoice && len(kids) > 0 {
+		kids = kids[:1] // all interpretations share one yield
+	}
+	for _, k := range kids {
+		n.TermCount += k.TermCount
+		if n.LeftmostTerm == nil {
+			n.LeftmostTerm = k.LeftmostTerm
+		}
+		if k.RightmostTerm != nil {
+			n.RightmostTerm = k.RightmostTerm
+		}
+	}
+}
+
+// PropagateChange sets NestedChange on every ancestor of n (stopping at the
+// first already-marked ancestor, which makes repeated marking cheap).
+func (n *Node) PropagateChange() {
+	for a := n.Parent; a != nil && !a.NestedChange; a = a.Parent {
+		a.NestedChange = true
+	}
+}
+
+// NewTerminal creates a token leaf.
+func NewTerminal(sym grammar.Sym, text string) *Node {
+	n := &Node{Kind: KindTerminal, Sym: sym, Prod: -1, State: NoState, Text: text}
+	n.LeftmostTerm, n.RightmostTerm, n.TermCount = n, n, 1
+	return n
+}
+
+// NewProduction creates a production-instance node.
+func NewProduction(sym grammar.Sym, prod int, state int, kids []*Node) *Node {
+	n := &Node{Kind: KindProduction, Sym: sym, Prod: prod, State: state, Kids: kids}
+	n.computeCover()
+	return n
+}
+
+// NewChoice creates a symbol node whose interpretations are alts. Choice
+// nodes are multi-state by definition (§3.3).
+func NewChoice(sym grammar.Sym, alts ...*Node) *Node {
+	n := &Node{Kind: KindChoice, Sym: sym, Prod: -1, State: MultiState, Kids: alts}
+	n.computeCover()
+	return n
+}
+
+// NewSeq creates a balanced-sequence internal node.
+func NewSeq(sym grammar.Sym, kids []*Node) *Node {
+	n := &Node{Kind: KindSeq, Sym: sym, Prod: -1, State: NoState, Kids: kids}
+	n.computeCover()
+	for _, k := range kids {
+		n.SeqCount += seqCountOf(k)
+	}
+	return n
+}
+
+func seqCountOf(n *Node) int32 {
+	if n.Kind == KindSeq {
+		return n.SeqCount
+	}
+	return 1
+}
+
+// IsTerminal reports whether n is a token leaf.
+func (n *Node) IsTerminal() bool { return n.Kind == KindTerminal }
+
+// IsChoice reports whether n is a symbol (choice) node.
+func (n *Node) IsChoice() bool { return n.Kind == KindChoice }
+
+// Arity returns the child count.
+func (n *Node) Arity() int { return len(n.Kids) }
+
+// AddChoice appends an interpretation to a choice node.
+func (n *Node) AddChoice(alt *Node) {
+	if n.Kind != KindChoice {
+		panic("dag: AddChoice on non-choice node")
+	}
+	n.Kids = append(n.Kids, alt)
+}
+
+// Selected returns the surviving interpretation of a choice node: the
+// unique unfiltered child, or nil if zero or several remain. For non-choice
+// nodes it returns n itself.
+func (n *Node) Selected() *Node {
+	if n.Kind != KindChoice {
+		return n
+	}
+	var sel *Node
+	for _, k := range n.Kids {
+		if k.Filtered {
+			continue
+		}
+		if sel != nil {
+			return nil
+		}
+		sel = k
+	}
+	return sel
+}
+
+// Ambiguous reports whether the subtree rooted at n contains a choice node
+// with more than one unfiltered interpretation.
+func (n *Node) Ambiguous() bool {
+	found := false
+	n.walk(map[*Node]bool{}, func(m *Node) bool {
+		if m.Kind == KindChoice {
+			alive := 0
+			for _, k := range m.Kids {
+				if !k.Filtered {
+					alive++
+				}
+			}
+			if alive > 1 {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// walk visits every node reachable from n once (it is a dag), aborting when
+// f returns false.
+func (n *Node) walk(seen map[*Node]bool, f func(*Node) bool) bool {
+	if seen[n] {
+		return true
+	}
+	seen[n] = true
+	if !f(n) {
+		return false
+	}
+	for _, k := range n.Kids {
+		if !k.walk(seen, f) {
+			return false
+		}
+	}
+	return true
+}
+
+// Walk visits every node reachable from n exactly once, in preorder.
+func (n *Node) Walk(f func(*Node)) {
+	n.walk(map[*Node]bool{}, func(m *Node) bool { f(m); return true })
+}
+
+// Yield returns the concatenated terminal text of the subtree, following
+// the first unfiltered interpretation at each choice node.
+func (n *Node) Yield() string {
+	var b strings.Builder
+	n.yield(&b)
+	return b.String()
+}
+
+func (n *Node) yield(b *strings.Builder) {
+	switch n.Kind {
+	case KindTerminal:
+		b.WriteString(n.Text)
+	case KindChoice:
+		for _, k := range n.Kids {
+			if !k.Filtered {
+				k.yield(b)
+				return
+			}
+		}
+		if len(n.Kids) > 0 {
+			n.Kids[0].yield(b)
+		}
+	default:
+		for _, k := range n.Kids {
+			k.yield(b)
+		}
+	}
+}
+
+// Terminals appends the terminal leaves of n (first interpretation at
+// choices) to out and returns it.
+func (n *Node) Terminals(out []*Node) []*Node {
+	switch n.Kind {
+	case KindTerminal:
+		return append(out, n)
+	case KindChoice:
+		for _, k := range n.Kids {
+			if !k.Filtered {
+				return k.Terminals(out)
+			}
+		}
+		if len(n.Kids) > 0 {
+			return n.Kids[0].Terminals(out)
+		}
+		return out
+	default:
+		for _, k := range n.Kids {
+			out = k.Terminals(out)
+		}
+		return out
+	}
+}
+
+// String renders a compact one-line description.
+func (n *Node) String() string {
+	switch n.Kind {
+	case KindTerminal:
+		return fmt.Sprintf("t(%d,%q)", n.Sym, n.Text)
+	case KindChoice:
+		return fmt.Sprintf("choice(%d,×%d)", n.Sym, len(n.Kids))
+	case KindSeq:
+		return fmt.Sprintf("seq(%d,×%d)", n.Sym, len(n.Kids))
+	default:
+		return fmt.Sprintf("p%d(%d)", n.Prod, n.Sym)
+	}
+}
+
+// Format renders the subtree as an indented outline using grammar names.
+func Format(g *grammar.Grammar, n *Node) string {
+	var b strings.Builder
+	format(g, n, 0, &b)
+	return b.String()
+}
+
+func format(g *grammar.Grammar, n *Node, depth int, b *strings.Builder) {
+	b.WriteString(strings.Repeat("  ", depth))
+	switch n.Kind {
+	case KindTerminal:
+		fmt.Fprintf(b, "%s %q", g.Name(n.Sym), n.Text)
+	case KindChoice:
+		fmt.Fprintf(b, "%s «choice of %d»", g.Name(n.Sym), len(n.Kids))
+	case KindSeq:
+		fmt.Fprintf(b, "%s «seq %d»", g.Name(n.Sym), len(n.Kids))
+	default:
+		fmt.Fprintf(b, "%s := %s", g.Name(n.Sym), g.ProductionString(g.Production(n.Prod)))
+	}
+	if n.Filtered {
+		b.WriteString("  [filtered]")
+	}
+	b.WriteByte('\n')
+	for _, k := range n.Kids {
+		format(g, k, depth+1, b)
+	}
+}

@@ -1,0 +1,144 @@
+// Package detparse implements a deterministic incremental parser based on
+// state-matching (Jalili & Gallier [8]; paper §3.2) — the baseline against
+// which §5 compares the IGLR parser. It requires a conflict-free LR table
+// and uses a single linear parse stack instead of a GSS, but shares the
+// same input-stream abstraction (reused subtrees plus fresh terminals) and
+// the same state-matching reuse discipline.
+package detparse
+
+import (
+	"fmt"
+
+	"iglr/internal/dag"
+	"iglr/internal/grammar"
+	"iglr/internal/lr"
+)
+
+// Stream is the parser input; document.Stream satisfies it.
+type Stream interface {
+	La() *dag.Node
+	Pop()
+	Breakdown()
+}
+
+// Stats counts parser work for the §5 comparisons.
+type Stats struct {
+	Shifts         int
+	SubtreeShifts  int
+	TerminalShifts int
+	Reductions     int
+	Breakdowns     int
+}
+
+// Parser is a deterministic incremental LR parser.
+type Parser struct {
+	table *lr.Table
+	g     *grammar.Grammar
+	Stats Stats
+}
+
+// New creates a parser; the table must be deterministic.
+func New(table *lr.Table) (*Parser, error) {
+	if !table.Deterministic() {
+		return nil, fmt.Errorf("detparse: table has %d conflicts; a deterministic parser cannot use it", len(table.Conflicts()))
+	}
+	return &Parser{table: table, g: table.Grammar()}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(table *lr.Table) *Parser {
+	p, err := New(table)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// SyntaxError reports a failed parse.
+type SyntaxError struct {
+	Sym     grammar.Sym
+	SymName string
+	Text    string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("syntax error at %s %q", e.SymName, e.Text)
+}
+
+type entry struct {
+	state int
+	node  *dag.Node
+}
+
+// Parse consumes the stream and returns the parse-tree root.
+func (p *Parser) Parse(stream Stream) (*dag.Node, error) {
+	p.Stats = Stats{}
+	stack := []entry{{state: p.table.StartState()}}
+
+	for {
+		la := stream.La()
+		if la == nil {
+			return nil, &SyntaxError{Sym: grammar.EOF, SymName: "$"}
+		}
+		top := stack[len(stack)-1].state
+
+		if !la.IsTerminal() {
+			// Subtree lookahead: state-matching reuse, precomputed
+			// nonterminal reductions, or breakdown (§3.2).
+			if !la.Changed && !la.IsChoice() && la.State >= 0 {
+				if gt := p.table.Goto(top, la.Sym); gt >= 0 && gt == la.State {
+					stack = append(stack, entry{state: gt, node: la})
+					p.Stats.Shifts++
+					p.Stats.SubtreeShifts++
+					stream.Pop()
+					continue
+				}
+				if acts := p.table.NontermActions(top, la.Sym); len(acts) == 1 && acts[0].Kind == lr.Reduce {
+					stack = p.reduce(stack, int(acts[0].Target))
+					continue
+				}
+			}
+			p.Stats.Breakdowns++
+			stream.Breakdown()
+			continue
+		}
+
+		acts := p.table.Actions(top, la.Sym)
+		if len(acts) == 0 {
+			return nil, &SyntaxError{Sym: la.Sym, SymName: p.g.Name(la.Sym), Text: la.Text}
+		}
+		switch a := acts[0]; a.Kind {
+		case lr.Shift:
+			la.State = int(a.Target)
+			la.Changed = false
+			stack = append(stack, entry{state: int(a.Target), node: la})
+			p.Stats.Shifts++
+			p.Stats.TerminalShifts++
+			stream.Pop()
+		case lr.Reduce:
+			stack = p.reduce(stack, int(a.Target))
+		case lr.Accept:
+			if la.Sym != grammar.EOF {
+				return nil, &SyntaxError{Sym: la.Sym, SymName: p.g.Name(la.Sym), Text: la.Text}
+			}
+			return stack[len(stack)-1].node, nil
+		}
+	}
+}
+
+// reduce pops the handle and pushes the new nonterminal node, recording the
+// goto state in it for future state-matching reuse.
+func (p *Parser) reduce(stack []entry, rule int) []entry {
+	p.Stats.Reductions++
+	prod := p.g.Production(rule)
+	n := prod.Arity()
+	kids := make([]*dag.Node, n)
+	for i := 0; i < n; i++ {
+		kids[i] = stack[len(stack)-n+i].node
+	}
+	stack = stack[:len(stack)-n]
+	top := stack[len(stack)-1].state
+	gt := p.table.Goto(top, prod.LHS)
+	node := dag.NewProduction(prod.LHS, rule, gt, kids)
+	return append(stack, entry{state: gt, node: node})
+}

@@ -1,0 +1,202 @@
+package detparse
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"iglr/internal/dag"
+	"iglr/internal/document"
+	"iglr/internal/grammar"
+	"iglr/internal/iglr"
+	"iglr/internal/lexer"
+	"iglr/internal/lr"
+)
+
+type lang struct {
+	g    *grammar.Grammar
+	spec *lexer.Spec
+	tbl  *lr.Table
+	m    map[int]grammar.Sym
+}
+
+func newLang(t testing.TB) *lang {
+	t.Helper()
+	g, err := grammar.Parse(`
+%token ID NUM '=' ';' '+'
+%start Prog
+Prog : Stmt* ;
+Stmt : ID '=' Expr ';' ;
+Expr : Expr '+' Term | Term ;
+Term : ID | NUM ;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := lexer.NewSpec([]lexer.Rule{
+		{Name: "WS", Pattern: `[ \t\n]+`, Skip: true},
+		{Name: "ID", Pattern: `[a-zA-Z_][a-zA-Z0-9_]*`},
+		{Name: "NUM", Pattern: `[0-9]+`},
+		{Name: "EQ", Pattern: `=`},
+		{Name: "SEMI", Pattern: `;`},
+		{Name: "PLUS", Pattern: `\+`},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := lr.Build(g, lr.Options{Method: lr.LALR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := map[int]grammar.Sym{
+		spec.RuleIndex("ID"):   g.Lookup("ID"),
+		spec.RuleIndex("NUM"):  g.Lookup("NUM"),
+		spec.RuleIndex("EQ"):   g.Lookup("'='"),
+		spec.RuleIndex("SEMI"): g.Lookup("';'"),
+		spec.RuleIndex("PLUS"): g.Lookup("'+'"),
+	}
+	return &lang{g: g, spec: spec, tbl: tbl, m: m}
+}
+
+func (l *lang) doc(src string) *document.Document {
+	return document.New(l.spec, l.g, func(r int, s string) grammar.Sym { return l.m[r] }, src)
+}
+
+func TestBatchParse(t *testing.T) {
+	l := newLang(t)
+	d := l.doc("x = 1; y = x + 2;")
+	p := MustNew(l.tbl)
+	root, err := p.Parse(d.Stream())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if root.Yield() != "x=1;y=x+2;" {
+		t.Fatalf("yield = %q", root.Yield())
+	}
+	if p.Stats.TerminalShifts != 10 {
+		t.Fatalf("stats = %+v", p.Stats)
+	}
+}
+
+func TestRejectsConflictedTable(t *testing.T) {
+	g, err := grammar.Parse("%token x\n%start S\nS : S S | x ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := lr.Build(g, lr.Options{Method: lr.LALR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(tbl); err == nil {
+		t.Fatal("conflicted table should be rejected")
+	}
+}
+
+func TestIncrementalReuse(t *testing.T) {
+	l := newLang(t)
+	d := l.doc("a = 1; b = 2; c = 3; e = 4; f = 5;")
+	p := MustNew(l.tbl)
+	root, err := p.Parse(d.Stream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Commit(root)
+
+	d.Replace(25, 1, "9")
+	p2 := MustNew(l.tbl)
+	root2, err := p2.Parse(d.Stream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Commit(root2)
+	if !strings.Contains(root2.Yield(), "e=9;") {
+		t.Fatalf("yield = %q", root2.Yield())
+	}
+	if p2.Stats.SubtreeShifts == 0 {
+		t.Fatalf("no subtree reuse: %+v", p2.Stats)
+	}
+	if p2.Stats.TerminalShifts > 6 {
+		t.Fatalf("too many terminal shifts: %+v", p2.Stats)
+	}
+}
+
+func TestSyntaxError(t *testing.T) {
+	l := newLang(t)
+	d := l.doc("x = ;")
+	p := MustNew(l.tbl)
+	if _, err := p.Parse(d.Stream()); err == nil {
+		t.Fatal("expected syntax error")
+	}
+}
+
+// TestAgreesWithIGLR checks the §5 claim that, on deterministic grammars,
+// the two parsers produce identical structure, batch and incrementally.
+func TestAgreesWithIGLR(t *testing.T) {
+	l := newLang(t)
+	var sb strings.Builder
+	for i := 0; i < 50; i++ {
+		fmt.Fprintf(&sb, "v%d = v%d + %d; ", i, i, i)
+	}
+	src := sb.String()
+
+	dDet, dGLR := l.doc(src), l.doc(src)
+	det := MustNew(l.tbl)
+	glr := iglr.New(l.tbl)
+
+	rootD, err := det.Parse(dDet.Stream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootG, err := glr.Parse(dGLR.Stream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalStructure(rootD, rootG) {
+		t.Fatal("batch structures differ")
+	}
+	dDet.Commit(rootD)
+	dGLR.Commit(rootG)
+
+	for _, edit := range []struct {
+		off, rem int
+		ins      string
+	}{
+		{4, 2, "99"},
+		{100, 1, "x"},
+		{len(src) - 1, 0, "z = 0; "},
+	} {
+		dDet.Replace(edit.off, edit.rem, edit.ins)
+		dGLR.Replace(edit.off, edit.rem, edit.ins)
+		rootD, err = det.Parse(dDet.Stream())
+		if err != nil {
+			t.Fatalf("det: %v", err)
+		}
+		rootG, err = glr.Parse(dGLR.Stream())
+		if err != nil {
+			t.Fatalf("glr: %v", err)
+		}
+		if !equalStructure(rootD, rootG) {
+			t.Fatalf("incremental structures differ after edit %+v", edit)
+		}
+		dDet.Commit(rootD)
+		dGLR.Commit(rootG)
+	}
+}
+
+func equalStructure(a, b *dag.Node) bool {
+	if a.Kind != b.Kind || a.Sym != b.Sym || a.Prod != b.Prod {
+		return false
+	}
+	if a.Kind == dag.KindTerminal {
+		return a.Text == b.Text
+	}
+	if len(a.Kids) != len(b.Kids) {
+		return false
+	}
+	for i := range a.Kids {
+		if !equalStructure(a.Kids[i], b.Kids[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,126 @@
+// Package disambig implements dynamic syntactic disambiguation filters
+// (§4.1): post-parse passes over the abstract parse dag that select among
+// interpretations using structural rules — "prefer a declaration to an
+// expression" (the C++ rule), operator precedence and associativity applied
+// dynamically, or arbitrary user predicates. Unlike semantic filters
+// (§4.2), syntactic filters *discard* the losing interpretations: the
+// decision depends only on local structure, so no future edit outside the
+// region can reverse it without reparsing the region anyway.
+package disambig
+
+import (
+	"iglr/internal/dag"
+)
+
+// Filter inspects a choice node and returns the surviving children. An
+// empty or nil result leaves the choice untouched.
+type Filter func(choice *dag.Node) []*dag.Node
+
+// Apply rewrites the dag with f, physically removing discarded
+// interpretations and collapsing single-interpretation choice nodes. It
+// returns the (possibly new) root and the number of interpretations
+// discarded.
+func Apply(root *dag.Node, f Filter) (*dag.Node, int) {
+	discarded := 0
+	memo := map[*dag.Node]*dag.Node{}
+	var rewrite func(n *dag.Node) *dag.Node
+	rewrite = func(n *dag.Node) *dag.Node {
+		if r, ok := memo[n]; ok {
+			return r
+		}
+		memo[n] = n // provisional
+		out := n
+		if n.Kind == dag.KindChoice {
+			survivors := f(n)
+			if len(survivors) > 0 && len(survivors) < len(n.Kids) {
+				discarded += len(n.Kids) - len(survivors)
+				n.Kids = survivors
+			}
+			for i, k := range n.Kids {
+				n.Kids[i] = rewrite(k)
+			}
+			if len(n.Kids) == 1 {
+				out = n.Kids[0]
+			}
+		} else {
+			for i, k := range n.Kids {
+				n.Kids[i] = rewrite(k)
+			}
+		}
+		memo[n] = out
+		return out
+	}
+	return rewrite(root), discarded
+}
+
+// Prefer builds a filter that keeps the children satisfying pred whenever
+// at least one child does — e.g. the C++ "prefer a declaration to an
+// expression" rule with a declaration-reading predicate.
+func Prefer(pred func(*dag.Node) bool) Filter {
+	return func(choice *dag.Node) []*dag.Node {
+		var keep []*dag.Node
+		for _, k := range choice.Kids {
+			if pred(k) {
+				keep = append(keep, k)
+			}
+		}
+		return keep
+	}
+}
+
+// Operators applies operator precedence and associativity dynamically to
+// expression dags parsed with a raw ambiguous grammar: among the
+// interpretations of a region, the survivor is the one whose top operator
+// binds loosest (it is applied last), with associativity breaking ties.
+// This reproduces the yacc static filters of §4.1 as a dynamic filter —
+// the staging comparison of the two is one of the paper's design points.
+type Operators struct {
+	// Prec maps operator lexemes to binding strength (higher = tighter).
+	Prec map[string]int
+	// RightAssoc marks right-associative operators (default left).
+	RightAssoc map[string]bool
+}
+
+// Filter returns the dynamic operator filter.
+func (o Operators) Filter() Filter {
+	return func(choice *dag.Node) []*dag.Node {
+		best := []*dag.Node(nil)
+		bestPrec, bestLeft := 0, 0
+		for _, k := range choice.Kids {
+			op, left := topOperator(k)
+			if op == "" {
+				continue
+			}
+			p, ok := o.Prec[op]
+			if !ok {
+				continue
+			}
+			leftScore := left
+			if o.RightAssoc[op] {
+				leftScore = -left
+			}
+			switch {
+			case best == nil || p < bestPrec || (p == bestPrec && leftScore > bestLeft):
+				best = []*dag.Node{k}
+				bestPrec, bestLeft = p, leftScore
+			case p == bestPrec && leftScore == bestLeft:
+				best = append(best, k)
+			}
+		}
+		return best
+	}
+}
+
+// topOperator returns the top-level operator lexeme of a binary-operator
+// production node and the terminal count of its left operand; "" when the
+// node is not a binary operator application.
+func topOperator(n *dag.Node) (string, int) {
+	if n.Kind != dag.KindProduction || len(n.Kids) != 3 {
+		return "", 0
+	}
+	op := n.Kids[1]
+	if !op.IsTerminal() {
+		return "", 0
+	}
+	return op.Text, int(n.Kids[0].TermCount)
+}

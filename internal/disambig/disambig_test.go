@@ -1,0 +1,163 @@
+package disambig_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"iglr/internal/dag"
+	"iglr/internal/disambig"
+	"iglr/internal/iglr"
+	"iglr/internal/langs"
+	"iglr/internal/langs/cppsub"
+	"iglr/internal/langs/expr"
+)
+
+func parse(t *testing.T, l *langs.Language, src string) *dag.Node {
+	t.Helper()
+	d := l.NewDocument(src)
+	p := iglr.New(l.Table)
+	root, err := p.Parse(d.Stream())
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return root
+}
+
+// parenthesize renders an expression dag with full grouping, following the
+// first interpretation at each choice.
+func parenthesize(n *dag.Node) string {
+	switch n.Kind {
+	case dag.KindTerminal:
+		return n.Text
+	case dag.KindChoice:
+		return parenthesize(n.Kids[0])
+	default:
+		if op, _ := topOp(n); op != "" {
+			return "(" + parenthesize(n.Kids[0]) + op + parenthesize(n.Kids[2]) + ")"
+		}
+		var b strings.Builder
+		for _, k := range n.Kids {
+			b.WriteString(parenthesize(k))
+		}
+		return b.String()
+	}
+}
+
+func topOp(n *dag.Node) (string, int) {
+	if len(n.Kids) == 3 && n.Kids[1].IsTerminal() {
+		t := n.Kids[1].Text
+		if strings.ContainsAny(t, "+-*/") && len(t) == 1 {
+			return t, 0
+		}
+	}
+	return "", 0
+}
+
+var ops = disambig.Operators{
+	Prec: map[string]int{"+": 1, "-": 1, "*": 2, "/": 2},
+}
+
+func TestDynamicOperatorFilterMatchesStaticFilters(t *testing.T) {
+	amb := expr.AmbiguousLang()
+	static := expr.Lang()
+	cases := []string{
+		"a+b*c",
+		"a*b+c",
+		"a+b+c",
+		"a-b-c",
+		"a*b*c",
+		"a+b*c-d/e",
+		"(a+b)*c",
+		"a",
+		"a+b*(c-d)-e/f+g",
+	}
+	for _, src := range cases {
+		root := parse(t, amb, src)
+		filtered, _ := disambig.Apply(root, ops.Filter())
+		if filtered.Ambiguous() {
+			t.Fatalf("%q: still ambiguous after dynamic filtering", src)
+		}
+		want := parse(t, static, src)
+		got, wantStr := parenthesize(filtered), parenthesize(want)
+		if got != wantStr {
+			t.Fatalf("%q: dynamic %s vs static %s", src, got, wantStr)
+		}
+	}
+}
+
+func TestDiscardCounts(t *testing.T) {
+	amb := expr.AmbiguousLang()
+	root := parse(t, amb, "a+b+c+d")
+	before := iglr.CountParses(root)
+	if before < 5 {
+		t.Fatalf("expected rich forest, got %d parses", before)
+	}
+	filtered, discarded := disambig.Apply(root, ops.Filter())
+	if discarded == 0 {
+		t.Fatal("no interpretations discarded")
+	}
+	if iglr.CountParses(filtered) != 1 {
+		t.Fatalf("parses after filter = %d", iglr.CountParses(filtered))
+	}
+}
+
+func TestPreferDeclaration(t *testing.T) {
+	// The C++ static rule "prefer a declaration to an expression" (§4.1),
+	// applied as a dynamic structural filter: every a(b); region resolves
+	// to the declaration reading with no semantic information at all.
+	l := cppsub.Lang()
+	cfg := langs.CStyleSemantics(l)
+	root := parse(t, l, "a(b); c(d);")
+	if !root.Ambiguous() {
+		t.Fatal("expected ambiguity")
+	}
+	filtered, discarded := disambig.Apply(root, disambig.Prefer(cfg.IsDeclInterpretation))
+	if discarded != 2 {
+		t.Fatalf("discarded = %d, want 2", discarded)
+	}
+	if filtered.Ambiguous() {
+		t.Fatal("still ambiguous")
+	}
+	// All surviving Items are declarations.
+	decls := 0
+	filtered.Walk(func(n *dag.Node) {
+		if cfg.IsDeclInterpretation(n) {
+			decls++
+		}
+	})
+	if decls != 2 {
+		t.Fatalf("declaration items = %d, want 2", decls)
+	}
+}
+
+func TestFilterLeavesUnmatchedChoicesAlone(t *testing.T) {
+	l := cppsub.Lang()
+	root := parse(t, l, "a(b);")
+	never := disambig.Prefer(func(n *dag.Node) bool { return false })
+	filtered, discarded := disambig.Apply(root, never)
+	if discarded != 0 {
+		t.Fatalf("discarded = %d", discarded)
+	}
+	if !filtered.Ambiguous() {
+		t.Fatal("choice should be untouched")
+	}
+}
+
+func TestNestedAmbiguityFiltering(t *testing.T) {
+	amb := expr.AmbiguousLang()
+	// Deeply nested ambiguity: every region must be resolved.
+	var sb strings.Builder
+	sb.WriteString("x0")
+	for i := 1; i < 12; i++ {
+		fmt.Fprintf(&sb, "+x%d*y%d", i, i)
+	}
+	root := parse(t, amb, sb.String())
+	filtered, _ := disambig.Apply(root, ops.Filter())
+	if filtered.Ambiguous() {
+		t.Fatal("nested ambiguity survived filtering")
+	}
+	if iglr.CountParses(filtered) != 1 {
+		t.Fatalf("parses = %d", iglr.CountParses(filtered))
+	}
+}

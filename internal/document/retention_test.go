@@ -1,0 +1,124 @@
+package document
+
+import (
+	"testing"
+
+	"iglr/internal/dag"
+	"iglr/internal/iglr"
+)
+
+// Bottom-up node retention ([25], §3.3): when an exposed region is
+// re-reduced from exactly its old constituents, the old production node is
+// reused, so node identity — and anything hung off it, like semantic
+// attributes — survives the reparse.
+func TestNodeRetentionPreservesIdentity(t *testing.T) {
+	l := newTestLang(t)
+	d := l.doc("a = 1; b = 2;")
+	parseAndCommit(t, l, d)
+
+	// Find the Stmt node for "a = 1;".
+	g := l.g
+	var stmtA *dag.Node
+	d.Root().Walk(func(n *dag.Node) {
+		if n.Kind == dag.KindProduction && g.Name(n.Sym) == "Stmt" && n.Yield() == "a=1;" {
+			stmtA = n
+		}
+	})
+	if stmtA == nil {
+		t.Fatal("Stmt(a) not found")
+	}
+
+	// Edit the *following* statement's first token: Stmt(a)'s right
+	// context changes, so it is decomposed and re-reduced — from identical
+	// children.
+	d.Replace(7, 1, "c")
+	p := iglr.New(l.tbl)
+	root, err := p.Parse(d.Stream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Commit(root)
+	if p.Stats.RetainedNodes == 0 {
+		t.Fatalf("expected node retention, stats %+v", p.Stats)
+	}
+
+	var stmtA2 *dag.Node
+	root.Walk(func(n *dag.Node) {
+		if n.Kind == dag.KindProduction && g.Name(n.Sym) == "Stmt" && n.Yield() == "a=1;" {
+			stmtA2 = n
+		}
+	})
+	if stmtA2 != stmtA {
+		t.Fatal("Stmt(a) lost its identity across the reparse")
+	}
+}
+
+func TestRetentionDoesNotCrossContent(t *testing.T) {
+	l := newTestLang(t)
+	d := l.doc("a = 1; b = 2;")
+	parseAndCommit(t, l, d)
+
+	var stmtA *dag.Node
+	d.Root().Walk(func(n *dag.Node) {
+		if n.Kind == dag.KindProduction && l.g.Name(n.Sym) == "Stmt" && n.Yield() == "a=1;" {
+			stmtA = n
+		}
+	})
+
+	// Change *inside* the statement: its children differ, so a fresh node
+	// must be built (no false retention).
+	d.Replace(4, 1, "7")
+	p := iglr.New(l.tbl)
+	root, err := p.Parse(d.Stream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Commit(root)
+
+	var stmtA2 *dag.Node
+	root.Walk(func(n *dag.Node) {
+		if n.Kind == dag.KindProduction && l.g.Name(n.Sym) == "Stmt" && n.Yield() == "a=7;" {
+			stmtA2 = n
+		}
+	})
+	if stmtA2 == nil {
+		t.Fatal("edited statement missing")
+	}
+	if stmtA2 == stmtA {
+		t.Fatal("node wrongly retained across a content change")
+	}
+}
+
+func TestRetentionKeepsFilterAttributes(t *testing.T) {
+	// The practical payoff: a Filtered mark (a semantic attribute) set on
+	// a node survives reparses triggered by neighboring edits.
+	l := newTestLang(t)
+	d := l.doc("a = 1; b = 2; c = 3;")
+	parseAndCommit(t, l, d)
+
+	var target *dag.Node
+	d.Root().Walk(func(n *dag.Node) {
+		if n.Kind == dag.KindProduction && l.g.Name(n.Sym) == "Stmt" && n.Yield() == "a=1;" {
+			target = n
+		}
+	})
+	target.Filtered = true // stand-in for an arbitrary annotation
+
+	d.Replace(7, 1, "q") // edit statement b
+	p := iglr.New(l.tbl)
+	root, err := p.Parse(d.Stream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Commit(root)
+
+	found := false
+	root.Walk(func(n *dag.Node) {
+		if n.Kind == dag.KindProduction && l.g.Name(n.Sym) == "Stmt" && n.Yield() == "a=1;" {
+			found = n.Filtered
+		}
+	})
+	if !found {
+		t.Fatal("annotation lost: node was rebuilt instead of retained")
+	}
+}

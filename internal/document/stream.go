@@ -1,0 +1,113 @@
+package document
+
+import (
+	"iglr/internal/dag"
+)
+
+// Stream is the incremental parser's input (conceptually the subtree reuse
+// stack of §3.2, Figure 6): a left-to-right traversal of the current token
+// sequence in which maximal unmodified subtrees of the previous tree stand
+// in for their terminal runs. It implements the iglr parser's Stream
+// interface structurally.
+//
+// A subtree A is offered at cursor position k when
+//   - A belongs to the committed tree and its leftmost terminal is the
+//     clean terminal at k (so A's yield starts exactly here),
+//   - A contains no nested changes (its terminal run is intact), and
+//   - the right-context bit of A's rightmost terminal is clear (the token
+//     following A is the same one A's construction saw, §3.2).
+//
+// Fresh terminals at modification sites are yielded directly. Breakdown
+// exposes the children of the current subtree (left_breakdown); null-yield
+// children are dropped — the parser rebuilds ε structure, which keeps
+// ε-reuse from leaking stale right context.
+type Stream struct {
+	d       *Document
+	terms   []*dag.Node
+	k       int // index of the next uncovered terminal in terms
+	pending []*dag.Node
+	eof     *dag.Node
+	eofSent bool
+
+	// SubtreeOffers counts maximal-subtree offerings (diagnostics).
+	SubtreeOffers int
+}
+
+// La returns the current lookahead subtree (computing it lazily).
+func (s *Stream) La() *dag.Node {
+	if len(s.pending) > 0 {
+		return s.pending[len(s.pending)-1]
+	}
+	if s.terms == nil {
+		s.terms = s.d.Terminals()
+	}
+	if s.k >= len(s.terms) {
+		if s.eofSent {
+			return nil
+		}
+		s.pending = append(s.pending, s.eof)
+		return s.eof
+	}
+	t := s.terms[s.k]
+	best := t
+	if t.Committed && !t.Changed {
+		for a := t.Parent; a != nil && a.Committed && a.LeftmostTerm == t && !a.NestedChange; a = a.Parent {
+			r := a.RightmostTerm
+			if r == nil || r.RightChanged {
+				break
+			}
+			best = a
+		}
+	}
+	if best != t {
+		s.SubtreeOffers++
+	}
+	s.pending = append(s.pending, best)
+	return best
+}
+
+// Pop advances past the current subtree.
+func (s *Stream) Pop() {
+	n := s.La()
+	if n == nil {
+		return
+	}
+	s.pending = s.pending[:len(s.pending)-1]
+	if n == s.eof {
+		s.eofSent = true
+		return
+	}
+	s.k += int(n.TermCount)
+}
+
+// Breakdown replaces the current subtree by its children. Children with a
+// null yield are dropped (the parser re-derives ε structure); for a choice
+// node the first live interpretation is exposed.
+func (s *Stream) Breakdown() {
+	n := s.La()
+	if n == nil {
+		return
+	}
+	if n.IsTerminal() {
+		panic("document: breakdown of a terminal")
+	}
+	s.pending = s.pending[:len(s.pending)-1]
+	if n.IsChoice() {
+		alt := n.Kids[0]
+		for _, k := range n.Kids {
+			if !k.Filtered {
+				alt = k
+				break
+			}
+		}
+		if alt.TermCount > 0 {
+			s.pending = append(s.pending, alt)
+		}
+		return
+	}
+	for i := len(n.Kids) - 1; i >= 0; i-- {
+		if k := n.Kids[i]; k.TermCount > 0 {
+			s.pending = append(s.pending, k)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package earley implements Earley's general context-free recognition and
+// parse-counting algorithm (Earley 1970, the paper's reference [2]). It
+// serves two purposes: a trusted oracle for cross-validating the GLR
+// parser on arbitrary grammars (acceptance and ambiguity counts must
+// agree), and the baseline for the classic GLR-vs-Earley speed comparison
+// the paper cites (footnote 4: Tomita and Rekers both found grammars close
+// to LR(1) in practice, where GLR parsing is linear and Earley pays its
+// general-case overhead).
+package earley
+
+import (
+	"iglr/internal/grammar"
+)
+
+// item is an Earley item: a dotted production with the origin position.
+type item struct {
+	prod   int
+	dot    int
+	origin int
+}
+
+// stateSet is one Earley chart column with a membership index.
+type stateSet struct {
+	items []item
+	index map[item]struct{}
+}
+
+func newStateSet() *stateSet {
+	return &stateSet{index: map[item]struct{}{}}
+}
+
+func (s *stateSet) add(it item) bool {
+	if _, ok := s.index[it]; ok {
+		return false
+	}
+	s.index[it] = struct{}{}
+	s.items = append(s.items, it)
+	return true
+}
+
+// Parser is an Earley recognizer for a grammar.
+type Parser struct {
+	g *grammar.Grammar
+	// Stats from the last run.
+	Items int // total chart items — Earley's work measure
+}
+
+// New creates an Earley parser.
+func New(g *grammar.Grammar) *Parser { return &Parser{g: g} }
+
+// Recognize reports whether the terminal sequence (without EOF) is in the
+// language.
+func (p *Parser) Recognize(input []grammar.Sym) bool {
+	chart := p.buildChart(input)
+	last := chart[len(input)]
+	for _, it := range last.items {
+		if it.prod == 0 && it.dot == 1 && it.origin == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// buildChart runs the recognizer, returning the chart.
+func (p *Parser) buildChart(input []grammar.Sym) []*stateSet {
+	g := p.g
+	n := len(input)
+	chart := make([]*stateSet, n+1)
+	for i := range chart {
+		chart[i] = newStateSet()
+	}
+	chart[0].add(item{prod: 0, dot: 0, origin: 0})
+	p.Items = 0
+
+	for i := 0; i <= n; i++ {
+		set := chart[i]
+		for k := 0; k < len(set.items); k++ {
+			it := set.items[k]
+			prod := g.Production(it.prod)
+			if it.dot < len(prod.RHS) {
+				sym := prod.RHS[it.dot]
+				if g.IsTerminal(sym) {
+					// Scanner.
+					if i < n && input[i] == sym {
+						chart[i+1].add(item{prod: it.prod, dot: it.dot + 1, origin: it.origin})
+					}
+				} else {
+					// Predictor.
+					for _, q := range g.ProductionsFor(sym) {
+						set.add(item{prod: q.ID, dot: 0, origin: i})
+					}
+					// Nullable completion (Aycock–Horspool fix for ε).
+					if g.Nullable(sym) {
+						set.add(item{prod: it.prod, dot: it.dot + 1, origin: it.origin})
+					}
+				}
+			} else {
+				// Completer.
+				lhs := prod.LHS
+				for _, parent := range chart[it.origin].items {
+					pp := g.Production(parent.prod)
+					if parent.dot < len(pp.RHS) && pp.RHS[parent.dot] == lhs {
+						set.add(item{prod: parent.prod, dot: parent.dot + 1, origin: parent.origin})
+					}
+				}
+			}
+		}
+		p.Items += len(set.items)
+	}
+	return chart
+}
+
+// CountParses returns the number of distinct parse trees for the input,
+// capped at Cap, computed by dynamic programming over derivation spans —
+// independent of the GLR parser's forest representation, so it serves as a
+// second opinion. Defined for non-cyclic grammars (no A ⇒+ A).
+func (p *Parser) CountParses(input []grammar.Sym) int {
+	if !p.Recognize(input) {
+		return 0
+	}
+	g := p.g
+	n := len(input)
+
+	// countSym[sym][i][j]: derivations of input[i:j] from sym.
+	type key struct {
+		sym  grammar.Sym
+		i, j int
+	}
+	memo := map[key]int{}
+	onStack := map[key]bool{}
+
+	var countSym func(sym grammar.Sym, i, j int) int
+	var countSeq func(rhs []grammar.Sym, i, j int) int
+
+	countSym = func(sym grammar.Sym, i, j int) int {
+		if g.IsTerminal(sym) {
+			if j == i+1 && input[i] == sym {
+				return 1
+			}
+			return 0
+		}
+		k := key{sym, i, j}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		if onStack[k] {
+			// A derivation of this span through itself adds no *finite*
+			// trees. (For cyclic grammars — A ⇒+ A — the tree count is
+			// infinite and this undercounts; the GLR side cannot represent
+			// those forests either, so CountParses is specified for
+			// non-cyclic grammars, like the paper's representation.)
+			return 0
+		}
+		onStack[k] = true
+		total := 0
+		for _, prod := range g.ProductionsFor(sym) {
+			total += countSeq(prod.RHS, i, j)
+			if total > Cap {
+				total = Cap
+				break
+			}
+		}
+		onStack[k] = false
+		memo[k] = total
+		return total
+	}
+
+	countSeq = func(rhs []grammar.Sym, i, j int) int {
+		if len(rhs) == 0 {
+			if i == j {
+				return 1
+			}
+			return 0
+		}
+		if len(rhs) == 1 {
+			return countSym(rhs[0], i, j)
+		}
+		total := 0
+		// Split point for the first symbol.
+		for m := i; m <= j; m++ {
+			first := countSym(rhs[0], i, m)
+			if first == 0 {
+				continue
+			}
+			rest := countSeq(rhs[1:], m, j)
+			if rest == 0 {
+				continue
+			}
+			total += first * rest
+			if total > Cap {
+				return Cap
+			}
+		}
+		return total
+	}
+
+	return countSym(g.Start(), 0, n)
+}
+
+// Cap bounds CountParses results (mirrors the GLR side's cap).
+const Cap = 1 << 30

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"iglr/internal/dag"
+	"iglr/internal/grammar"
+	"iglr/internal/iglr"
+	"iglr/internal/langs"
+	"iglr/internal/lexer"
+	"iglr/internal/lr"
+)
+
+// §3.4: incremental behavior requires logarithmic node access. Repetitive
+// structure expressed left-recursively makes parse trees linked lists, so
+// incremental algorithms over them degenerate to linear time. Storing
+// associative sequences as balanced binary trees restores O(t + s·lg N).
+//
+// The experiment measures both representations: per-edit reparse cost over
+// a flat sequence of N statements, with the edit inside a single element.
+//
+//   - list: the committed tree keeps the generated left-recursive chain;
+//     a full incremental IGLR reparse must re-shift every element after
+//     the edit and re-run the chain reductions — Θ(N).
+//   - balanced: the committed sequence is rebalanced (dag.Rebalance); the
+//     edit reparses only the modified element (with a statement-level
+//     parser) and splices it into the balanced sequence by path copying —
+//     O(lg N).
+
+// stmtLang parses a single statement (the element-level parser of the
+// balanced fast path); it shares the surface syntax of DetLang.
+var stmtLang = &langs.Builder{
+	Name: "det-single-statement",
+	GramSrc: `
+%token ID NUM '=' ';' '+' '(' ')' INT
+%start Stmt
+Stmt : ID '=' Expr ';' ;
+Expr : Expr '+' Term | Term ;
+Term : ID | NUM | '(' Expr ')' ;
+`,
+	LexRules: []lexer.Rule{
+		{Name: "WS", Pattern: `[ \t\n\r]+`, Skip: true},
+		{Name: "ID", Pattern: `[a-zA-Z_][a-zA-Z0-9_]*`},
+		{Name: "NUM", Pattern: `[0-9]+`},
+		{Name: "EQ", Pattern: `=`},
+		{Name: "SEMI", Pattern: `;`},
+		{Name: "PLUS", Pattern: `\+`},
+		{Name: "LP", Pattern: `\(`},
+		{Name: "RP", Pattern: `\)`},
+	},
+	TokenSyms: map[string]string{
+		"ID": "ID", "NUM": "NUM", "EQ": "'='", "SEMI": "';'", "PLUS": "'+'",
+		"LP": "'('", "RP": "')'",
+	},
+	Options: lr.Options{Method: lr.LALR},
+}
+
+// seqLang is the whole-document language for the sequence experiment: a
+// flat statement sequence.
+var seqLang = &langs.Builder{
+	Name: "det-stmt-sequence",
+	GramSrc: `
+%token ID NUM '=' ';' '+' '(' ')' INT
+%start Prog
+Prog : Stmt* ;
+Stmt : ID '=' Expr ';' ;
+Expr : Expr '+' Term | Term ;
+Term : ID | NUM | '(' Expr ')' ;
+`,
+	LexRules:  stmtLang.LexRules,
+	TokenSyms: stmtLang.TokenSyms,
+	Options:   lr.Options{Method: lr.LALR},
+}
+
+func seqProgram(n int) string {
+	var b strings.Builder
+	b.Grow(n * 16)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "v%d = v%d + %d;\n", i, i, i%97)
+	}
+	return b.String()
+}
+
+// BalancedSeq is an editable balanced-sequence view of a parsed statement
+// list: edits inside one element reparse only that element and splice it
+// by path copying — the document-level realization of §3.4's balanced
+// sequence representation.
+type BalancedSeq struct {
+	seqSym  grammar.Sym
+	ed      *dag.SeqEditor
+	root    *dag.Node // the balanced sequence
+	stmtP   *iglr.Parser
+	stmtDef *langs.Language
+}
+
+// NewBalancedSeq parses src (a statement sequence) and rebalances it.
+func NewBalancedSeq(src string) (*BalancedSeq, error) {
+	ul := seqLang.Lang()
+	d := ul.NewDocument(src)
+	p := iglr.New(ul.Table)
+	root, err := p.Parse(d.Stream())
+	if err != nil {
+		return nil, err
+	}
+	g := ul.Grammar
+	bal := dag.Rebalance(g, root)
+	// Locate the balanced sequence node (child of Prog).
+	var seq *dag.Node
+	bal.Walk(func(n *dag.Node) {
+		if n.Kind == dag.KindSeq && seq == nil {
+			seq = n
+		}
+	})
+	if seq == nil {
+		return nil, fmt.Errorf("no sequence structure found")
+	}
+	sl := stmtLang.Lang()
+	return &BalancedSeq{
+		seqSym:  seq.Sym,
+		ed:      dag.NewSeqEditor(seq.Sym),
+		root:    seq,
+		stmtP:   iglr.New(sl.Table),
+		stmtDef: sl,
+	}, nil
+}
+
+// Len returns the element count.
+func (s *BalancedSeq) Len() int { return dag.SeqLen(s.root) }
+
+// Depth returns the balanced-tree height.
+func (s *BalancedSeq) Depth() int { return dag.SeqDepth(s.root) }
+
+// Element returns statement i.
+func (s *BalancedSeq) Element(i int) *dag.Node { return s.ed.Get(s.root, i) }
+
+// ReplaceElement reparses newText as a single statement and splices it in
+// place of element i. Cost: O(|newText| + lg N).
+func (s *BalancedSeq) ReplaceElement(i int, newText string) error {
+	d := s.stmtDef.NewDocument(newText)
+	node, err := s.stmtP.Parse(d.Stream())
+	if err != nil {
+		return err
+	}
+	s.root = s.ed.Replace(s.root, i, node)
+	return nil
+}
+
+// Yield concatenates the sequence text (diagnostic; O(N)).
+func (s *BalancedSeq) Yield() string {
+	var b strings.Builder
+	for _, e := range dag.SeqElementsFlat(s.root) {
+		b.WriteString(e.Yield())
+	}
+	return b.String()
+}
+
+// AsymptoticsPoint is one measured size in the §3.4 experiment.
+type AsymptoticsPoint struct {
+	Statements int
+	// List representation: full incremental IGLR reparse per edit.
+	ListNsPerEdit     float64
+	ListShiftsPerEdit float64
+	// Balanced representation: element reparse + path-copy splice.
+	BalancedNsPerEdit float64
+	BalancedDepth     int
+}
+
+// RunAsymptotics measures both representations across sizes.
+func RunAsymptotics(sizes []int, editsPer int) ([]AsymptoticsPoint, error) {
+	var out []AsymptoticsPoint
+	for _, n := range sizes {
+		pt := AsymptoticsPoint{Statements: n}
+		src := seqProgram(n)
+		rng := rand.New(rand.NewSource(int64(n)))
+
+		// List representation: IGLR incremental reparse of the document.
+		ul := seqLang.Lang()
+		d := ul.NewDocument(src)
+		p := iglr.New(ul.Table)
+		root, err := p.Parse(d.Stream())
+		if err != nil {
+			return nil, err
+		}
+		d.Commit(root)
+		totalShifts := 0
+		start := time.Now()
+		for e := 0; e < editsPer; e++ {
+			// Replace the numeric literal of a random statement.
+			i := rng.Intn(n)
+			off := strings.Index(src, fmt.Sprintf("v%d = v%d + ", i, i))
+			off += len(fmt.Sprintf("v%d = v%d + ", i, i))
+			d.Replace(off, 1, "8")
+			root, err := p.Parse(d.Stream())
+			if err != nil {
+				return nil, err
+			}
+			totalShifts += p.Stats.Shifts
+			d.Commit(root)
+			d.Replace(off, 1, fmt.Sprintf("%d", (i%97)/10)) // restore-ish (single digit)
+			root, err = p.Parse(d.Stream())
+			if err != nil {
+				return nil, err
+			}
+			totalShifts += p.Stats.Shifts
+			d.Commit(root)
+		}
+		el := time.Since(start)
+		pt.ListNsPerEdit = float64(el.Nanoseconds()) / float64(2*editsPer)
+		pt.ListShiftsPerEdit = float64(totalShifts) / float64(2*editsPer)
+
+		// Balanced representation.
+		bs, err := NewBalancedSeq(src)
+		if err != nil {
+			return nil, err
+		}
+		start = time.Now()
+		for e := 0; e < 2*editsPer; e++ {
+			i := rng.Intn(n)
+			if err := bs.ReplaceElement(i, fmt.Sprintf("v%d = v%d + 8;", i, i)); err != nil {
+				return nil, err
+			}
+		}
+		el = time.Since(start)
+		pt.BalancedNsPerEdit = float64(el.Nanoseconds()) / float64(2*editsPer)
+		pt.BalancedDepth = bs.Depth()
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FormatAsymptotics renders the series.
+func FormatAsymptotics(pts []AsymptoticsPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %16s %16s %16s %6s\n",
+		"stmts", "list ns/edit", "list shifts", "balanced ns", "depth")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%10d %16.0f %16.1f %16.0f %6d\n",
+			p.Statements, p.ListNsPerEdit, p.ListShiftsPerEdit, p.BalancedNsPerEdit, p.BalancedDepth)
+	}
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"iglr/internal/earley"
+	"iglr/internal/grammar"
+	"iglr/internal/iglr"
+)
+
+// Footnote 4 of the paper: Tomita [22] and Rekers [20] compared batch GLR
+// parsing against Earley's algorithm on natural- and programming-language
+// grammars and concluded that practical grammars are close to LR(1), where
+// GLR parsing is linear despite its exponential worst case. This
+// experiment reproduces that comparison on the deterministic statement
+// grammar: GLR cost per token stays flat with input size while Earley's
+// chart work per token grows.
+
+// EarleyPoint is one input size in the comparison.
+type EarleyPoint struct {
+	Tokens         int
+	GLRNsPerTok    float64
+	EarleyNsPerTok float64
+	// EarleyItemsPerTok is Earley's chart-work measure.
+	EarleyItemsPerTok float64
+	Speedup           float64
+}
+
+// RunEarleyComparison measures both parsers over growing programs.
+func RunEarleyComparison(sizes []int) ([]EarleyPoint, error) {
+	l := DetLang()
+	e := earley.New(l.Grammar)
+
+	var out []EarleyPoint
+	for _, n := range sizes {
+		src := detProgram(n)
+		d := l.NewDocument(src)
+		terms := d.Terminals()
+		input := make([]grammar.Sym, len(terms))
+		for i, t := range terms {
+			input[i] = t.Sym
+		}
+		pt := EarleyPoint{Tokens: len(input)}
+
+		const reps = 3
+		glrBest := time.Duration(1 << 62)
+		for r := 0; r < reps; r++ {
+			dd := l.NewDocument(src)
+			p := iglr.New(l.Table)
+			start := time.Now()
+			if _, err := p.Parse(dd.Stream()); err != nil {
+				return nil, err
+			}
+			if el := time.Since(start); el < glrBest {
+				glrBest = el
+			}
+		}
+		pt.GLRNsPerTok = float64(glrBest.Nanoseconds()) / float64(len(input))
+
+		earleyBest := time.Duration(1 << 62)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			if !e.Recognize(input) {
+				return nil, fmt.Errorf("earley rejected a valid program")
+			}
+			if el := time.Since(start); el < earleyBest {
+				earleyBest = el
+			}
+		}
+		pt.EarleyNsPerTok = float64(earleyBest.Nanoseconds()) / float64(len(input))
+		pt.EarleyItemsPerTok = float64(e.Items) / float64(len(input))
+		pt.Speedup = pt.EarleyNsPerTok / pt.GLRNsPerTok
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FormatEarleyComparison renders the series.
+func FormatEarleyComparison(pts []EarleyPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %14s %16s %14s %10s\n",
+		"tokens", "GLR ns/tok", "Earley ns/tok", "items/tok", "speedup")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%10d %14.0f %16.0f %14.1f %10.1fx\n",
+			p.Tokens, p.GLRNsPerTok, p.EarleyNsPerTok, p.EarleyItemsPerTok, p.Speedup)
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"iglr/internal/corpus"
+)
+
+// Figure4Bin is one histogram bucket of the per-file ambiguity
+// distribution (paper Figure 4: gcc source files grouped by their space
+// increase over a parse tree).
+type Figure4Bin struct {
+	LoPct, HiPct float64
+	Files        int
+}
+
+// Figure4Result is the measured distribution.
+type Figure4Result struct {
+	Bins     []Figure4Bin
+	Files    int
+	MeanPct  float64
+	MaxPct   float64
+	ZeroAmbi int // files with no ambiguity at all
+}
+
+// Figure4 reproduces the per-file histogram: a gcc-sized corpus is
+// generated as nFiles source files with a skewed ambiguity-density
+// distribution (most files have little or no ambiguity, a few are
+// header-heavy), each file is parsed and measured, and the space
+// overheads are binned exactly as the paper's x-axis (0–1.2%, 0.1 steps).
+func Figure4(nFiles int, linesPerFile int) (Figure4Result, error) {
+	res := Figure4Result{Files: nFiles}
+	const binW = 0.1
+	nbins := 13
+	res.Bins = make([]Figure4Bin, nbins)
+	for i := range res.Bins {
+		res.Bins[i] = Figure4Bin{LoPct: float64(i) * binW, HiPct: float64(i+1) * binW}
+	}
+	sum := 0.0
+	for f := 0; f < nFiles; f++ {
+		// Skewed density: file rank decides how ambiguity-prone it is
+		// (most gcc files have none; a long tail reaches ~1.2%).
+		density := 0.0
+		switch {
+		case f%2 == 0: // half the files: none
+		case f%7 == 1:
+			density = 22 // heavy tail
+		case f%3 == 1:
+			density = 9
+		default:
+			density = 3
+		}
+		spec := corpus.Spec{
+			Name:             fmt.Sprintf("gcc-file-%d", f),
+			Lines:            linesPerFile,
+			Lang:             "c",
+			AmbiguousPerKLoC: density,
+			Seed:             int64(1000 + f),
+		}
+		row, err := MeasureProgram(spec)
+		if err != nil {
+			return res, err
+		}
+		pct := row.MeasuredPct
+		sum += pct
+		if pct > res.MaxPct {
+			res.MaxPct = pct
+		}
+		if row.Ambiguous == 0 {
+			res.ZeroAmbi++
+		}
+		bin := int(pct / binW)
+		if bin >= nbins {
+			bin = nbins - 1
+		}
+		res.Bins[bin].Files++
+	}
+	res.MeanPct = sum / float64(nFiles)
+	return res, nil
+}
+
+// FormatFigure4 renders the histogram as rows of "lo–hi%: count".
+func FormatFigure4(r Figure4Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "files=%d mean=%.3f%% max=%.3f%% unambiguous=%d\n",
+		r.Files, r.MeanPct, r.MaxPct, r.ZeroAmbi)
+	for _, bin := range r.Bins {
+		bar := strings.Repeat("#", bin.Files)
+		fmt.Fprintf(&b, "%4.1f–%4.1f%% %4d %s\n", bin.LoPct, bin.HiPct, bin.Files, bar)
+	}
+	return b.String()
+}

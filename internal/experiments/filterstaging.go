@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"iglr/internal/dag"
+	"iglr/internal/disambig"
+	"iglr/internal/iglr"
+	"iglr/internal/langs/expr"
+)
+
+// §4.1: encoding as much filtering as possible at language-specification
+// time decreases both representation size and analysis time. Batch GLR
+// environments that filter dynamically pay quadratic space per expression;
+// static precedence filters make the same expressions deterministic.
+//
+// The experiment parses k-operand expressions both ways and reports dag
+// size and parse time: static stays linear in k, dynamic grows
+// quadratically before filtering.
+
+// FilterStagingPoint is one expression size.
+type FilterStagingPoint struct {
+	Operands     int
+	StaticNodes  int
+	DynamicNodes int
+	StaticNs     float64
+	DynamicNs    float64
+	// ParsesBeforeFilter is the retained-forest size (capped).
+	ParsesBeforeFilter int
+	// NodesAfterFilter is the dynamic dag after operator filtering.
+	NodesAfterFilter int
+}
+
+// RunFilterStaging measures the staging comparison for each k.
+func RunFilterStaging(ks []int, reps int) ([]FilterStagingPoint, error) {
+	static := expr.Lang()
+	dynamic := expr.AmbiguousLang()
+	ops := disambig.Operators{Prec: map[string]int{"+": 1, "-": 1, "*": 2, "/": 2}}
+
+	var out []FilterStagingPoint
+	for _, k := range ks {
+		var sb strings.Builder
+		sb.WriteString("x0")
+		for i := 1; i < k; i++ {
+			op := "+"
+			if i%2 == 1 {
+				op = "*"
+			}
+			fmt.Fprintf(&sb, "%sx%d", op, i)
+		}
+		src := sb.String()
+		pt := FilterStagingPoint{Operands: k}
+
+		best := time.Duration(1 << 62)
+		for r := 0; r < reps; r++ {
+			d := static.NewDocument(src)
+			p := iglr.New(static.Table)
+			start := time.Now()
+			root, err := p.Parse(d.Stream())
+			if err != nil {
+				return nil, err
+			}
+			if el := time.Since(start); el < best {
+				best = el
+			}
+			pt.StaticNodes = dag.Measure(root).DagNodes
+		}
+		pt.StaticNs = float64(best.Nanoseconds())
+
+		best = time.Duration(1 << 62)
+		for r := 0; r < reps; r++ {
+			d := dynamic.NewDocument(src)
+			p := iglr.New(dynamic.Table)
+			start := time.Now()
+			root, err := p.Parse(d.Stream())
+			if err != nil {
+				return nil, err
+			}
+			if el := time.Since(start); el < best {
+				best = el
+			}
+			pt.DynamicNodes = dag.Measure(root).DagNodes
+			pt.ParsesBeforeFilter = iglr.CountParses(root)
+			filtered, _ := disambig.Apply(root, ops.Filter())
+			pt.NodesAfterFilter = dag.Measure(filtered).DagNodes
+		}
+		pt.DynamicNs = float64(best.Nanoseconds())
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FormatFilterStaging renders the series.
+func FormatFilterStaging(pts []FilterStagingPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %12s %12s %10s %12s %12s %12s\n",
+		"operands", "static nodes", "dyn nodes", "forest", "static ns", "dyn ns", "filtered")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%8d %12d %12d %10d %12.0f %12.0f %12d\n",
+			p.Operands, p.StaticNodes, p.DynamicNodes, p.ParsesBeforeFilter,
+			p.StaticNs, p.DynamicNs, p.NodesAfterFilter)
+	}
+	return b.String()
+}

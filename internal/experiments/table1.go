@@ -1,0 +1,100 @@
+// Package experiments implements the paper's evaluation: every table and
+// figure has a runner here, shared by the paperbench CLI and the root
+// benchmark suite. Absolute numbers differ from a 1997 workstation; the
+// runners report the paper's observable (ratios, distributions, orderings)
+// next to the measured value.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"iglr/internal/corpus"
+	"iglr/internal/dag"
+	"iglr/internal/iglr"
+	"iglr/internal/langs"
+	"iglr/internal/langs/cppsub"
+	"iglr/internal/langs/csub"
+	"iglr/internal/semantics"
+)
+
+// LangFor selects the subset language for a corpus spec.
+func LangFor(spec corpus.Spec) *langs.Language {
+	if spec.Lang == "c++" {
+		return cppsub.Lang()
+	}
+	return csub.Lang()
+}
+
+// Table1Row is one measured program (paper Table 1).
+type Table1Row struct {
+	Name      string
+	Lines     int
+	Lang      string
+	Ambiguous int
+	Dag       dag.Stats
+	// MeasuredPct is the dag-over-tree space increase.
+	MeasuredPct float64
+	// PaperPct is Table 1's %ov column.
+	PaperPct float64
+	// ResolvedDecl counts typedef-resolved regions (all of them, as in
+	// the paper's gcc measurement).
+	ResolvedDecl int
+	Unresolved   int
+}
+
+// Table1 generates each Table 1 program at scale (1.0 = the paper's line
+// counts), parses it with the IGLR parser, measures the explicit-ambiguity
+// space overhead, and resolves the ambiguities semantically.
+func Table1(scale float64) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, spec := range corpus.Table1Specs() {
+		spec.Lines = int(float64(spec.Lines) * scale)
+		if spec.Lines < 60 {
+			spec.Lines = 60
+		}
+		row, err := MeasureProgram(spec)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// MeasureProgram generates and measures a single corpus program.
+func MeasureProgram(spec corpus.Spec) (Table1Row, error) {
+	src, amb := corpus.Generate(spec)
+	l := LangFor(spec)
+	d := l.NewDocument(src)
+	p := iglr.New(l.Table)
+	root, err := p.Parse(d.Stream())
+	if err != nil {
+		return Table1Row{}, err
+	}
+	st := dag.Measure(root)
+	res := semantics.Resolve(root, langs.CStyleSemantics(l))
+	return Table1Row{
+		Name:         spec.Name,
+		Lines:        spec.Lines,
+		Lang:         spec.Lang,
+		Ambiguous:    amb,
+		Dag:          st,
+		MeasuredPct:  st.SpaceOverheadPercent(),
+		PaperPct:     spec.PaperOverheadPct,
+		ResolvedDecl: res.ResolvedDecl,
+		Unresolved:   res.Unresolved,
+	}, nil
+}
+
+// FormatTable1 renders the rows as a table comparable to the paper's.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %9s %-4s %6s %10s %10s %10s\n",
+		"Program", "Lines", "Lang", "Ambig", "Dag nodes", "%ov meas.", "%ov paper")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %9d %-4s %6d %10d %10.3f %10.2f\n",
+			r.Name, r.Lines, r.Lang, r.Ambiguous, r.Dag.DagNodes, r.MeasuredPct, r.PaperPct)
+	}
+	return b.String()
+}

@@ -1,0 +1,187 @@
+package grammar
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary serialization of grammars, used for compiled language artifacts
+// (the paper's Ensemble system compiles language descriptions off-line and
+// loads them into the running environment; iglrc -o does the same).
+
+const grammarMagic = "IGGR"
+const grammarVersion = 1
+
+// AppendBinary serializes g to buf.
+func (g *Grammar) AppendBinary(buf []byte) []byte {
+	buf = append(buf, grammarMagic...)
+	buf = appendUvarint(buf, grammarVersion)
+	buf = appendUvarint(buf, uint64(len(g.symbols)))
+	for _, s := range g.symbols {
+		buf = appendString(buf, s.Name)
+		flags := byte(0)
+		if s.Terminal {
+			flags |= 1
+		}
+		if s.Generated {
+			flags |= 2
+		}
+		buf = append(buf, flags, byte(s.Assoc))
+		buf = appendUvarint(buf, uint64(s.Prec))
+		buf = appendVarint(buf, int64(s.SeqElem))
+	}
+	buf = appendVarint(buf, int64(g.start))
+	buf = appendUvarint(buf, uint64(len(g.prods)))
+	for _, p := range g.prods {
+		buf = appendVarint(buf, int64(p.LHS))
+		buf = appendUvarint(buf, uint64(len(p.RHS)))
+		for _, s := range p.RHS {
+			buf = appendVarint(buf, int64(s))
+		}
+		buf = appendUvarint(buf, uint64(p.Prec))
+		flags := byte(p.Assoc)
+		if p.Seq {
+			flags |= 0x80
+		}
+		buf = append(buf, flags)
+		buf = appendString(buf, p.Label)
+	}
+	return buf
+}
+
+// DecodeBinary reconstructs a grammar serialized by AppendBinary, returning
+// the remaining bytes.
+func DecodeBinary(data []byte) (*Grammar, []byte, error) {
+	r := &reader{data: data}
+	if string(r.bytes(4)) != grammarMagic {
+		return nil, nil, fmt.Errorf("grammar: bad magic")
+	}
+	if v := r.uvarint(); v != grammarVersion {
+		return nil, nil, fmt.Errorf("grammar: unsupported version %d", v)
+	}
+	nSyms := int(r.uvarint())
+	g := &Grammar{
+		symbols: make([]Symbol, 0, nSyms),
+		byName:  make(map[string]Sym, nSyms),
+	}
+	for i := 0; i < nSyms; i++ {
+		name := r.str()
+		flags := r.byte()
+		assoc := Assoc(r.byte())
+		prec := int(r.uvarint())
+		seqElem := Sym(r.varint())
+		g.symbols = append(g.symbols, Symbol{
+			Name:      name,
+			Terminal:  flags&1 != 0,
+			Generated: flags&2 != 0,
+			Assoc:     assoc,
+			Prec:      prec,
+			SeqElem:   seqElem,
+		})
+		g.byName[name] = Sym(i)
+		if flags&1 != 0 {
+			g.numTerminals++
+		}
+	}
+	g.start = Sym(r.varint())
+	nProds := int(r.uvarint())
+	g.prods = make([]*Production, 0, nProds)
+	for i := 0; i < nProds; i++ {
+		p := &Production{ID: i, precSym: InvalidSym}
+		p.LHS = Sym(r.varint())
+		n := int(r.uvarint())
+		p.RHS = make([]Sym, n)
+		for j := 0; j < n; j++ {
+			p.RHS[j] = Sym(r.varint())
+		}
+		p.Prec = int(r.uvarint())
+		flags := r.byte()
+		p.Assoc = Assoc(flags &^ 0x80)
+		p.Seq = flags&0x80 != 0
+		p.Label = r.str()
+		g.prods = append(g.prods, p)
+	}
+	if r.err != nil {
+		return nil, nil, fmt.Errorf("grammar: truncated data: %w", r.err)
+	}
+	// Rebuild derived state.
+	g.prodsByLHS = make([][]*Production, len(g.symbols))
+	for _, p := range g.prods {
+		if int(p.LHS) >= len(g.symbols) {
+			return nil, nil, fmt.Errorf("grammar: production %d has invalid LHS", p.ID)
+		}
+		g.prodsByLHS[p.LHS] = append(g.prodsByLHS[p.LHS], p)
+	}
+	g.computeAnalyses()
+	if err := g.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return g, r.data, nil
+}
+
+// Encoding helpers shared with the lr package.
+
+func appendUvarint(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+func appendVarint(buf []byte, v int64) []byte {
+	return binary.AppendVarint(buf, v)
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = appendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+type reader struct {
+	data []byte
+	err  error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("unexpected end of data")
+	}
+}
+
+func (r *reader) bytes(n int) []byte {
+	if len(r.data) < n {
+		r.fail()
+		return make([]byte, n)
+	}
+	out := r.data[:n]
+	r.data = r.data[n:]
+	return out
+}
+
+func (r *reader) byte() byte { return r.bytes(1)[0] }
+
+func (r *reader) uvarint() uint64 {
+	v, n := binary.Uvarint(r.data)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+func (r *reader) varint() int64 {
+	v, n := binary.Varint(r.data)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+func (r *reader) str() string {
+	n := int(r.uvarint())
+	if n > len(r.data) {
+		r.fail()
+		return ""
+	}
+	return string(r.bytes(n))
+}

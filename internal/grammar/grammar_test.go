@@ -1,0 +1,265 @@
+package grammar
+
+import (
+	"strings"
+	"testing"
+)
+
+const exprSrc = `
+// Ambiguous expression grammar with yacc-style static disambiguation.
+%token ID NUM
+%left '+' '-'
+%left '*' '/'
+%right UMINUS
+%start Expr
+
+Expr : Expr '+' Expr
+     | Expr '-' Expr
+     | Expr '*' Expr
+     | Expr '/' Expr
+     | '-' Expr %prec UMINUS
+     | '(' Expr ')'
+     | ID
+     | NUM
+     ;
+`
+
+func mustParse(t *testing.T, src string) *Grammar {
+	t.Helper()
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return g
+}
+
+func TestParseExprGrammar(t *testing.T) {
+	g := mustParse(t, exprSrc)
+	if g.NumProductions() != 9 { // 8 + augmented
+		t.Fatalf("NumProductions = %d, want 9", g.NumProductions())
+	}
+	if got := g.Name(g.Start()); got != "Expr" {
+		t.Fatalf("start = %s, want Expr", got)
+	}
+	plus := g.Lookup("'+'")
+	if plus == InvalidSym || !g.IsTerminal(plus) {
+		t.Fatalf("'+' not a terminal")
+	}
+	times := g.Lookup("'*'")
+	if g.Symbol(plus).Prec >= g.Symbol(times).Prec {
+		t.Fatalf("'*' should bind tighter than '+': %d vs %d", g.Symbol(times).Prec, g.Symbol(plus).Prec)
+	}
+	if g.Symbol(plus).Assoc != AssocLeft {
+		t.Fatalf("'+' assoc = %v, want left", g.Symbol(plus).Assoc)
+	}
+}
+
+func TestPrecOverride(t *testing.T) {
+	g := mustParse(t, exprSrc)
+	var unary *Production
+	minus := g.Lookup("'-'")
+	for _, p := range g.Productions() {
+		if len(p.RHS) == 2 && p.RHS[0] == minus {
+			unary = p
+		}
+	}
+	if unary == nil {
+		t.Fatalf("unary minus production not found")
+	}
+	um := g.Lookup("UMINUS")
+	if unary.Prec != g.Symbol(um).Prec {
+		t.Fatalf("unary production prec = %d, want UMINUS prec %d", unary.Prec, g.Symbol(um).Prec)
+	}
+}
+
+func TestNullableFirstFollow(t *testing.T) {
+	g := mustParse(t, `
+%token a b c
+%start S
+S : A B c ;
+A : a | ;
+B : b | ;
+`)
+	A, B, S := g.Lookup("A"), g.Lookup("B"), g.Lookup("S")
+	a, b, c := g.Lookup("a"), g.Lookup("b"), g.Lookup("c")
+	if !g.Nullable(A) || !g.Nullable(B) {
+		t.Fatalf("A and B should be nullable")
+	}
+	if g.Nullable(S) {
+		t.Fatalf("S should not be nullable")
+	}
+	// FIRST(S) = {a, b, c}
+	fs := g.First(S)
+	for _, tm := range []Sym{a, b, c} {
+		if !fs.Has(tm) {
+			t.Fatalf("FIRST(S) missing %s: %s", g.Name(tm), fs.Format(g))
+		}
+	}
+	// FOLLOW(A) = {b, c}; FOLLOW(B) = {c}
+	if fa := g.Follow(A); !fa.Has(b) || !fa.Has(c) || fa.Has(a) {
+		t.Fatalf("FOLLOW(A) = %s, want {b c}", fa.Format(g))
+	}
+	if fb := g.Follow(B); !fb.Has(c) || fb.Has(b) {
+		t.Fatalf("FOLLOW(B) = %s, want {c}", fb.Format(g))
+	}
+	// FOLLOW(S) = {$}
+	if !g.Follow(S).Has(EOF) {
+		t.Fatalf("FOLLOW(S) should contain EOF")
+	}
+}
+
+func TestSequenceExpansion(t *testing.T) {
+	g := mustParse(t, `
+%token x ';'
+%start Block
+Block : Stmt* ;
+Stmt  : x ';' ;
+`)
+	seq := g.Lookup("Stmt*")
+	if seq == InvalidSym {
+		t.Fatalf("sequence nonterminal Stmt* not created")
+	}
+	info := g.Symbol(seq)
+	if !info.IsSequence() || info.SeqElem != g.Lookup("Stmt") {
+		t.Fatalf("Stmt* not marked as sequence of Stmt")
+	}
+	if !g.Nullable(seq) {
+		t.Fatalf("Stmt* should be nullable")
+	}
+	for _, p := range g.ProductionsFor(seq) {
+		if !p.Seq {
+			t.Fatalf("production %s not marked Seq", g.ProductionString(p))
+		}
+	}
+	if n := len(g.ProductionsFor(seq)); n != 2 {
+		t.Fatalf("Stmt* has %d productions, want 2 (ε, Stmt+)", n)
+	}
+	plus := g.Lookup("Stmt+")
+	if plus == InvalidSym || !g.Symbol(plus).IsSequence() {
+		t.Fatalf("Stmt+ helper sequence missing")
+	}
+	if n := len(g.ProductionsFor(plus)); n != 2 {
+		t.Fatalf("Stmt+ has %d productions, want 2 (Stmt, Stmt+ Stmt)", n)
+	}
+}
+
+func TestPlusSequence(t *testing.T) {
+	g := mustParse(t, `
+%token x
+%start S
+S : Item+ ;
+Item : x ;
+`)
+	seq := g.Lookup("Item+")
+	if seq == InvalidSym {
+		t.Fatalf("Item+ not created")
+	}
+	if g.Nullable(seq) {
+		t.Fatalf("Item+ must not be nullable")
+	}
+	if len(g.ProductionsFor(seq)) != 2 {
+		t.Fatalf("Item+ should have 2 productions")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"no start", "%token a\nS : a ;", "no start symbol"},
+		{"undefined", "%start S\nS : Q ;", "never defined"},
+		{"terminal lhs", "%token a\n%start S\nS : a ;\na : S ;", "left-hand side"},
+		{"unterminated rule", "%start S\nS : ", "unterminated"},
+		{"missing semi", "%token a b\n%start S\nS : a\nT : b ;", "missing ';'"},
+		{"seq lhs", "%token a\n%start S\nS* : a ;", "left-hand side"},
+		{"unreachable", "%token a b\n%start S\nS : a ;\nT : b ;", "unreachable"},
+		{"unproductive", "%token a\n%start S\nS : a | T ;\nT : T a ;", "unproductive"},
+		{"bad char", "%start S\nS : @ ;", "unexpected character"},
+		{"start terminal", "%token a\n%start a\nS : a ;", "terminal"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("Parse succeeded, want error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestQuotedSymbols(t *testing.T) {
+	g := mustParse(t, `
+%start S
+S : "while" '(' S ')' | "x" ;
+`)
+	for _, name := range []string{`"while"`, `'('`, `')'`, `"x"`} {
+		s := g.Lookup(name)
+		if s == InvalidSym || !g.IsTerminal(s) {
+			t.Fatalf("%s should be an implicit terminal", name)
+		}
+	}
+}
+
+func TestCommentsAndDirectiveFlow(t *testing.T) {
+	// A %token directive followed directly by a rule (no blank separation).
+	g := mustParse(t, `
+# hash comment
+/* block
+   comment */
+%token a
+%start S
+S : a ; // trailing comment
+`)
+	if g.Lookup("a") == InvalidSym {
+		t.Fatalf("token a missing")
+	}
+}
+
+func TestGrammarString(t *testing.T) {
+	g := mustParse(t, "%token a\n%start S\nS : a | ;")
+	s := g.String()
+	if !strings.Contains(s, "S' → S") {
+		t.Fatalf("missing augmented production in:\n%s", s)
+	}
+	if !strings.Contains(s, "S → ε") {
+		t.Fatalf("missing epsilon rendering in:\n%s", s)
+	}
+}
+
+func TestFirstOfSeq(t *testing.T) {
+	g := mustParse(t, `
+%token a b
+%start S
+S : A b ;
+A : a | ;
+`)
+	out := NewTermSet(g.NumSymbols())
+	nullable := g.FirstOfSeq([]Sym{g.Lookup("A"), g.Lookup("b")}, out)
+	if nullable {
+		t.Fatalf("A b should not be nullable")
+	}
+	if !out.Has(g.Lookup("a")) || !out.Has(g.Lookup("b")) {
+		t.Fatalf("FIRST(A b) = %s, want {a b}", out.Format(g))
+	}
+}
+
+func TestBuilderDirect(t *testing.T) {
+	b := NewBuilder()
+	b.Terminals("id", "'('", "')'")
+	b.Rule("Call", "id", "'('", "Arg*", "')'")
+	b.Rule("Arg", "id")
+	b.Start("Call")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if g.Lookup("Arg*") == InvalidSym {
+		t.Fatalf("Arg* missing")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}

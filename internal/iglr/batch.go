@@ -1,0 +1,73 @@
+package iglr
+
+import (
+	"iglr/internal/dag"
+	"iglr/internal/grammar"
+)
+
+// ParseTerminals batch-parses a terminal sequence (no subtree reuse) — the
+// behavior of a conventional GLR parser (§3.1). The input must not include
+// EOF; it is appended automatically.
+func (p *Parser) ParseTerminals(input []TerminalInput) (*dag.Node, error) {
+	return p.Parse(NewStream(TerminalNodes(input)))
+}
+
+// ParseSyms batch-parses a bare symbol sequence, using symbol names as
+// lexeme text. Convenience for tests and examples.
+func (p *Parser) ParseSyms(syms []grammar.Sym) (*dag.Node, error) {
+	in := make([]TerminalInput, len(syms))
+	for i, s := range syms {
+		in[i] = TerminalInput{Sym: s, Text: p.g.Name(s)}
+	}
+	return p.ParseTerminals(in)
+}
+
+// CountParses returns the number of distinct parse trees the dag encodes —
+// the size of the collapsed parse forest. Filtered interpretations are
+// skipped. Shared subtrees are counted through, so the result can be
+// exponential in dag size; counts are capped at Cap to avoid overflow.
+func CountParses(root *dag.Node) int {
+	memo := map[*dag.Node]int{}
+	return countParses(root, memo)
+}
+
+// Cap bounds CountParses results.
+const Cap = 1 << 30
+
+func countParses(n *dag.Node, memo map[*dag.Node]int) int {
+	if v, ok := memo[n]; ok {
+		return v
+	}
+	var total int
+	switch n.Kind {
+	case dag.KindTerminal:
+		total = 1
+	case dag.KindChoice:
+		for _, k := range n.Kids {
+			if k.Filtered {
+				continue
+			}
+			total += countParses(k, memo)
+			if total > Cap {
+				total = Cap
+				break
+			}
+		}
+		if total == 0 && len(n.Kids) > 0 { // all filtered: count them anyway
+			for _, k := range n.Kids {
+				total += countParses(k, memo)
+			}
+		}
+	default:
+		total = 1
+		for _, k := range n.Kids {
+			total *= countParses(k, memo)
+			if total > Cap {
+				total = Cap
+				break
+			}
+		}
+	}
+	memo[n] = total
+	return total
+}

@@ -1,0 +1,249 @@
+package iglr
+
+import (
+	"testing"
+
+	"iglr/internal/dag"
+	"iglr/internal/grammar"
+	"iglr/internal/lr"
+)
+
+// Harder GLR workloads: grammars with ε inside non-determinism, deep
+// lookahead requirements, dense ambiguity, and right-context traps.
+
+func TestLR3Grammar(t *testing.T) {
+	// Needs three tokens of lookahead: the x/y decision is revealed only
+	// by the final terminal.
+	p := mk(t, `
+%token a z w c d
+%start S
+S : X c | Y d ;
+X : a Pad ;
+Y : a Pad ;
+Pad : z w ;
+`, lr.Options{Method: lr.LALR})
+	g := p.Grammar()
+	for _, tc := range []struct {
+		last string
+		want string
+	}{{"c", "X"}, {"d", "Y"}} {
+		root, err := p.ParseSyms(symsOf(t, g, "a", "z", "w", tc.last))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.last, err)
+		}
+		if CountParses(root) != 1 {
+			t.Fatalf("%s: ambiguous", tc.last)
+		}
+		found := false
+		root.Walk(func(n *dag.Node) {
+			if n.Kind == dag.KindProduction && g.Name(n.Sym) == tc.want {
+				found = true
+			}
+		})
+		if !found {
+			t.Fatalf("expected %s in tree", tc.want)
+		}
+	}
+	// Wrong continuation is a syntax error, not a crash.
+	if _, err := p.ParseSyms(symsOf(t, g, "a", "z", "w")); err == nil {
+		t.Fatal("truncated input should fail")
+	}
+}
+
+func TestEpsilonInsideAmbiguity(t *testing.T) {
+	// Both interpretations contain ε-subtrees; after parsing, every
+	// ε instance must be unshared (§3.5).
+	p := mk(t, `
+%token a b
+%start S
+S : A X b | B X b ;
+A : a ;
+B : a ;
+X : ;
+`, lr.Options{Method: lr.LALR})
+	g := p.Grammar()
+	root, err := p.ParseSyms(symsOf(t, g, "a", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CountParses(root) != 2 {
+		t.Fatalf("parses = %d, want 2", CountParses(root))
+	}
+	if shared := dag.SharedNullYields(root); len(shared) != 0 {
+		t.Fatalf("ε-structure still shared: %d nodes", len(shared))
+	}
+	// Each interpretation owns its own X instance.
+	xCount := 0
+	root.Walk(func(n *dag.Node) {
+		if n.Kind == dag.KindProduction && g.Name(n.Sym) == "X" {
+			xCount++
+		}
+	})
+	if xCount != 2 {
+		t.Fatalf("X instances = %d, want 2", xCount)
+	}
+}
+
+func TestTripleAmbiguity(t *testing.T) {
+	// Three interpretations of the same yield through distinct rules.
+	p := mk(t, `
+%token a
+%start S
+S : A | B | C ;
+A : a a ;
+B : a a ;
+C : a a ;
+`, lr.Options{Method: lr.LALR})
+	g := p.Grammar()
+	root, err := p.ParseSyms(symsOf(t, g, "a", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CountParses(root); got != 3 {
+		t.Fatalf("parses = %d, want 3", got)
+	}
+	st := dag.Measure(root)
+	if st.MaxAlternatives != 3 {
+		t.Fatalf("widest choice = %d, want 3", st.MaxAlternatives)
+	}
+	// All three interpretations share the same two terminal instances.
+	if st.Terminals != 2 {
+		t.Fatalf("terminals = %d, want 2 (shared)", st.Terminals)
+	}
+}
+
+func TestNestedForkCollapseFork(t *testing.T) {
+	// Two LR(2) regions in sequence: fork, collapse, fork again.
+	p := mk(t, `
+%token x z c e ';'
+%start S
+S : A ';' A ;
+A : B c | D e ;
+B : U z ;
+D : V z ;
+U : x ;
+V : x ;
+`, lr.Options{Method: lr.LALR})
+	g := p.Grammar()
+	root, err := p.ParseSyms(symsOf(t, g, "x", "z", "c", "';'", "x", "z", "e"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CountParses(root) != 1 {
+		t.Fatal("should be unambiguous")
+	}
+	if p.Stats.Splits < 2 {
+		t.Fatalf("expected two split episodes, stats %+v", p.Stats)
+	}
+	// First region resolved to B, second to D.
+	var seq []string
+	root.Walk(func(n *dag.Node) {
+		if n.Kind == dag.KindProduction {
+			name := g.Name(n.Sym)
+			if name == "B" || name == "D" {
+				seq = append(seq, name)
+			}
+		}
+	})
+	if len(seq) != 2 || seq[0] == seq[1] {
+		t.Fatalf("regions = %v", seq)
+	}
+}
+
+func TestRightContextInvalidation(t *testing.T) {
+	// The A-vs-C trap: `a` reduces differently depending on the FOLLOWING
+	// terminal, so changing that terminal must invalidate the reduction
+	// even though the subtree's own yield is untouched (§3.2 right-context
+	// check).
+	g, err := grammar.Parse(`
+%token a b c
+%start S
+S : A b | C c ;
+A : a ;
+C : a ;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := lr.Build(g, lr.Options{Method: lr.LALR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(tbl)
+	root, err := p.ParseSyms([]grammar.Sym{g.Lookup("a"), g.Lookup("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasA := false
+	root.Walk(func(n *dag.Node) {
+		if n.Kind == dag.KindProduction && g.Name(n.Sym) == "A" {
+			hasA = true
+		}
+	})
+	if !hasA {
+		t.Fatal("first parse should contain A")
+	}
+	// (The incremental variant of this trap is covered by the document
+	// tests; here we confirm batch GLR handles both readings.)
+	root2, err := p.ParseSyms([]grammar.Sym{g.Lookup("a"), g.Lookup("c")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasC := false
+	root2.Walk(func(n *dag.Node) {
+		if n.Kind == dag.KindProduction && g.Name(n.Sym) == "C" {
+			hasC = true
+		}
+	})
+	if !hasC {
+		t.Fatal("second parse should contain C")
+	}
+}
+
+func TestDeepAmbiguitySharingBounds(t *testing.T) {
+	// 30 tokens of S→SS|x: the forest is astronomically large, the dag
+	// polynomial; parse time must stay sane and counting must cap.
+	p := mk(t, `
+%token x
+%start S
+S : S S | x ;
+`, lr.Options{Method: lr.LALR})
+	g := p.Grammar()
+	input := make([]grammar.Sym, 30)
+	for i := range input {
+		input[i] = g.Lookup("x")
+	}
+	root, err := p.ParseSyms(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CountParses(root) != Cap {
+		t.Fatalf("count should cap at %d", Cap)
+	}
+	st := dag.Measure(root)
+	if st.DagNodes > 40000 {
+		t.Fatalf("dag nodes = %d; sharing insufficient", st.DagNodes)
+	}
+}
+
+func TestParserReuseAcrossParses(t *testing.T) {
+	// One Parser value must be safely reusable for many parses.
+	p := mk(t, `
+%token a b
+%start S
+S : a S b | ;
+`, lr.Options{Method: lr.LALR})
+	g := p.Grammar()
+	for depth := 0; depth < 30; depth++ {
+		var input []grammar.Sym
+		for i := 0; i < depth; i++ {
+			input = append(input, g.Lookup("a"))
+		}
+		for i := 0; i < depth; i++ {
+			input = append(input, g.Lookup("b"))
+		}
+		if _, err := p.ParseSyms(input); err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package iglr
+
+import "iglr/internal/dag"
+
+// gssNode is one vertex of the graph-structured parse stack: an automaton
+// state reached by one or more parsers. The GSS is transient — it exists
+// only while parsing, unlike the persistent GSS of Ferro & Dion that the
+// paper argues against (§3.3). The first link is stored inline: outside
+// non-deterministic regions every node has exactly one.
+type gssNode struct {
+	state  int
+	link0  gssLink
+	extra  []*gssLink
+	nlinks int
+	// processed marks nodes whose actor turn already ran this round
+	// (do_limited_reductions re-scans only those).
+	processed bool
+}
+
+// gssLink is a GSS edge. head is the predecessor (earlier, closer to the
+// bottom of the stack); node is the dag subtree spanning the edge.
+type gssLink struct {
+	head *gssNode
+	node *dag.Node
+}
+
+func (n *gssNode) addLink(l *gssLink) {
+	if n.nlinks == 0 {
+		n.link0 = *l
+	} else {
+		n.extra = append(n.extra, l)
+	}
+	n.nlinks++
+}
+
+// addLinkInline is addLink for freshly built links, avoiding the
+// allocation when the inline slot is free.
+func (n *gssNode) addLinkInline(head *gssNode, node *dag.Node) *gssLink {
+	if n.nlinks == 0 {
+		n.link0 = gssLink{head: head, node: node}
+		n.nlinks = 1
+		return &n.link0
+	}
+	l := &gssLink{head: head, node: node}
+	n.extra = append(n.extra, l)
+	n.nlinks++
+	return l
+}
+
+func (n *gssNode) numLinks() int { return n.nlinks }
+
+func (n *gssNode) linkAt(i int) *gssLink {
+	if i == 0 {
+		return &n.link0
+	}
+	return n.extra[i-1]
+}
+
+// directLink returns the link from n to head, if any.
+func (n *gssNode) directLink(head *gssNode) *gssLink {
+	for i := 0; i < n.nlinks; i++ {
+		if l := n.linkAt(i); l.head == head {
+			return l
+		}
+	}
+	return nil
+}
+
+// gssPath is a reduction path: the traversed links, ordered from the top of
+// the stack toward the bottom (left-to-right reversal yields the RHS kids).
+type gssPath struct {
+	links []*gssLink
+	tail  *gssNode // the node reached after traversing links
+}
+
+// paths enumerates every path of exactly length links starting at n. When
+// via is non-nil, only paths traversing that link are yielded
+// (do_limited_reductions).
+func paths(n *gssNode, length int, via *gssLink, f func(gssPath)) {
+	var walk func(cur *gssNode, depth int, usedVia bool, acc []*gssLink)
+	walk = func(cur *gssNode, depth int, usedVia bool, acc []*gssLink) {
+		if depth == length {
+			if via == nil || usedVia {
+				f(gssPath{links: append([]*gssLink(nil), acc...), tail: cur})
+			}
+			return
+		}
+		// Snapshot the link count: links added while this enumeration runs
+		// (reducer → do_limited_reductions re-entrancy) are handled by
+		// their own limited re-scan, not picked up mid-walk.
+		n0 := cur.nlinks
+		for i := 0; i < n0; i++ {
+			l := cur.linkAt(i)
+			walk(l.head, depth+1, usedVia || l == via, append(acc, l))
+		}
+	}
+	walk(n, 0, false, nil)
+}
+
+// kids extracts the dag nodes along the path in left-to-right (RHS) order.
+func (p gssPath) kids() []*dag.Node {
+	out := make([]*dag.Node, len(p.links))
+	for i, l := range p.links {
+		out[len(p.links)-1-i] = l.node
+	}
+	return out
+}

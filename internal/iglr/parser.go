@@ -1,0 +1,503 @@
+package iglr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"iglr/internal/dag"
+	"iglr/internal/grammar"
+	"iglr/internal/lr"
+)
+
+// SyntaxError reports a failed parse: no active parser could act on the
+// lookahead.
+type SyntaxError struct {
+	// Sym and Text describe the offending lookahead.
+	Sym  grammar.Sym
+	Text string
+	// SymName is the grammar name of Sym.
+	SymName string
+	// TokenIndex is the number of terminals consumed before the error.
+	TokenIndex int
+	// Expected lists the terminals any active parser could have accepted
+	// instead, by name, sorted.
+	Expected []string
+}
+
+func (e *SyntaxError) Error() string {
+	msg := fmt.Sprintf("syntax error at %s %q (token %d)", e.SymName, e.Text, e.TokenIndex)
+	if len(e.Expected) > 0 {
+		max := len(e.Expected)
+		ell := ""
+		if max > 6 {
+			max, ell = 6, ", …"
+		}
+		msg += ", expected " + strings.Join(e.Expected[:max], ", ") + ell
+	}
+	return msg
+}
+
+// Stats counts parser work, used by the §5 and §3.4 experiments.
+type Stats struct {
+	Shifts           int // shift operations (terminals and subtrees)
+	SubtreeShifts    int // whole-subtree shifts via state matching
+	TerminalShifts   int // terminal shifts
+	Reductions       int
+	Breakdowns       int // left_breakdown invocations
+	Splits           int // rounds in which >1 parser was active
+	MaxActiveParsers int
+	Rounds           int // parse_next_symbol invocations
+	RetainedNodes    int // old nodes reused by bottom-up node retention [25]
+}
+
+// retained implements bottom-up node reuse: if every child was reused from
+// the committed tree and they still share their old parent, which applied
+// the same production over exactly these children, that parent node is the
+// reduction's result. Node identity (and with it any annotations or
+// semantic attributes) survives the reparse.
+func retained(rule int, kids []*dag.Node) *dag.Node {
+	if len(kids) == 0 {
+		return nil // ε instances are always rebuilt (§3.5)
+	}
+	old := kids[0].Parent
+	if old == nil || !old.Committed || old.Kind != dag.KindProduction ||
+		old.Prod != rule || len(old.Kids) != len(kids) {
+		return nil
+	}
+	for i, k := range kids {
+		if old.Kids[i] != k {
+			return nil
+		}
+	}
+	return old
+}
+
+// Parser is an incremental GLR parser for a fixed table. A Parser may be
+// reused across parses; it is not safe for concurrent use.
+type Parser struct {
+	table *lr.Table
+	g     *grammar.Grammar
+
+	// Trace, when non-nil, receives a line per parser action — the
+	// Appendix B trace facility.
+	Trace func(format string, args ...any)
+
+	// Stats accumulates counters for the most recent parse.
+	Stats Stats
+
+	stream     Stream
+	active     []*gssNode
+	forActor   []*gssNode
+	forShifter []shiftPair
+	multiple   bool
+	anyNondet  bool // any round used non-deterministic machinery
+	accepting  *gssNode
+	sh         *share
+	tokens     int
+
+	// Chunked arenas cut allocation counts for the per-shift GSS
+	// structures; chunks are dropped wholesale at the next Parse.
+	nodeArena []gssNode
+}
+
+func (p *Parser) newGSSNode(state int) *gssNode {
+	if len(p.nodeArena) == cap(p.nodeArena) {
+		p.nodeArena = make([]gssNode, 0, 512)
+	}
+	p.nodeArena = append(p.nodeArena, gssNode{state: state})
+	return &p.nodeArena[len(p.nodeArena)-1]
+}
+
+type shiftPair struct {
+	from   *gssNode
+	target int
+}
+
+// New creates a parser over the given table.
+func New(table *lr.Table) *Parser {
+	return &Parser{table: table, g: table.Grammar()}
+}
+
+// Grammar returns the parser's grammar.
+func (p *Parser) Grammar() *grammar.Grammar { return p.g }
+
+// Table returns the parse table.
+func (p *Parser) Table() *lr.Table { return p.table }
+
+func (p *Parser) tracef(format string, args ...any) {
+	if p.Trace != nil {
+		p.Trace(format, args...)
+	}
+}
+
+// Parse consumes the stream and returns the abstract parse dag root (the
+// node for the user start symbol). The stream must end with an EOF
+// terminal. On error the previous tree (if the stream reuses one) remains
+// intact.
+func (p *Parser) Parse(stream Stream) (*dag.Node, error) {
+	p.stream = stream
+	p.Stats = Stats{}
+	p.sh = newShare()
+	p.nodeArena = nil
+	p.active = append(p.active[:0], p.newGSSNode(p.table.StartState()))
+	p.accepting = nil
+	p.multiple = false
+	p.anyNondet = false
+	p.tokens = 0
+
+	for p.accepting == nil {
+		if p.stream.La() == nil {
+			return nil, &SyntaxError{Sym: grammar.EOF, SymName: "$", Text: "", TokenIndex: p.tokens}
+		}
+		if err := p.parseNextSymbol(); err != nil {
+			return nil, err
+		}
+	}
+
+	root := p.acceptedRoot()
+	// Epsilon over-sharing can only arise from the sharing tables, which
+	// deterministic rounds bypass entirely (§3.5).
+	if p.anyNondet {
+		dag.UnshareEpsilon(root)
+	}
+	return root, nil
+}
+
+// acceptedRoot extracts the start-symbol node from the accepting parser.
+func (p *Parser) acceptedRoot() *dag.Node {
+	acc := p.accepting
+	root := acc.linkAt(0).node
+	// Multiple top-level interpretations that never converged in the GSS
+	// are merged explicitly.
+	for i := 1; i < acc.numLinks(); i++ {
+		root = addInterpretation(root, acc.linkAt(i).node)
+	}
+	return root
+}
+
+// parseNextSymbol performs one reduce/shift round (Appendix A).
+func (p *Parser) parseNextSymbol() error {
+	p.Stats.Rounds++
+	p.forActor = append(p.forActor[:0], p.active...)
+	p.forShifter = p.forShifter[:0]
+	for _, a := range p.active {
+		a.processed = false
+	}
+	p.sh.reset()
+
+	if n := len(p.active); n > p.Stats.MaxActiveParsers {
+		p.Stats.MaxActiveParsers = n
+	}
+	if len(p.active) > 1 {
+		p.Stats.Splits++
+	}
+
+	for len(p.forActor) > 0 {
+		a := p.forActor[len(p.forActor)-1]
+		p.forActor = p.forActor[:len(p.forActor)-1]
+		a.processed = true
+		p.actor(a)
+	}
+
+	if p.accepting != nil {
+		return nil
+	}
+	if len(p.forShifter) == 0 {
+		la := p.stream.La()
+		return &SyntaxError{
+			Sym: la.Sym, SymName: p.g.Name(la.Sym), Text: laText(la), TokenIndex: p.tokens,
+			Expected: p.expectedTerminals(),
+		}
+	}
+	p.shifter()
+	p.stream.Pop()
+	return nil
+}
+
+// expectedTerminals collects, over the parsers active when the error was
+// detected, every terminal with a defined action — the "expected one of"
+// set for diagnostics.
+func (p *Parser) expectedTerminals() []string {
+	seen := map[grammar.Sym]bool{}
+	for _, a := range p.active {
+		for _, term := range p.g.Terminals() {
+			if term == grammar.ErrorSym {
+				continue
+			}
+			if len(p.table.Actions(a.state, term)) > 0 && !seen[term] {
+				seen[term] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for term := range seen {
+		out = append(out, p.g.Name(term))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func laText(n *dag.Node) string {
+	if n.IsTerminal() {
+		return n.Text
+	}
+	y := n.Yield()
+	if len(y) > 24 {
+		y = y[:24] + "…"
+	}
+	return y
+}
+
+// actor processes one parser (Appendix A actor): it normalizes the
+// lookahead (breaking down subtrees the parser cannot act upon), attempts a
+// whole-subtree shift via state matching, and otherwise executes the table
+// actions for the lookahead.
+func (p *Parser) actor(a *gssNode) {
+	for {
+		la := p.stream.La()
+		if la == nil {
+			return
+		}
+		if !la.IsTerminal() {
+			// Whole-subtree shift (state matching, §3.2/§3.3): valid only
+			// for a lone parser in a conflict-free state, with a clean
+			// deterministically-built subtree whose recorded state equals
+			// today's goto target.
+			if p.soleParser(a) && p.reusable(la) {
+				if gt := p.table.Goto(a.state, la.Sym); gt >= 0 && gt == la.State && !p.table.HasConflict(a.state) {
+					p.tracef("S: %s (subtree, %d tokens) -> state %d", p.g.Name(la.Sym), countTerms(la), gt)
+					p.forShifter = append(p.forShifter, shiftPair{from: a, target: gt})
+					return
+				}
+				// Precomputed nonterminal reductions (§3.2): act without
+				// locating the next terminal when every terminal in
+				// FIRST(la) agrees on a single reduction.
+				if acts := p.table.NontermActions(a.state, la.Sym); len(acts) == 1 && acts[0].Kind == lr.Reduce {
+					p.tracef("R: %s (via FIRST(%s))", p.prodName(int(acts[0].Target)), p.g.Name(la.Sym))
+					p.doReductions(a, int(acts[0].Target))
+					return
+				}
+			}
+			// Otherwise the subtree cannot participate directly: expose
+			// its constituents (left_breakdown) and retry.
+			p.Stats.Breakdowns++
+			p.stream.Breakdown()
+			continue
+		}
+
+		acts := p.table.Actions(a.state, la.Sym)
+		if len(acts) > 1 {
+			p.multiple = true
+		}
+		for _, act := range acts {
+			switch act.Kind {
+			case lr.Accept:
+				if la.Sym == grammar.EOF {
+					p.tracef("A: accept")
+					p.accepting = a
+				}
+			case lr.Reduce:
+				if p.Trace != nil {
+					p.tracef("R: %s", p.prodName(int(act.Target)))
+				}
+				p.doReductions(a, int(act.Target))
+			case lr.Shift:
+				p.forShifter = append(p.forShifter, shiftPair{from: a, target: int(act.Target)})
+			}
+		}
+		return
+	}
+}
+
+func (p *Parser) prodName(rule int) string {
+	return p.g.ProductionString(p.g.Production(rule))
+}
+
+// soleParser reports whether a is the only parser that can still act this
+// round: nothing else is queued for the actor or the shifter and no
+// conflict has been seen. Parsers that already finished their reductions
+// remain in the GSS (active list) but are inert, so they do not count —
+// this is what lets a chain of reductions keep shifting whole subtrees.
+func (p *Parser) soleParser(a *gssNode) bool {
+	return len(p.forActor) == 0 && len(p.forShifter) == 0 && !p.multiple
+}
+
+// reusable reports whether a subtree may be considered for state-matching
+// reuse: structurally clean and built in a deterministic state. MultiState
+// subtrees consumed dynamic lookahead and must be reconstructed (§3.3);
+// choice nodes are multi-state by definition.
+func (p *Parser) reusable(n *dag.Node) bool {
+	return !n.Changed && !n.IsChoice() && n.State >= 0
+}
+
+func countTerms(n *dag.Node) int { return int(n.TermCount) }
+
+// doReductions enumerates reduction paths from a (Appendix A
+// do_reductions). The common deterministic case — a unique path — avoids
+// the general enumerator's copies.
+func (p *Parser) doReductions(a *gssNode, rule int) {
+	arity := p.g.Production(rule).Arity()
+	cur := a
+	kids := make([]*dag.Node, arity)
+	for i := arity - 1; i >= 0; i-- {
+		if cur.numLinks() != 1 {
+			paths(a, arity, nil, func(path gssPath) {
+				p.reducer(path.tail, rule, path.kids())
+			})
+			return
+		}
+		l := &cur.link0
+		kids[i] = l.node
+		cur = l.head
+	}
+	p.reducer(cur, rule, kids)
+}
+
+// doLimitedReductions re-runs reductions for an already-processed parser,
+// restricted to paths through the freshly added link (Appendix A
+// do_limited_reductions).
+func (p *Parser) doLimitedReductions(a *gssNode, rule int, via *gssLink) {
+	arity := p.g.Production(rule).Arity()
+	paths(a, arity, via, func(path gssPath) {
+		p.reducer(path.tail, rule, path.kids())
+	})
+}
+
+// reducer performs one reduction (Appendix A reducer): builds (or shares)
+// the dag node, merges interpretations, and extends the GSS.
+func (p *Parser) reducer(q *gssNode, rule int, kids []*dag.Node) {
+	p.Stats.Reductions++
+	lhs := p.g.Production(rule).LHS
+	state := p.table.Goto(q.state, lhs)
+	if state < 0 {
+		// No goto: this reduction path is invalid in context (possible in
+		// non-deterministic regions); the would-be parser dies.
+		return
+	}
+	// The multipleStates flag (§3.3) — set on conflicted table cells and
+	// maintained by the shifter — decides whether this node is stamped
+	// with a deterministic state or the MultiState equivalence class. In
+	// deterministic rounds no two derivations can coincide, so the
+	// sharing tables are bypassed and the node is built directly — or,
+	// better, *retained*: when the previous tree contains the identical
+	// production instance (same rule over the same children), that node is
+	// reused, preserving its identity for annotations and semantic
+	// attributes (bottom-up node reuse, the paper's reference [25]).
+	var node *dag.Node
+	if p.multiple {
+		p.anyNondet = true
+		node = p.sh.getNode(p.g, rule, kids, state, true)
+	} else if old := retained(rule, kids); old != nil {
+		old.State = state
+		node = old
+		p.Stats.RetainedNodes++
+	} else {
+		node = dag.NewProduction(p.g.Production(rule).LHS, rule, state, kids)
+	}
+
+	if existing := p.findActive(state); existing != nil {
+		if l := existing.directLink(q); l != nil {
+			// Second interpretation of the same region: merge into the
+			// link's node (ambiguity packing).
+			if p.Trace != nil {
+				p.tracef("M: merge interpretation for %s", p.g.Name(lhs))
+			}
+			l.node = addInterpretation(l.node, node)
+			return
+		}
+		n := node
+		if p.multiple {
+			n = p.sh.mergeInterpretation(node)
+		}
+		l := existing.addLinkInline(q, n)
+		// Parsers already processed this round may now have new reduction
+		// paths through l.
+		for _, m := range p.active {
+			if !m.processed {
+				continue // still in forActor; its own actor call sees l
+			}
+			for _, act := range p.reduceActions(m.state) {
+				p.doLimitedReductions(m, int(act.Target), l)
+			}
+		}
+		return
+	}
+
+	n := node
+	if p.multiple {
+		n = p.sh.mergeInterpretation(node)
+	}
+	np := p.newGSSNode(state)
+	np.addLinkInline(q, n)
+	p.active = append(p.active, np)
+	p.forActor = append(p.forActor, np)
+}
+
+// reduceActions returns the reduce actions available to a parser in state
+// for the current lookahead. Only terminal lookaheads participate — by the
+// time several parsers interact, the round's lookahead has been broken down
+// to a terminal (§3.3: only terminals are read while multiple parsers are
+// active).
+func (p *Parser) reduceActions(state int) []lr.Action {
+	la := p.stream.La()
+	if la == nil || !la.IsTerminal() {
+		return nil
+	}
+	var out []lr.Action
+	for _, act := range p.table.Actions(state, la.Sym) {
+		if act.Kind == lr.Reduce {
+			out = append(out, act)
+		}
+	}
+	return out
+}
+
+func (p *Parser) findActive(state int) *gssNode {
+	for _, a := range p.active {
+		if a.state == state {
+			return a
+		}
+	}
+	return nil
+}
+
+// shifter shifts the lookahead into every parser that requested it
+// (Appendix A shifter). All parsers shift the same node — in ambiguous
+// regions the terminals are thereby shared among interpretations.
+func (p *Parser) shifter() {
+	la := p.stream.La()
+	p.active = p.active[:0]
+	p.multiple = len(p.forShifter) > 1
+	p.Stats.Shifts++
+	if la.IsTerminal() {
+		p.Stats.TerminalShifts++
+		p.tokens++
+	} else {
+		p.Stats.SubtreeShifts++
+		p.tokens += countTerms(la)
+	}
+
+	// Record the parse state in the shifted node (state matching): the
+	// deterministic target when one parser shifts, the non-deterministic
+	// equivalence class otherwise.
+	if p.multiple {
+		la.State = dag.MultiState
+	} else {
+		la.State = p.forShifter[0].target
+	}
+	la.Changed = false
+
+	for _, sp := range p.forShifter {
+		if q := p.findActive(sp.target); q != nil {
+			q.addLinkInline(sp.from, la)
+		} else {
+			n := p.newGSSNode(sp.target)
+			n.addLinkInline(sp.from, la)
+			p.active = append(p.active, n)
+		}
+	}
+	if p.Trace != nil && la.IsTerminal() {
+		p.tracef("S: %s %q (%d parser(s))", p.g.Name(la.Sym), la.Text, len(p.forShifter))
+	}
+}

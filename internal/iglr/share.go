@@ -1,0 +1,153 @@
+package iglr
+
+import (
+	"iglr/internal/dag"
+	"iglr/internal/grammar"
+)
+
+// Sharing (§3.5). Production-node instances are hash-consed per input
+// position: identical (rule, kids) requests return the same node, which is
+// what makes the representation a dag (subtree sharing). Context sharing —
+// multiple interpretations of one yield — merges nodes with the same symbol
+// and cover into a choice node. Both tables are cleared at each shift, as
+// in Appendix A: all reductions between two shifts occur at a single input
+// position, so covers are comparable.
+
+// nodeKey identifies a production instance: the rule plus child identities
+// (interned per-parse, since pointers are not directly hashable to bytes).
+type nodeKey struct {
+	rule int
+	kids string // concatenated interned child ids
+}
+
+// coverKey identifies a yield region by its first and last terminal
+// instances (cover, Appendix A). Null-yield nodes have nil extremes; within
+// one shift round they all sit at the same input position, so merging them
+// by symbol alone is sound.
+type coverKey struct {
+	sym    grammar.Sym
+	lo, hi *dag.Node
+}
+
+// share holds the per-round sharing state.
+type share struct {
+	nodes   map[nodeKey]*dag.Node
+	symbols map[coverKey]*dag.Node
+	ids     map[*dag.Node]uint64
+	nextID  uint64
+	dirty   bool
+}
+
+func newShare() *share {
+	return &share{
+		nodes:   map[nodeKey]*dag.Node{},
+		symbols: map[coverKey]*dag.Node{},
+		ids:     map[*dag.Node]uint64{},
+	}
+}
+
+// reset clears the per-round tables (called at every shift).
+func (s *share) reset() {
+	if !s.dirty {
+		return
+	}
+	clearMap(s.nodes)
+	clearMap(s.symbols)
+	s.dirty = false
+}
+
+func clearMap[K comparable, V any](m map[K]V) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+func (s *share) id(n *dag.Node) uint64 {
+	if v, ok := s.ids[n]; ok {
+		return v
+	}
+	s.nextID++
+	s.ids[n] = s.nextID
+	return s.nextID
+}
+
+// getNode returns the (shared) production-instance node for rule over kids
+// (Appendix A get_node). state is the goto target the creating parser will
+// enter; nodes built while several parsers are active are stamped with the
+// MultiState equivalence class instead (§3.3).
+func (s *share) getNode(g *grammar.Grammar, rule int, kids []*dag.Node, state int, multi bool) *dag.Node {
+	s.dirty = true
+	key := nodeKey{rule: rule, kids: s.kidsKey(kids)}
+	if n, ok := s.nodes[key]; ok {
+		if multi || n.State != state {
+			n.State = dag.MultiState
+		}
+		return n
+	}
+	st := state
+	if multi {
+		st = dag.MultiState
+	}
+	n := dag.NewProduction(g.Production(rule).LHS, rule, st, kids)
+	s.nodes[key] = n
+	return n
+}
+
+func (s *share) kidsKey(kids []*dag.Node) string {
+	b := make([]byte, 0, len(kids)*8)
+	for _, k := range kids {
+		p := s.id(k)
+		b = append(b, byte(p), byte(p>>8), byte(p>>16), byte(p>>24),
+			byte(p>>32), byte(p>>40), byte(p>>48), byte(p>>56))
+	}
+	return string(b)
+}
+
+// mergeInterpretation implements get_symbolnode/add_choice: if another node
+// with the same symbol and cover exists this round, the new interpretation
+// is merged into a choice node (created lazily by promoting the existing
+// node in place, preserving every outstanding reference to it — the paper's
+// proxy-replacement, footnote 10). It returns the node to link into the GSS.
+func (s *share) mergeInterpretation(n *dag.Node) *dag.Node {
+	s.dirty = true
+	key := coverKey{sym: n.Sym, lo: n.LeftmostTerm, hi: n.RightmostTerm}
+	existing, ok := s.symbols[key]
+	if !ok {
+		s.symbols[key] = n
+		return n
+	}
+	if existing == n {
+		return existing
+	}
+	merged := addInterpretation(existing, n)
+	s.symbols[key] = merged
+	return merged
+}
+
+// addInterpretation merges alt into target, promoting target to a choice
+// node in place if necessary. Returns the choice node (== target).
+func addInterpretation(target, alt *dag.Node) *dag.Node {
+	if target == alt {
+		return target
+	}
+	if target.IsChoice() {
+		for _, k := range target.Kids {
+			if k == alt {
+				return target
+			}
+		}
+		target.AddChoice(alt)
+		return target
+	}
+	// Promote in place: copy the current contents to a fresh node, then
+	// rewrite target as a choice over {copy, alt}. References held by GSS
+	// links or already-built parents stay valid — they now see the choice.
+	cp := *target
+	first := &cp
+	target.Kind = dag.KindChoice
+	target.Prod = -1
+	target.State = dag.MultiState
+	target.Text = ""
+	target.Kids = []*dag.Node{first, alt}
+	return target
+}

@@ -1,0 +1,107 @@
+// Package iglr implements the incremental GLR parser of Wagner & Graham
+// (PLDI 1997, §3.3 and Appendix A). The parser accepts a mixed input stream
+// of terminal tokens and reusable subtrees from the previous parse,
+// combining Tomita-style generalized LR parsing (graph-structured stack,
+// breadth-first forking) with state-matching subtree reuse. It records
+// dynamic-lookahead use in dag nodes via the MultiState equivalence class,
+// and produces abstract parse dags with Rekers-corrected sharing and
+// unshared epsilon structure.
+package iglr
+
+import (
+	"iglr/internal/dag"
+	"iglr/internal/grammar"
+)
+
+// Stream is the parser's input: a sequence of subtrees (terminals are
+// single-node subtrees). It corresponds to the conceptual "subtree reuse
+// stack" of §3.2 — produced by a traversal of the previous version of the
+// tree — plus freshly lexed terminals at modification sites.
+type Stream interface {
+	// La returns the current lookahead subtree, or nil when exhausted.
+	// The final subtree must be an EOF terminal (grammar.EOF).
+	La() *dag.Node
+	// Pop advances past the current subtree (pop_lookahead).
+	Pop()
+	// Breakdown replaces the current subtree with its constituent children
+	// (left_breakdown): the first child becomes the lookahead and the rest
+	// are pushed. Empty subtrees are skipped entirely. For a choice node,
+	// the first unfiltered interpretation's children are exposed (its
+	// terminal yield is shared by every interpretation). Breakdown of a
+	// terminal panics.
+	Breakdown()
+}
+
+// sliceStream is a Stream over an explicit node sequence with a breakdown
+// stack. It serves batch parsing (all terminals) and tests; the incremental
+// document stream lives in the document package.
+type sliceStream struct {
+	pending []*dag.Node // reversed: next lookahead at the end
+}
+
+// NewStream builds a Stream over the given subtrees. The caller must
+// include a trailing EOF terminal.
+func NewStream(nodes []*dag.Node) Stream {
+	s := &sliceStream{pending: make([]*dag.Node, 0, len(nodes))}
+	for i := len(nodes) - 1; i >= 0; i-- {
+		s.pending = append(s.pending, nodes[i])
+	}
+	return s
+}
+
+func (s *sliceStream) La() *dag.Node {
+	if len(s.pending) == 0 {
+		return nil
+	}
+	return s.pending[len(s.pending)-1]
+}
+
+func (s *sliceStream) Pop() {
+	if len(s.pending) > 0 {
+		s.pending = s.pending[:len(s.pending)-1]
+	}
+}
+
+func (s *sliceStream) Breakdown() {
+	n := s.La()
+	if n == nil {
+		return
+	}
+	if n.IsTerminal() {
+		panic("iglr: breakdown of a terminal")
+	}
+	s.pending = s.pending[:len(s.pending)-1]
+	kids := n.Kids
+	if n.IsChoice() {
+		kids = nil
+		for _, k := range n.Kids {
+			if !k.Filtered {
+				kids = []*dag.Node{k}
+				break
+			}
+		}
+		if kids == nil && len(n.Kids) > 0 {
+			kids = []*dag.Node{n.Kids[0]}
+		}
+	}
+	for i := len(kids) - 1; i >= 0; i-- {
+		s.pending = append(s.pending, kids[i])
+	}
+}
+
+// TerminalNodes converts (sym, text) pairs plus a trailing EOF into
+// terminal dag nodes, the batch parser's input.
+func TerminalNodes(pairs []TerminalInput) []*dag.Node {
+	out := make([]*dag.Node, 0, len(pairs)+1)
+	for _, p := range pairs {
+		out = append(out, dag.NewTerminal(p.Sym, p.Text))
+	}
+	out = append(out, dag.NewTerminal(grammar.EOF, ""))
+	return out
+}
+
+// TerminalInput is one (symbol, lexeme) input pair for batch parsing.
+type TerminalInput struct {
+	Sym  grammar.Sym
+	Text string
+}

@@ -1,0 +1,122 @@
+// Package cppsub defines a C++ subset exhibiting the paper's running
+// example (Figures 1, 3, 8 and Appendix B): the statement `a(b);` is a
+// variable declaration when `a` names a type (`type_id ( decl_id )`) and a
+// function call otherwise (`func_id ( arglist )`). The distinction is not
+// context-free; the GLR parser records both interpretations in the
+// abstract parse dag and semantic analysis selects one (§4.2).
+//
+// The dangling-else ambiguity is resolved statically with the prefer-shift
+// filter (§4.1), demonstrating filter staging within one language.
+package cppsub
+
+import (
+	"iglr/internal/langs"
+	"iglr/internal/lexer"
+	"iglr/internal/lr"
+)
+
+// GrammarSrc is exported for the grammar-compiler CLI and documentation.
+const GrammarSrc = `
+// C++ subset with the declaration/expression ambiguity.
+%token ID NUM TYPEDEF INT IF ELSE WHILE RETURN ';' '(' ')' '{' '}' '=' '+' ','
+%start Unit
+
+Unit  : Item* ;
+
+Item  : Stmt ';'
+      | Decl ';'
+      | Block
+      | IF '(' Expr ')' Item
+      | IF '(' Expr ')' Item ELSE Item
+      | WHILE '(' Expr ')' Item
+      | RETURN Expr ';'
+      ;
+
+Block : '{' Item* '}' ;
+
+Decl     : TypeSpec InitDecl
+         | TYPEDEF TypeSpec ID
+         ;
+TypeSpec : INT | TypeId ;
+TypeId   : ID ;
+InitDecl : Declarator
+         | Declarator '=' Expr
+         ;
+Declarator : DeclId
+           | '(' Declarator ')'
+           | Declarator '(' ')'
+           ;
+DeclId : ID ;
+
+Stmt : Expr
+     | ID '=' Expr
+     ;
+Expr : Expr '+' Prim | Prim ;
+Prim : ID | NUM | Call | '(' Expr ')' ;
+Call : FuncId '(' Args ')' ;
+FuncId : ID ;
+Args : ArgList | ;
+ArgList : Expr | ArgList ',' Expr ;
+`
+
+// LexRules returns the lexical specification (exported so experiments can
+// rebuild the language under different table methods).
+func LexRules() []lexer.Rule { return append([]lexer.Rule(nil), def.LexRules...) }
+
+// Keywords returns the keyword map.
+func Keywords() map[string]string {
+	out := map[string]string{}
+	for k, v := range def.Keywords {
+		out[k] = v
+	}
+	return out
+}
+
+// TokenSyms returns the lexer-rule → terminal mapping.
+func TokenSyms() map[string]string {
+	out := map[string]string{}
+	for k, v := range def.TokenSyms {
+		out[k] = v
+	}
+	return out
+}
+
+var def = &langs.Builder{
+	Name:    "cpp-subset",
+	GramSrc: GrammarSrc,
+	LexRules: []lexer.Rule{
+		{Name: "WS", Pattern: `[ \t\n\r]+`, Skip: true},
+		{Name: "COMMENT", Pattern: `/\*([^*]|\*+[^*/])*\*+/`, Skip: true},
+		{Name: "LINECOMMENT", Pattern: `//[^\n]*`, Skip: true},
+		{Name: "ID", Pattern: `[a-zA-Z_][a-zA-Z0-9_]*`},
+		{Name: "NUM", Pattern: `[0-9]+`},
+		{Name: "SEMI", Pattern: `;`},
+		{Name: "LP", Pattern: `\(`},
+		{Name: "RP", Pattern: `\)`},
+		{Name: "LB", Pattern: `\{`},
+		{Name: "RB", Pattern: `\}`},
+		{Name: "EQ", Pattern: `=`},
+		{Name: "PLUS", Pattern: `\+`},
+		{Name: "COMMA", Pattern: `,`},
+	},
+	IdentRule: "ID",
+	Keywords: map[string]string{
+		"typedef": "TYPEDEF",
+		"int":     "INT",
+		"if":      "IF",
+		"else":    "ELSE",
+		"while":   "WHILE",
+		"return":  "RETURN",
+	},
+	TokenSyms: map[string]string{
+		"ID": "ID", "NUM": "NUM", "SEMI": "';'",
+		"LP": "'('", "RP": "')'", "LB": "'{'", "RB": "'}'",
+		"EQ": "'='", "PLUS": "'+'", "COMMA": "','",
+	},
+	// Prefer-shift statically resolves the dangling else; the
+	// declaration/expression reduce/reduce conflicts remain for GLR.
+	Options: lr.Options{Method: lr.LALR, PreferShift: true},
+}
+
+// Lang returns the C++-subset language definition.
+func Lang() *langs.Language { return def.Lang() }

@@ -1,0 +1,88 @@
+// Package csub defines a C subset exhibiting the typedef ambiguity of the
+// paper's Figure 1 in both classic shapes: `a(b);` (declaration of b with
+// parenthesized declarator vs. call of a) and `a * b;` (declaration of
+// pointer b vs. multiplication expression). Both require semantic
+// disambiguation via typedef binding information.
+package csub
+
+import (
+	"iglr/internal/langs"
+	"iglr/internal/lexer"
+	"iglr/internal/lr"
+)
+
+// GrammarSrc is exported for the grammar-compiler CLI and documentation.
+const GrammarSrc = `
+// C subset with declaration/expression ambiguities.
+%token ID NUM TYPEDEF INT RETURN ';' '(' ')' '{' '}' '=' '+' '*' ','
+%start Unit
+
+Unit  : Item* ;
+Item  : Stmt ';'
+      | Decl ';'
+      | Block
+      | RETURN Expr ';'
+      ;
+Block : '{' Item* '}' ;
+
+Decl     : TypeSpec InitDecl
+         | TYPEDEF TypeSpec ID
+         ;
+TypeSpec : INT | TypeId ;
+TypeId   : ID ;
+InitDecl : Declarator
+         | Declarator '=' Expr
+         ;
+Declarator : DeclId
+           | '*' Declarator
+           | '(' Declarator ')'
+           ;
+DeclId : ID ;
+
+Stmt : Expr
+     | ID '=' Expr
+     ;
+Expr : Expr '+' Term | Term ;
+Term : Term '*' Prim | Prim ;
+Prim : ID | NUM | Call | '(' Expr ')' ;
+Call : FuncId '(' Args ')' ;
+FuncId : ID ;
+Args : ArgList | ;
+ArgList : Expr | ArgList ',' Expr ;
+`
+
+var def = &langs.Builder{
+	Name:    "c-subset",
+	GramSrc: GrammarSrc,
+	LexRules: []lexer.Rule{
+		{Name: "WS", Pattern: `[ \t\n\r]+`, Skip: true},
+		{Name: "COMMENT", Pattern: `/\*([^*]|\*+[^*/])*\*+/`, Skip: true},
+		{Name: "LINECOMMENT", Pattern: `//[^\n]*`, Skip: true},
+		{Name: "ID", Pattern: `[a-zA-Z_][a-zA-Z0-9_]*`},
+		{Name: "NUM", Pattern: `[0-9]+`},
+		{Name: "SEMI", Pattern: `;`},
+		{Name: "LP", Pattern: `\(`},
+		{Name: "RP", Pattern: `\)`},
+		{Name: "LB", Pattern: `\{`},
+		{Name: "RB", Pattern: `\}`},
+		{Name: "EQ", Pattern: `=`},
+		{Name: "PLUS", Pattern: `\+`},
+		{Name: "STAR", Pattern: `\*`},
+		{Name: "COMMA", Pattern: `,`},
+	},
+	IdentRule: "ID",
+	Keywords: map[string]string{
+		"typedef": "TYPEDEF",
+		"int":     "INT",
+		"return":  "RETURN",
+	},
+	TokenSyms: map[string]string{
+		"ID": "ID", "NUM": "NUM", "SEMI": "';'",
+		"LP": "'('", "RP": "')'", "LB": "'{'", "RB": "'}'",
+		"EQ": "'='", "PLUS": "'+'", "STAR": "'*'", "COMMA": "','",
+	},
+	Options: lr.Options{Method: lr.LALR},
+}
+
+// Lang returns the C-subset language definition.
+func Lang() *langs.Language { return def.Lang() }

@@ -1,0 +1,86 @@
+// Package expr defines a small arithmetic expression language in two
+// flavors: one whose ambiguous grammar is fully resolved by yacc-style
+// static filters (precedence/associativity, §4.1), and one with the raw
+// ambiguous grammar, which exercises GLR forking and dynamic filtering.
+package expr
+
+import (
+	"iglr/internal/langs"
+	"iglr/internal/lexer"
+	"iglr/internal/lr"
+)
+
+const gramSrc = `
+%token ID NUM
+%left '+' '-'
+%left '*' '/'
+%right UMINUS
+%start Expr
+Expr : Expr '+' Expr
+     | Expr '-' Expr
+     | Expr '*' Expr
+     | Expr '/' Expr
+     | '-' Expr %prec UMINUS
+     | '(' Expr ')'
+     | ID
+     | NUM
+     ;
+`
+
+const ambigSrc = `
+%token ID NUM '+' '-' '*' '/' '(' ')'
+%start Expr
+Expr : Expr '+' Expr
+     | Expr '-' Expr
+     | Expr '*' Expr
+     | Expr '/' Expr
+     | '(' Expr ')'
+     | ID
+     | NUM
+     ;
+`
+
+func rules() []lexer.Rule {
+	return []lexer.Rule{
+		{Name: "WS", Pattern: `[ \t\n\r]+`, Skip: true},
+		{Name: "ID", Pattern: `[a-zA-Z_][a-zA-Z0-9_]*`},
+		{Name: "NUM", Pattern: `[0-9]+`},
+		{Name: "PLUS", Pattern: `\+`},
+		{Name: "MINUS", Pattern: `-`},
+		{Name: "STAR", Pattern: `\*`},
+		{Name: "SLASH", Pattern: `/`},
+		{Name: "LP", Pattern: `\(`},
+		{Name: "RP", Pattern: `\)`},
+	}
+}
+
+func tokenSyms() map[string]string {
+	return map[string]string{
+		"ID": "ID", "NUM": "NUM",
+		"PLUS": "'+'", "MINUS": "'-'", "STAR": "'*'", "SLASH": "'/'",
+		"LP": "'('", "RP": "')'",
+	}
+}
+
+var def = &langs.Builder{
+	Name:      "expr",
+	GramSrc:   gramSrc,
+	LexRules:  rules(),
+	Options:   lr.Options{Method: lr.LALR},
+	TokenSyms: tokenSyms(),
+}
+
+var ambigDef = &langs.Builder{
+	Name:      "expr-ambiguous",
+	GramSrc:   ambigSrc,
+	LexRules:  rules(),
+	Options:   lr.Options{Method: lr.LALR},
+	TokenSyms: tokenSyms(),
+}
+
+// Lang returns the statically disambiguated expression language.
+func Lang() *langs.Language { return def.Lang() }
+
+// AmbiguousLang returns the raw ambiguous expression language; its parse
+// dags retain every grouping until a dynamic filter selects one.
+func AmbiguousLang() *langs.Language { return ambigDef.Lang() }

@@ -1,0 +1,174 @@
+// Package javasub defines a Java subset — the paper's Ensemble environment
+// shipped a Java definition built on the same technology. The grammar is
+// deliberately written in natural Java style rather than contorted for
+// LR(1): the classic `T[] x;` (array-type local declaration) versus
+// `a[i] = v;` (array-element assignment) prefix requires two tokens of
+// lookahead after `ID [`, which the IGLR parser handles by forking, exactly
+// like the paper's Figure 7. Everything else is made deterministic with
+// yacc-style precedence and a prefer-shift dangling-else filter.
+package javasub
+
+import (
+	"iglr/internal/langs"
+	"iglr/internal/lexer"
+	"iglr/internal/lr"
+)
+
+// GrammarSrc is the Java-subset grammar.
+const GrammarSrc = `
+%token ID NUM STR CLASS PUBLIC STATIC VOID INT BOOLEAN IF ELSE WHILE FOR
+%token RETURN NEW TRUE FALSE NULL THIS BREAK CONTINUE
+%token OROR ANDAND EQEQ NEQ LE GE
+%right '='
+%left OROR
+%left ANDAND
+%left EQEQ NEQ
+%left '<' '>' LE GE
+%left '+' '-'
+%left '*' '/' '%'
+%right '!' UMINUS
+%start Unit
+
+Unit : ClassDecl+ ;
+
+ClassDecl : Mods CLASS ID ClassBody ;
+Mods      : Mod* ;
+Mod       : PUBLIC | STATIC ;
+ClassBody : '{' Member* '}' ;
+
+Member : FieldDecl | MethodDecl ;
+
+FieldDecl  : Mods Type ID ';'
+           | Mods Type ID '=' Expr ';'
+           ;
+// Methods share the "Mods Type ID" prefix with fields so that a single
+// token after the name (';', '=' or '(') decides deterministically.
+MethodDecl : Mods Type ID '(' Params ')' Block
+           | Mods VOID ID '(' Params ')' Block
+           ;
+
+Type : INT | BOOLEAN | ID | Type '[' ']' ;
+
+Params    : ParamList | ;
+ParamList : Param | ParamList ',' Param ;
+Param     : Type ID ;
+
+Block : '{' Stmt* '}' ;
+
+Stmt : Block
+     | LocalDecl ';'
+     | Expr ';'
+     | IF '(' Expr ')' Stmt
+     | IF '(' Expr ')' Stmt ELSE Stmt
+     | WHILE '(' Expr ')' Stmt
+     | FOR '(' ForInit ';' ForCond ';' ForUpd ')' Stmt
+     | RETURN ';'
+     | RETURN Expr ';'
+     | BREAK ';'
+     | CONTINUE ';'
+     | ';'
+     ;
+
+LocalDecl : Type ID
+          | Type ID '=' Expr
+          ;
+
+ForInit : LocalDecl | Expr | ;
+ForCond : Expr | ;
+ForUpd  : Expr | ;
+
+Expr : Expr '=' Expr
+     | Expr OROR Expr
+     | Expr ANDAND Expr
+     | Expr EQEQ Expr
+     | Expr NEQ Expr
+     | Expr '<' Expr
+     | Expr '>' Expr
+     | Expr LE Expr
+     | Expr GE Expr
+     | Expr '+' Expr
+     | Expr '-' Expr
+     | Expr '*' Expr
+     | Expr '/' Expr
+     | Expr '%' Expr
+     | '!' Expr
+     | '-' Expr %prec UMINUS
+     | Postfix
+     ;
+
+Postfix : Prim
+        | Postfix '.' ID
+        | Postfix '(' Args ')'
+        | Postfix '[' Expr ']'
+        ;
+
+Prim : ID
+     | NUM
+     | STR
+     | TRUE | FALSE | NULL | THIS
+     | '(' Expr ')'
+     | NEW ID '(' Args ')'
+     | NEW Type '[' Expr ']'
+     ;
+
+Args    : ArgList | ;
+ArgList : Expr | ArgList ',' Expr ;
+`
+
+var def = &langs.Builder{
+	Name:    "java-subset",
+	GramSrc: GrammarSrc,
+	LexRules: []lexer.Rule{
+		{Name: "WS", Pattern: `[ \t\n\r]+`, Skip: true},
+		{Name: "COMMENT", Pattern: `/\*([^*]|\*+[^*/])*\*+/`, Skip: true},
+		{Name: "LINECOMMENT", Pattern: `//[^\n]*`, Skip: true},
+		{Name: "ID", Pattern: `[a-zA-Z_$][a-zA-Z0-9_$]*`},
+		{Name: "NUM", Pattern: `[0-9]+(\.[0-9]+)?`},
+		{Name: "STR", Pattern: `"([^"\\\n]|\\.)*"`},
+		{Name: "OROR", Pattern: `\|\|`},
+		{Name: "ANDAND", Pattern: `&&`},
+		{Name: "EQEQ", Pattern: `==`},
+		{Name: "NEQ", Pattern: `!=`},
+		{Name: "LE", Pattern: `<=`},
+		{Name: "GE", Pattern: `>=`},
+		{Name: "EQ", Pattern: `=`},
+		{Name: "LT", Pattern: `<`},
+		{Name: "GT", Pattern: `>`},
+		{Name: "NOT", Pattern: `!`},
+		{Name: "PLUS", Pattern: `\+`},
+		{Name: "MINUS", Pattern: `-`},
+		{Name: "STAR", Pattern: `\*`},
+		{Name: "SLASH", Pattern: `/`},
+		{Name: "PCT", Pattern: `%`},
+		{Name: "SEMI", Pattern: `;`},
+		{Name: "COMMA", Pattern: `,`},
+		{Name: "DOT", Pattern: `\.`},
+		{Name: "LP", Pattern: `\(`},
+		{Name: "RP", Pattern: `\)`},
+		{Name: "LB", Pattern: `\{`},
+		{Name: "RB", Pattern: `\}`},
+		{Name: "LS", Pattern: `\[`},
+		{Name: "RS", Pattern: `\]`},
+	},
+	IdentRule: "ID",
+	Keywords: map[string]string{
+		"class": "CLASS", "public": "PUBLIC", "static": "STATIC",
+		"void": "VOID", "int": "INT", "boolean": "BOOLEAN",
+		"if": "IF", "else": "ELSE", "while": "WHILE", "for": "FOR",
+		"return": "RETURN", "new": "NEW", "true": "TRUE", "false": "FALSE",
+		"null": "NULL", "this": "THIS", "break": "BREAK", "continue": "CONTINUE",
+	},
+	TokenSyms: map[string]string{
+		"ID": "ID", "NUM": "NUM", "STR": "STR",
+		"OROR": "OROR", "ANDAND": "ANDAND", "EQEQ": "EQEQ", "NEQ": "NEQ",
+		"LE": "LE", "GE": "GE",
+		"EQ": "'='", "LT": "'<'", "GT": "'>'", "NOT": "'!'",
+		"PLUS": "'+'", "MINUS": "'-'", "STAR": "'*'", "SLASH": "'/'", "PCT": "'%'",
+		"SEMI": "';'", "COMMA": "','", "DOT": "'.'",
+		"LP": "'('", "RP": "')'", "LB": "'{'", "RB": "'}'", "LS": "'['", "RS": "']'",
+	},
+	Options: lr.Options{Method: lr.LALR, PreferShift: true},
+}
+
+// Lang returns the Java-subset language.
+func Lang() *langs.Language { return def.Lang() }

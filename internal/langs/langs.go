@@ -1,0 +1,123 @@
+// Package langs bundles the pieces that define a language for the
+// incremental analysis pipeline: grammar, lexical specification, parse
+// table, and the token→terminal mapping. Subpackages provide concrete
+// languages: an arithmetic expression language (expr), subsets of C (csub)
+// and C++ (cppsub) exhibiting the paper's typedef ambiguity, and the LR(2)
+// grammar of Figure 7 (lr2).
+package langs
+
+import (
+	"sync"
+
+	"iglr/internal/document"
+	"iglr/internal/grammar"
+	"iglr/internal/lexer"
+	"iglr/internal/lr"
+)
+
+// Language is a complete language definition.
+type Language struct {
+	Name    string
+	Grammar *grammar.Grammar
+	Spec    *lexer.Spec
+	Table   *lr.Table
+	Map     document.TokenMapper
+}
+
+// NewDocument creates a document over src for this language.
+func (l *Language) NewDocument(src string) *document.Document {
+	return document.New(l.Spec, l.Grammar, l.Map, src)
+}
+
+// Sym resolves a grammar symbol by name, panicking if missing (languages
+// are static definitions, so a miss is a programming error).
+func (l *Language) Sym(name string) grammar.Sym {
+	s := l.Grammar.Lookup(name)
+	if s == grammar.InvalidSym {
+		panic("langs: unknown symbol " + name + " in " + l.Name)
+	}
+	return s
+}
+
+// Builder assembles a Language from sources, caching the result.
+type Builder struct {
+	Name     string
+	GramSrc  string
+	LexRules []lexer.Rule
+	Options  lr.Options
+	// Keywords maps exact lexeme text of the IdentRule to keyword
+	// terminals, so keywords need no dedicated lexer rules.
+	Keywords  map[string]string
+	IdentRule string
+	TokenSyms map[string]string // lexer rule name → grammar symbol name
+
+	once sync.Once
+	lang *Language
+	err  error
+}
+
+// Lang builds (once) and returns the language.
+func (b *Builder) Lang() *Language {
+	b.once.Do(func() { b.lang, b.err = b.build() })
+	if b.err != nil {
+		panic(b.err)
+	}
+	return b.lang
+}
+
+func (b *Builder) build() (*Language, error) {
+	g, err := grammar.Parse(b.GramSrc)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := lexer.NewSpec(b.LexRules)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := lr.Build(g, b.Options)
+	if err != nil {
+		return nil, err
+	}
+	// Precompute rule→symbol mapping.
+	bySymName := func(name string) grammar.Sym {
+		s := g.Lookup(name)
+		if s == grammar.InvalidSym {
+			panic("langs: token mapping references unknown symbol " + name)
+		}
+		return s
+	}
+	ruleSyms := make([]grammar.Sym, spec.NumRules())
+	for i := range ruleSyms {
+		ruleSyms[i] = grammar.InvalidSym
+	}
+	for ruleName, symName := range b.TokenSyms {
+		idx := spec.RuleIndex(ruleName)
+		if idx < 0 {
+			panic("langs: token mapping references unknown lexer rule " + ruleName)
+		}
+		ruleSyms[idx] = bySymName(symName)
+	}
+	kw := map[string]grammar.Sym{}
+	for text, symName := range b.Keywords {
+		kw[text] = bySymName(symName)
+	}
+	identIdx := -1
+	if b.IdentRule != "" {
+		identIdx = spec.RuleIndex(b.IdentRule)
+		if identIdx < 0 {
+			panic("langs: IdentRule " + b.IdentRule + " not in lexer spec")
+		}
+	}
+	mapper := func(rule int, text string) grammar.Sym {
+		if rule == identIdx {
+			if s, ok := kw[text]; ok {
+				return s
+			}
+		}
+		if s := ruleSyms[rule]; s != grammar.InvalidSym {
+			return s
+		}
+		return grammar.ErrorSym
+	}
+	return &Language{Name: b.Name, Grammar: g, Spec: spec, Table: tbl, Map: mapper}, nil
+}

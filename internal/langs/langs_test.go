@@ -1,0 +1,184 @@
+package langs_test
+
+import (
+	"testing"
+
+	"iglr/internal/dag"
+	"iglr/internal/grammar"
+	"iglr/internal/iglr"
+	"iglr/internal/langs"
+	"iglr/internal/langs/cppsub"
+	"iglr/internal/langs/csub"
+	"iglr/internal/langs/expr"
+	"iglr/internal/langs/lr2"
+	"iglr/internal/lexer"
+	"iglr/internal/lr"
+)
+
+func TestBuilderPanicsOnBadDefinitions(t *testing.T) {
+	cases := []struct {
+		name string
+		b    *langs.Builder
+	}{
+		{"bad grammar", &langs.Builder{
+			Name:     "x",
+			GramSrc:  "%start S\nS : Missing ;",
+			LexRules: []lexer.Rule{{Name: "A", Pattern: "a"}},
+		}},
+		{"bad regex", &langs.Builder{
+			Name:     "x",
+			GramSrc:  "%token a\n%start S\nS : a ;",
+			LexRules: []lexer.Rule{{Name: "A", Pattern: "("}},
+		}},
+		{"unknown token sym", &langs.Builder{
+			Name:      "x",
+			GramSrc:   "%token a\n%start S\nS : a ;",
+			LexRules:  []lexer.Rule{{Name: "A", Pattern: "a"}},
+			TokenSyms: map[string]string{"A": "nope"},
+		}},
+		{"unknown rule", &langs.Builder{
+			Name:      "x",
+			GramSrc:   "%token a\n%start S\nS : a ;",
+			LexRules:  []lexer.Rule{{Name: "A", Pattern: "a"}},
+			TokenSyms: map[string]string{"B": "a"},
+		}},
+		{"bad ident rule", &langs.Builder{
+			Name:      "x",
+			GramSrc:   "%token a\n%start S\nS : a ;",
+			LexRules:  []lexer.Rule{{Name: "A", Pattern: "a"}},
+			IdentRule: "NOPE",
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			c.b.Lang()
+		})
+	}
+}
+
+func TestUnmappedRuleBecomesErrorToken(t *testing.T) {
+	b := &langs.Builder{
+		Name:    "partial",
+		GramSrc: "%token a\n%start S\nS : a ;",
+		LexRules: []lexer.Rule{
+			{Name: "A", Pattern: "a"},
+			{Name: "Q", Pattern: "q"}, // deliberately unmapped
+		},
+		TokenSyms: map[string]string{"A": "a"},
+	}
+	l := b.Lang()
+	d := l.NewDocument("q")
+	if d.LexErrorCount != 0 {
+		t.Fatal("q lexes fine; it maps to the error terminal at the grammar level")
+	}
+	p := iglr.New(l.Table)
+	if _, err := p.Parse(d.Stream()); err == nil {
+		t.Fatal("unmapped token must be a syntax error")
+	}
+}
+
+func TestLangCaching(t *testing.T) {
+	if expr.Lang() != expr.Lang() {
+		t.Fatal("Lang() should cache")
+	}
+	if lr2.Lang().Grammar != lr2.Lang().Grammar {
+		t.Fatal("grammar identity should be stable")
+	}
+}
+
+func TestSymPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	expr.Lang().Sym("NoSuchSymbol")
+}
+
+func TestCSubCppSubSurfaceDifferences(t *testing.T) {
+	// csub has '*' (pointers/multiplication); cppsub has while/if sugar.
+	c, cpp := csub.Lang(), cppsub.Lang()
+	if c.Grammar.Lookup("'*'") == grammar.InvalidSym {
+		t.Fatal("csub should have '*'")
+	}
+	if cpp.Grammar.Lookup("WHILE") == grammar.InvalidSym {
+		t.Fatal("cppsub should have WHILE")
+	}
+	// Both share the Item/Decl/TypeId backbone used by the semantics
+	// configuration.
+	for _, l := range []*langs.Language{c, cpp} {
+		for _, sym := range []string{"Item", "Decl", "TypeId", "DeclId", "Block", "TYPEDEF"} {
+			if l.Grammar.Lookup(sym) == grammar.InvalidSym {
+				t.Fatalf("%s missing %s", l.Name, sym)
+			}
+		}
+	}
+}
+
+func TestKeywordClassification(t *testing.T) {
+	l := cppsub.Lang()
+	d := l.NewDocument("typedef int x; typedefx = 1;")
+	terms := d.Terminals()
+	if terms[0].Sym != l.Sym("TYPEDEF") {
+		t.Fatalf("first token should be the TYPEDEF keyword, got %s", l.Grammar.Name(terms[0].Sym))
+	}
+	// "typedefx" is an identifier, not the keyword plus junk.
+	found := false
+	for _, n := range terms {
+		if n.Text == "typedefx" && n.Sym == l.Sym("ID") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("typedefx should lex as one identifier")
+	}
+}
+
+func TestCStyleSemanticsHooks(t *testing.T) {
+	l := csub.Lang()
+	cfg := langs.CStyleSemantics(l)
+	d := l.NewDocument("typedef int T; int v = 1; { v = 2; }")
+	p := iglr.New(l.Table)
+	root, err := p.Parse(d.Stream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var typedefs, decls, scopes int
+	root.Walk(func(n *dag.Node) {
+		if _, ok := cfg.TypedefName(n); ok {
+			typedefs++
+		}
+		if _, ok := cfg.DeclaredName(n); ok {
+			decls++
+		}
+		if cfg.IsScope(n) {
+			scopes++
+		}
+	})
+	if typedefs != 1 || decls != 1 || scopes != 1 {
+		t.Fatalf("typedefs=%d decls=%d scopes=%d", typedefs, decls, scopes)
+	}
+}
+
+func TestExprTableMethodsBuild(t *testing.T) {
+	// The bundled expr grammar builds under every method.
+	g, err := grammar.Parse(`
+%token ID
+%left '+'
+%start E
+E : E '+' E | ID ;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []lr.Method{lr.SLR, lr.LALR, lr.LR1} {
+		if _, err := lr.Build(g, lr.Options{Method: m}); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+	}
+}

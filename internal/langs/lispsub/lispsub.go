@@ -1,0 +1,52 @@
+// Package lispsub defines a Lisp subset — Ensemble's language list includes
+// one. S-expressions are an extreme case of the paper's §3.4 observation:
+// the whole program is nested associative sequences, so the balanced dag
+// representation applies everywhere. The grammar is deterministic; the
+// interest is structural (deep nesting, long element lists, quote sugar).
+package lispsub
+
+import (
+	"iglr/internal/langs"
+	"iglr/internal/lexer"
+	"iglr/internal/lr"
+)
+
+// GrammarSrc is the s-expression grammar.
+const GrammarSrc = `
+%token SYMBOL NUMBER STRING '(' ')' QUOTE
+%start Program
+
+Program : Form* ;
+
+Form : Atom
+     | List
+     | QUOTE Form
+     ;
+
+List : '(' Form* ')' ;
+
+Atom : SYMBOL | NUMBER | STRING ;
+`
+
+var def = &langs.Builder{
+	Name:    "lisp-subset",
+	GramSrc: GrammarSrc,
+	LexRules: []lexer.Rule{
+		{Name: "WS", Pattern: `[ \t\n\r]+`, Skip: true},
+		{Name: "COMMENT", Pattern: `;[^\n]*`, Skip: true},
+		{Name: "NUMBER", Pattern: `-?[0-9]+(\.[0-9]+)?`},
+		{Name: "STRING", Pattern: `"([^"\\]|\\.)*"`},
+		{Name: "QUOTE", Pattern: `'`},
+		{Name: "LP", Pattern: `\(`},
+		{Name: "RP", Pattern: `\)`},
+		{Name: "SYMBOL", Pattern: `[a-zA-Z+*/<>=!?._-][a-zA-Z0-9+*/<>=!?._-]*`},
+	},
+	TokenSyms: map[string]string{
+		"SYMBOL": "SYMBOL", "NUMBER": "NUMBER", "STRING": "STRING",
+		"QUOTE": "QUOTE", "LP": "'('", "RP": "')'",
+	},
+	Options: lr.Options{Method: lr.LALR},
+}
+
+// Lang returns the Lisp-subset language.
+func Lang() *langs.Language { return def.Lang() }

@@ -1,0 +1,38 @@
+// Package lr2 defines the paper's Figure 7 grammar: an unambiguous LR(2)
+// language that a GLR parser handles with LALR(1) tables by forking on the
+// U→x / V→x decision and tracking the extra lookahead dynamically (§3.3).
+package lr2
+
+import (
+	"iglr/internal/langs"
+	"iglr/internal/lexer"
+	"iglr/internal/lr"
+)
+
+// GrammarSrc is the Figure 7 grammar.
+const GrammarSrc = `
+%token x z c e
+%start A
+A : B c | D e ;
+B : U z ;
+D : V z ;
+U : x ;
+V : x ;
+`
+
+var def = &langs.Builder{
+	Name:    "lr2-figure7",
+	GramSrc: GrammarSrc,
+	LexRules: []lexer.Rule{
+		{Name: "WS", Pattern: `[ \t\n\r]+`, Skip: true},
+		{Name: "X", Pattern: `x`},
+		{Name: "Z", Pattern: `z`},
+		{Name: "C", Pattern: `c`},
+		{Name: "E", Pattern: `e`},
+	},
+	TokenSyms: map[string]string{"X": "x", "Z": "z", "C": "c", "E": "e"},
+	Options:   lr.Options{Method: lr.LALR},
+}
+
+// Lang returns the Figure 7 language.
+func Lang() *langs.Language { return def.Lang() }

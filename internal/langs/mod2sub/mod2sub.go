@@ -1,0 +1,124 @@
+// Package mod2sub defines a Modula-2 subset — the first language Ensemble
+// shipped. Modula-2 was designed for one-token-lookahead parsing, so the
+// grammar is cleanly LALR(1) with no conflicts at all: it exercises the
+// deterministic incremental parser (§3.2) on a realistic block-structured
+// language, and the keyword-rich syntax stresses the lexer's
+// identifier/keyword classification.
+package mod2sub
+
+import (
+	"iglr/internal/langs"
+	"iglr/internal/lexer"
+	"iglr/internal/lr"
+)
+
+// GrammarSrc is the Modula-2-subset grammar.
+const GrammarSrc = `
+%token ID NUM STR MODULE BEGIN END VAR CONST PROCEDURE IF THEN ELSIF ELSE
+%token WHILE DO RETURN INTEGER BOOLEAN TRUE FALSE
+%token NEQ LE GE ASSIGN
+%start Module
+
+Module : MODULE ID ';' Decls Body ID '.' ;
+
+Decls : Decl* ;
+Decl  : VAR VarDecl+
+      | CONST ConstDecl+
+      | ProcDecl
+      ;
+VarDecl   : IdList ':' Type ';' ;
+ConstDecl : ID '=' Expr ';' ;
+IdList    : ID | IdList ',' ID ;
+Type      : INTEGER | BOOLEAN | ID ;
+
+ProcDecl : PROCEDURE ID Formals ';' Decls Body ID ';' ;
+Formals  : '(' ParamList ')' | '(' ')' | ;
+ParamList : Param | ParamList ';' Param ;
+Param     : IdList ':' Type ;
+
+Body : BEGIN Stmts END ;
+
+Stmts : StmtSeq | ;
+StmtSeq : Stmt | StmtSeq ';' Stmt ;
+
+Stmt : ID ASSIGN Expr
+     | ID '(' Args ')'
+     | IfStmt
+     | WHILE Expr DO Stmts END
+     | RETURN Expr
+     | RETURN
+     ;
+
+IfStmt : IF Expr THEN Stmts Elsifs Else END ;
+Elsifs : Elsif* ;
+Elsif  : ELSIF Expr THEN Stmts ;
+Else   : ELSE Stmts | ;
+
+Args    : ArgList | ;
+ArgList : Expr | ArgList ',' Expr ;
+
+Expr : Simple
+     | Simple '=' Simple
+     | Simple NEQ Simple
+     | Simple '<' Simple
+     | Simple '>' Simple
+     | Simple LE Simple
+     | Simple GE Simple
+     ;
+Simple : Term | Simple '+' Term | Simple '-' Term ;
+Term   : Factor | Term '*' Factor | Term '/' Factor ;
+Factor : ID | NUM | STR | TRUE | FALSE
+       | ID '(' Args ')'
+       | '(' Expr ')'
+       | '-' Factor
+       ;
+`
+
+var def = &langs.Builder{
+	Name:    "modula2-subset",
+	GramSrc: GrammarSrc,
+	LexRules: []lexer.Rule{
+		{Name: "WS", Pattern: `[ \t\n\r]+`, Skip: true},
+		{Name: "COMMENT", Pattern: `\(\*([^*]|\*+[^)*])*\*+\)`, Skip: true},
+		{Name: "ID", Pattern: `[a-zA-Z][a-zA-Z0-9]*`},
+		{Name: "NUM", Pattern: `[0-9]+`},
+		{Name: "STR", Pattern: `"[^"\n]*"`},
+		{Name: "ASSIGN", Pattern: `:=`},
+		{Name: "NEQ", Pattern: `#`},
+		{Name: "LE", Pattern: `<=`},
+		{Name: "GE", Pattern: `>=`},
+		{Name: "EQ", Pattern: `=`},
+		{Name: "LT", Pattern: `<`},
+		{Name: "GT", Pattern: `>`},
+		{Name: "COLON", Pattern: `:`},
+		{Name: "SEMI", Pattern: `;`},
+		{Name: "COMMA", Pattern: `,`},
+		{Name: "DOT", Pattern: `\.`},
+		{Name: "PLUS", Pattern: `\+`},
+		{Name: "MINUS", Pattern: `-`},
+		{Name: "STAR", Pattern: `\*`},
+		{Name: "SLASH", Pattern: `/`},
+		{Name: "LP", Pattern: `\(`},
+		{Name: "RP", Pattern: `\)`},
+	},
+	IdentRule: "ID",
+	Keywords: map[string]string{
+		"MODULE": "MODULE", "BEGIN": "BEGIN", "END": "END", "VAR": "VAR",
+		"CONST": "CONST", "PROCEDURE": "PROCEDURE", "IF": "IF", "THEN": "THEN",
+		"ELSIF": "ELSIF", "ELSE": "ELSE", "WHILE": "WHILE", "DO": "DO",
+		"RETURN": "RETURN", "INTEGER": "INTEGER", "BOOLEAN": "BOOLEAN",
+		"TRUE": "TRUE", "FALSE": "FALSE",
+	},
+	TokenSyms: map[string]string{
+		"ID": "ID", "NUM": "NUM", "STR": "STR", "ASSIGN": "ASSIGN",
+		"NEQ": "NEQ", "LE": "LE", "GE": "GE",
+		"EQ": "'='", "LT": "'<'", "GT": "'>'",
+		"COLON": "':'", "SEMI": "';'", "COMMA": "','", "DOT": "'.'",
+		"PLUS": "'+'", "MINUS": "'-'", "STAR": "'*'", "SLASH": "'/'",
+		"LP": "'('", "RP": "')'",
+	},
+	Options: lr.Options{Method: lr.LALR},
+}
+
+// Lang returns the Modula-2-subset language.
+func Lang() *langs.Language { return def.Lang() }

@@ -1,0 +1,141 @@
+package mod2sub_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"iglr/internal/detparse"
+	"iglr/internal/iglr"
+	"iglr/internal/langs/mod2sub"
+)
+
+const sample = `MODULE Demo;
+  (* a small Modula-2 program *)
+  CONST Limit = 10;
+  VAR i, sum : INTEGER;
+      done : BOOLEAN;
+
+  PROCEDURE Square(x : INTEGER);
+  BEGIN
+    RETURN x * x
+  END Square;
+
+BEGIN
+  sum := 0;
+  i := 1;
+  WHILE i <= Limit DO
+    sum := sum + Square(i);
+    i := i + 1
+  END;
+  IF sum > 100 THEN done := TRUE ELSIF sum = 0 THEN done := FALSE ELSE done := TRUE END
+END Demo.
+`
+
+func TestDeterministicTable(t *testing.T) {
+	l := mod2sub.Lang()
+	if !l.Table.Deterministic() {
+		t.Fatalf("Modula-2 should be conflict-free:\n%s", l.Table.DescribeConflicts())
+	}
+}
+
+func TestParseSample(t *testing.T) {
+	l := mod2sub.Lang()
+	p := iglr.New(l.Table)
+	d := l.NewDocument(sample)
+	root, err := p.Parse(d.Stream())
+	if err != nil {
+		t.Fatalf("sample does not parse: %v", err)
+	}
+	if root.Ambiguous() {
+		t.Fatal("deterministic language cannot be ambiguous")
+	}
+}
+
+func TestRejectsBadPrograms(t *testing.T) {
+	l := mod2sub.Lang()
+	p := iglr.New(l.Table)
+	for _, src := range []string{
+		`MODULE M; BEGIN END M`,       // missing '.'
+		`MODULE M BEGIN END M.`,       // missing ';'
+		`MODULE M; BEGIN x := END M.`, // missing expression
+		`MODULE M; VAR : INTEGER; BEGIN END M.`,
+		`BEGIN END.`,
+	} {
+		d := l.NewDocument(src)
+		if _, err := p.Parse(d.Stream()); err == nil {
+			t.Fatalf("accepted invalid program: %s", src)
+		}
+	}
+}
+
+func TestDeterministicIncrementalSession(t *testing.T) {
+	// Modula-2 works under the deterministic state-matching parser too.
+	l := mod2sub.Lang()
+	det, err := detparse.New(l.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := l.NewDocument(sample)
+	root, err := det.Parse(d.Stream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Commit(root)
+
+	off := strings.Index(sample, "Limit = 10")
+	d.Replace(off+len("Limit = "), 2, "99")
+	root2, err := det.Parse(d.Stream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Commit(root2)
+	if det.Stats.SubtreeShifts == 0 {
+		t.Fatalf("expected reuse: %+v", det.Stats)
+	}
+	if !strings.Contains(root2.Yield(), "Limit=99") {
+		t.Fatal("edit missing")
+	}
+}
+
+func TestLargeModuleIncremental(t *testing.T) {
+	l := mod2sub.Lang()
+	var sb strings.Builder
+	sb.WriteString("MODULE Big;\n  VAR x : INTEGER;\n")
+	for i := 0; i < 150; i++ {
+		fmt.Fprintf(&sb, "  PROCEDURE P%d(a : INTEGER);\n  BEGIN\n    x := a + %d;\n    RETURN x\n  END P%d;\n", i, i, i)
+	}
+	sb.WriteString("BEGIN\n  x := 0\nEND Big.\n")
+	src := sb.String()
+
+	p := iglr.New(l.Table)
+	d := l.NewDocument(src)
+	root, err := p.Parse(d.Stream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Commit(root)
+
+	off := strings.Index(src, "a + 75")
+	d.Replace(off+4, 2, "750")
+	root2, err := p.Parse(d.Stream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Commit(root2)
+	if p.Stats.TerminalShifts > 30 {
+		t.Fatalf("too much relexing: %+v", p.Stats)
+	}
+	if !strings.Contains(root2.Yield(), "a+750") {
+		t.Fatal("edit missing")
+	}
+}
+
+func TestNestedCommentsStyleLexing(t *testing.T) {
+	l := mod2sub.Lang()
+	p := iglr.New(l.Table)
+	d := l.NewDocument("MODULE M; (* c1 (* not nested in subset *) BEGIN END M.")
+	// The comment swallows up to the first *): the rest must still parse
+	// or fail cleanly — either way no panic.
+	_, _ = p.Parse(d.Stream())
+}

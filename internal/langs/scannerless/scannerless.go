@@ -1,0 +1,88 @@
+// Package scannerless demonstrates scannerless generalized-LR parsing
+// (Visser, the paper's reference [24]): lexical and context-free analysis
+// folded into a single grammar over character-level terminals. The paper
+// notes that "this approach can be made incremental using the techniques we
+// describe" — and indeed the IGLR parser handles it unchanged: every
+// character is a token, identifiers and numbers are associative character
+// sequences, and the classic keyword/identifier prefix problem (`if` vs an
+// identifier starting with "if") is represented as GLR non-determinism that
+// context resolves.
+//
+// The language is a small statement language:
+//
+//	Stmt : 'if' '(' Expr ')' Stmt  |  Ident '=' Expr ';'  |  '{' Stmt* '}'
+//	Expr : Expr '+' Prim | Prim ;  Prim : Ident | Number
+//
+// with identifiers and numbers spelled out character by character. No
+// whitespace is permitted (layout productions are the usual scannerless
+// extension; omitted to keep the demonstration focused).
+package scannerless
+
+import (
+	"fmt"
+	"strings"
+
+	"iglr/internal/langs"
+	"iglr/internal/lexer"
+	"iglr/internal/lr"
+)
+
+const letters = "abcdefghijklmnopqrstuvwxyz"
+const digits = "0123456789"
+
+// GrammarSrc builds the character-level grammar text.
+func GrammarSrc() string {
+	var b strings.Builder
+	b.WriteString("%start Prog\n")
+	b.WriteString("Prog : Stmt+ ;\n")
+	// The keyword 'if' is spelled with the same character terminals as
+	// identifiers — the prefix ambiguity is real and GLR carries it.
+	b.WriteString("Stmt : 'i' 'f' '(' Expr ')' Stmt | Ident '=' Expr ';' | '{' Stmt+ '}' ;\n")
+	b.WriteString("Expr : Expr '+' Prim | Prim ;\n")
+	b.WriteString("Prim : Ident | Number ;\n")
+	b.WriteString("Ident : Letter+ ;\n")
+	b.WriteString("Number : Digit+ ;\n")
+	alts := make([]string, 0, len(letters))
+	for _, c := range letters {
+		alts = append(alts, fmt.Sprintf("'%c'", c))
+	}
+	fmt.Fprintf(&b, "Letter : %s ;\n", strings.Join(alts, " | "))
+	alts = alts[:0]
+	for _, c := range digits {
+		alts = append(alts, fmt.Sprintf("'%c'", c))
+	}
+	fmt.Fprintf(&b, "Digit : %s ;\n", strings.Join(alts, " | "))
+	return b.String()
+}
+
+func lexRules() []lexer.Rule {
+	var rules []lexer.Rule
+	for _, c := range letters + digits + "(){}=+;" {
+		pat := string(c)
+		switch c {
+		case '(', ')', '{', '}', '+':
+			pat = "\\" + string(c)
+		}
+		rules = append(rules, lexer.Rule{Name: fmt.Sprintf("C%c", c), Pattern: pat})
+	}
+	return rules
+}
+
+func tokenSyms() map[string]string {
+	m := map[string]string{}
+	for _, c := range letters + digits + "(){}=+;" {
+		m[fmt.Sprintf("C%c", c)] = fmt.Sprintf("'%c'", c)
+	}
+	return m
+}
+
+var def = &langs.Builder{
+	Name:      "scannerless",
+	GramSrc:   GrammarSrc(),
+	LexRules:  lexRules(),
+	TokenSyms: tokenSyms(),
+	Options:   lr.Options{Method: lr.LALR},
+}
+
+// Lang returns the scannerless language.
+func Lang() *langs.Language { return def.Lang() }

@@ -1,0 +1,247 @@
+// Package lexer provides batch and incremental lexing driven by
+// regex-compiled DFA token specifications. Each token records how far past
+// its own end the recognizer looked (its lexical lookahead); the incremental
+// lexer uses this to invalidate exactly the tokens whose recognition
+// examined an edited character, as required by the parse-dag invalidation
+// step of Wagner & Graham's incremental parser (Appendix A,
+// process_modifications_to_parse_dag).
+package lexer
+
+import (
+	"fmt"
+	"unicode/utf8"
+
+	"iglr/internal/regex"
+)
+
+// ErrorType is the token type assigned to characters no rule matches.
+const ErrorType = -1
+
+// Rule defines one token kind. Earlier rules win ties (lex convention);
+// longest match wins overall. Skip rules (whitespace, comments) produce no
+// tokens but still participate in lookahead accounting.
+type Rule struct {
+	Name    string
+	Pattern string
+	Skip    bool
+}
+
+// Spec is a compiled lexical specification.
+type Spec struct {
+	rules []Rule
+	dfa   *regex.DFA
+}
+
+// NewSpec compiles the rule set.
+func NewSpec(rules []Rule) (*Spec, error) {
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("lexer: empty rule set")
+	}
+	pats := make([]string, len(rules))
+	for i, r := range rules {
+		pats[i] = r.Pattern
+	}
+	dfa, err := regex.CompileSet(pats)
+	if err != nil {
+		return nil, err
+	}
+	if dfa.Accept(dfa.Start()) >= 0 {
+		return nil, fmt.Errorf("lexer: a rule matches the empty string")
+	}
+	return &Spec{rules: append([]Rule(nil), rules...), dfa: dfa}, nil
+}
+
+// MustSpec is NewSpec but panics on error.
+func MustSpec(rules []Rule) *Spec {
+	s, err := NewSpec(rules)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumRules returns the number of rules.
+func (s *Spec) NumRules() int { return len(s.rules) }
+
+// Rule returns rule i.
+func (s *Spec) Rule(i int) Rule { return s.rules[i] }
+
+// RuleIndex returns the index of the rule with the given name, or -1.
+func (s *Spec) RuleIndex(name string) int {
+	for i, r := range s.rules {
+		if r.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Token is one lexeme.
+type Token struct {
+	// Type is the rule index, or ErrorType for unmatched characters.
+	Type int
+	// Offset is the byte offset of the token in the current text.
+	Offset int
+	// Text is the lexeme.
+	Text string
+	// Lookahead is the number of bytes beyond the end of Text that the
+	// recognizer examined while deciding this token (≥0).
+	Lookahead int
+	// Skip marks tokens from skip rules; they are retained in the stream
+	// for exact incremental accounting but hidden from the parser.
+	Skip bool
+}
+
+// End returns the byte offset one past the token text.
+func (t Token) End() int { return t.Offset + len(t.Text) }
+
+// scanOne recognizes one token at pos. It returns the matched byte length
+// (≥1 even on error), the rule (or ErrorType) and the total number of bytes
+// examined from pos.
+func (s *Spec) scanOne(text string, pos int) (length, rule, examined int) {
+	state := s.dfa.Start()
+	best, bestRule := -1, ErrorType
+	i := pos
+	for i < len(text) {
+		r, sz := utf8.DecodeRuneInString(text[i:])
+		state = s.dfa.Step(state, r)
+		if state == regex.Dead {
+			examined = i + sz - pos // the killing rune was examined
+			if best < 0 {
+				// No rule matched: emit a one-rune error token, but charge
+				// it everything the DFA examined (e.g. an unterminated
+				// comment opener reads to end of input before failing).
+				_, fsz := utf8.DecodeRuneInString(text[pos:])
+				return fsz, ErrorType, examined
+			}
+			return best, bestRule, examined
+		}
+		i += sz
+		if a := s.dfa.Accept(state); a >= 0 {
+			best, bestRule = i-pos, a
+		}
+	}
+	examined = len(text) - pos
+	if best < 0 {
+		_, fsz := utf8.DecodeRuneInString(text[pos:])
+		return fsz, ErrorType, examined
+	}
+	return best, bestRule, examined
+}
+
+// Scan lexes the whole text, returning every token including skip tokens.
+func (s *Spec) Scan(text string) []Token {
+	var out []Token
+	pos := 0
+	for pos < len(text) {
+		length, rule, examined := s.scanOne(text, pos)
+		tok := Token{
+			Type:      rule,
+			Offset:    pos,
+			Text:      text[pos : pos+length],
+			Lookahead: examined - length,
+		}
+		if rule >= 0 {
+			tok.Skip = s.rules[rule].Skip
+		}
+		out = append(out, tok)
+		pos += length
+	}
+	return out
+}
+
+// Significant filters out skip tokens.
+func Significant(toks []Token) []Token {
+	out := make([]Token, 0, len(toks))
+	for _, t := range toks {
+		if !t.Skip && t.Type != ErrorType {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Edit describes a single text modification: Removed bytes at Offset were
+// replaced by Inserted.
+type Edit struct {
+	Offset   int
+	Removed  int
+	Inserted string
+}
+
+// Delta returns the signed change in text length.
+func (e Edit) Delta() int { return len(e.Inserted) - e.Removed }
+
+// Relex incrementally updates the token stream for a single edit. old is
+// the previous token stream for oldText; newText must equal oldText with e
+// applied. It returns the new stream, the index of the first token that
+// differs from the old stream, and the number of freshly scanned tokens
+// (the incremental work measure): tokens[:first] are the old tokens kept,
+// tokens[first:first+relexed] are fresh, and the remainder is the old
+// stream's tail with adjusted offsets.
+func (s *Spec) Relex(old []Token, newText string, e Edit) (tokens []Token, first, relexed int) {
+	lo := e.Offset
+	hiOld := e.Offset + e.Removed
+
+	// First affected token: the earliest whose examined window reaches the
+	// edit. A token whose recognition stopped at end-of-input is affected
+	// by an append there too — had more text existed, the recognizer would
+	// have examined it — so a window ending exactly at the old text length
+	// is treated as open-ended.
+	oldLen := len(newText) - e.Delta()
+	first = len(old)
+	for i, t := range old {
+		windowEnd := t.End() + t.Lookahead
+		if windowEnd > lo || windowEnd == oldLen {
+			first = i
+			break
+		}
+	}
+
+	tokens = append(tokens, old[:first]...)
+	pos := 0
+	if first > 0 {
+		pos = old[first-1].End()
+	}
+
+	delta := e.Delta()
+	// Index of the first old token that starts at or after the end of the
+	// removed region and is not itself affected; candidates for resync.
+	resyncFrom := first
+	for resyncFrom < len(old) && old[resyncFrom].Offset < hiOld {
+		resyncFrom++
+	}
+
+	for pos < len(newText) {
+		// Resync check: a fresh token boundary that coincides with an
+		// unaffected old token boundary lets us splice the tail.
+		if pos >= lo+len(e.Inserted) {
+			oldPos := pos - delta
+			for resyncFrom < len(old) && old[resyncFrom].Offset < oldPos {
+				resyncFrom++
+			}
+			if resyncFrom < len(old) && old[resyncFrom].Offset == oldPos && oldPos >= hiOld {
+				for _, t := range old[resyncFrom:] {
+					t.Offset += delta
+					t.Text = newText[t.Offset : t.Offset+len(t.Text)]
+					tokens = append(tokens, t)
+				}
+				return tokens, first, relexed
+			}
+		}
+		length, rule, examined := s.scanOne(newText, pos)
+		tok := Token{
+			Type:      rule,
+			Offset:    pos,
+			Text:      newText[pos : pos+length],
+			Lookahead: examined - length,
+		}
+		if rule >= 0 {
+			tok.Skip = s.rules[rule].Skip
+		}
+		tokens = append(tokens, tok)
+		relexed++
+		pos += length
+	}
+	return tokens, first, relexed
+}

@@ -1,0 +1,244 @@
+package lexer
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// cRules is a C-like token specification used across the tests.
+func cRules() []Rule {
+	return []Rule{
+		{Name: "WS", Pattern: `[ \t\r\n]+`, Skip: true},
+		{Name: "COMMENT", Pattern: `/\*([^*]|\*+[^*/])*\*+/`, Skip: true},
+		{Name: "LINECOMMENT", Pattern: `//[^\n]*`, Skip: true},
+		{Name: "IF", Pattern: `if`},
+		{Name: "ELSE", Pattern: `else`},
+		{Name: "INT", Pattern: `int`},
+		{Name: "ID", Pattern: `[A-Za-z_][A-Za-z0-9_]*`},
+		{Name: "NUM", Pattern: `[0-9]+`},
+		{Name: "STR", Pattern: `"([^"\\\n]|\\.)*"`},
+		{Name: "EQEQ", Pattern: `==`},
+		{Name: "EQ", Pattern: `=`},
+		{Name: "SEMI", Pattern: `;`},
+		{Name: "LP", Pattern: `\(`},
+		{Name: "RP", Pattern: `\)`},
+		{Name: "LB", Pattern: `\{`},
+		{Name: "RB", Pattern: `\}`},
+		{Name: "PLUS", Pattern: `\+`},
+		{Name: "STAR", Pattern: `\*`},
+		{Name: "COMMA", Pattern: `,`},
+	}
+}
+
+func names(s *Spec, toks []Token) []string {
+	var out []string
+	for _, t := range toks {
+		if t.Skip {
+			continue
+		}
+		if t.Type == ErrorType {
+			out = append(out, "ERROR")
+			continue
+		}
+		out = append(out, s.Rule(t.Type).Name)
+	}
+	return out
+}
+
+func TestScanBasics(t *testing.T) {
+	s := MustSpec(cRules())
+	toks := s.Scan(`int x = 42; // set x`)
+	got := strings.Join(names(s, toks), " ")
+	want := "INT ID EQ NUM SEMI"
+	if got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestTokensTileText(t *testing.T) {
+	s := MustSpec(cRules())
+	text := "if (x == 42) { y = x + 1; } /* done */ else z = 0;"
+	toks := s.Scan(text)
+	pos := 0
+	for _, tok := range toks {
+		if tok.Offset != pos {
+			t.Fatalf("gap at %d: token %q starts at %d", pos, tok.Text, tok.Offset)
+		}
+		pos = tok.End()
+	}
+	if pos != len(text) {
+		t.Fatalf("tokens end at %d, text length %d", pos, len(text))
+	}
+}
+
+func TestKeywordPriority(t *testing.T) {
+	s := MustSpec(cRules())
+	toks := Significant(s.Scan("if iffy int integer"))
+	want := []string{"IF", "ID", "INT", "ID"}
+	got := names(s, toks)
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestErrorTokens(t *testing.T) {
+	s := MustSpec(cRules())
+	toks := s.Scan("x @ y")
+	var errs int
+	for _, tok := range toks {
+		if tok.Type == ErrorType {
+			errs++
+			if tok.Text != "@" {
+				t.Fatalf("error token text %q", tok.Text)
+			}
+		}
+	}
+	if errs != 1 {
+		t.Fatalf("error tokens = %d, want 1", errs)
+	}
+}
+
+func TestLookaheadRecorded(t *testing.T) {
+	s := MustSpec(cRules())
+	// "==" requires looking at the char after a single "=" to decide;
+	// after scanning "=" the DFA keeps going and dies at 'x'.
+	toks := Significant(s.Scan("= x"))
+	if toks[0].Text != "=" {
+		t.Fatalf("first token %q", toks[0].Text)
+	}
+	if toks[0].Lookahead < 1 {
+		t.Fatalf("'=' should record lookahead >= 1, got %d", toks[0].Lookahead)
+	}
+	// A token at end of input examines nothing beyond itself.
+	toks = Significant(s.Scan("abc"))
+	if toks[0].Lookahead != 0 {
+		t.Fatalf("EOF token lookahead = %d, want 0", toks[0].Lookahead)
+	}
+}
+
+func applyEdit(text string, e Edit) string {
+	return text[:e.Offset] + e.Inserted + text[e.Offset+e.Removed:]
+}
+
+func checkIncremental(t *testing.T, s *Spec, text string, e Edit) (relexed int) {
+	t.Helper()
+	old := s.Scan(text)
+	newText := applyEdit(text, e)
+	got, first, relexed := s.Relex(old, newText, e)
+	_ = first
+	want := s.Scan(newText)
+	if len(got) != len(want) {
+		t.Fatalf("edit %+v on %q:\n got %d tokens\nwant %d tokens", e, text, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Offset != want[i].Offset || got[i].Text != want[i].Text ||
+			got[i].Type != want[i].Type || got[i].Lookahead != want[i].Lookahead {
+			t.Fatalf("edit %+v on %q: token %d differs:\n got %+v\nwant %+v", e, text, i, got[i], want[i])
+		}
+	}
+	return relexed
+}
+
+func TestRelexSimpleEdits(t *testing.T) {
+	s := MustSpec(cRules())
+	text := "int foo = bar + 42; if (foo == 7) { bar = 0; }"
+	cases := []Edit{
+		{Offset: 4, Removed: 3, Inserted: "quux"},  // rename identifier
+		{Offset: 0, Removed: 3, Inserted: "float"}, // replace keyword (float is an ID here)
+		{Offset: 16, Removed: 2, Inserted: "137"},  // replace number
+		{Offset: 18, Removed: 0, Inserted: "9"},    // extend number
+		{Offset: len(text), Removed: 0, Inserted: " x = 1;"},
+		{Offset: 0, Removed: 0, Inserted: "int q; "},
+		{Offset: 10, Removed: 0, Inserted: ""}, // no-op
+		{Offset: 5, Removed: 0, Inserted: " "}, // split identifier
+		{Offset: 22, Removed: 1, Inserted: ""}, // delete char
+		{Offset: 0, Removed: len(text), Inserted: "x"},
+	}
+	for _, e := range cases {
+		checkIncremental(t, s, text, e)
+	}
+}
+
+func TestRelexTouchesFewTokens(t *testing.T) {
+	s := MustSpec(cRules())
+	// A large program: editing one token should relex O(1) tokens.
+	var sb strings.Builder
+	for i := 0; i < 2000; i++ {
+		sb.WriteString("int v = 1 + 2; ")
+	}
+	text := sb.String()
+	relexed := checkIncremental(t, s, text, Edit{Offset: len(text) / 2, Removed: 1, Inserted: "x"})
+	if relexed > 8 {
+		t.Fatalf("relexed %d tokens for a single-character edit, want <= 8", relexed)
+	}
+}
+
+func TestRelexCommentGrowth(t *testing.T) {
+	s := MustSpec(cRules())
+	// Deleting the '*' of a comment opener swallows following text; the
+	// incremental result must match the batch rescan.
+	text := "a /* c */ b = 2;"
+	checkIncremental(t, s, text, Edit{Offset: 3, Removed: 1, Inserted: ""})
+	// Closing an unterminated comment.
+	text2 := "a /* c  b = 2;"
+	checkIncremental(t, s, text2, Edit{Offset: 8, Removed: 0, Inserted: "*/"})
+}
+
+func TestRelexRandomized(t *testing.T) {
+	s := MustSpec(cRules())
+	rng := rand.New(rand.NewSource(42))
+	alphabet := "abx01 =+;(){}/*\"\\\n\t"
+	text := "int a = 1; if (a == 1) { a = a + 2; } /* c */ \"str\" x;"
+	for iter := 0; iter < 500; iter++ {
+		// Random edit.
+		off := rng.Intn(len(text) + 1)
+		maxRem := len(text) - off
+		rem := 0
+		if maxRem > 0 {
+			rem = rng.Intn(min(maxRem, 6))
+		}
+		var ins strings.Builder
+		for n := rng.Intn(6); n > 0; n-- {
+			ins.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		e := Edit{Offset: off, Removed: rem, Inserted: ins.String()}
+		checkIncremental(t, s, text, e)
+		text = applyEdit(text, e)
+		if len(text) > 4000 {
+			text = text[:2000]
+		}
+		if len(text) == 0 {
+			text = "int a = 1;"
+		}
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	if _, err := NewSpec(nil); err == nil {
+		t.Fatal("empty spec should fail")
+	}
+	if _, err := NewSpec([]Rule{{Name: "BAD", Pattern: "("}}); err == nil {
+		t.Fatal("bad pattern should fail")
+	}
+	if _, err := NewSpec([]Rule{{Name: "EMPTY", Pattern: "a*"}}); err == nil {
+		t.Fatal("empty-string-matching rule should fail")
+	}
+}
+
+func TestRuleIndex(t *testing.T) {
+	s := MustSpec(cRules())
+	if i := s.RuleIndex("ID"); i < 0 || s.Rule(i).Name != "ID" {
+		t.Fatalf("RuleIndex(ID) = %d", i)
+	}
+	if s.RuleIndex("NOPE") != -1 {
+		t.Fatal("RuleIndex(NOPE) should be -1")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,120 @@
+package lr
+
+import (
+	"sort"
+
+	"iglr/internal/grammar"
+)
+
+// state is one LR(0) automaton state.
+type state struct {
+	id      int
+	kernel  itemSet
+	closure itemSet
+	// trans maps symbol → successor state id.
+	trans map[grammar.Sym]int
+}
+
+// automaton is the LR(0) characteristic finite-state machine.
+type automaton struct {
+	g      *grammar.Grammar
+	states []*state
+	index  map[string]int // kernel key → state id
+}
+
+// buildLR0 constructs the LR(0) automaton. State 0's kernel is the augmented
+// item S' → ·start.
+func buildLR0(g *grammar.Grammar) *automaton {
+	a := &automaton{g: g, index: make(map[string]int)}
+	start := itemSet{{prod: 0, dot: 0}}
+	a.addState(start)
+	for i := 0; i < len(a.states); i++ {
+		st := a.states[i]
+		// Collect transition symbols in deterministic order.
+		symSet := make(map[grammar.Sym]bool)
+		var syms []grammar.Sym
+		for _, it := range st.closure {
+			if s := nextSym(g, it); s != grammar.InvalidSym && !symSet[s] {
+				symSet[s] = true
+				syms = append(syms, s)
+			}
+		}
+		sort.Slice(syms, func(x, y int) bool { return syms[x] < syms[y] })
+		for _, s := range syms {
+			k := gotoSet(g, st.closure, s)
+			st.trans[s] = a.addState(k)
+		}
+	}
+	return a
+}
+
+// addState interns a kernel, returning the state id.
+func (a *automaton) addState(kernel itemSet) int {
+	key := kernel.key()
+	if id, ok := a.index[key]; ok {
+		return id
+	}
+	st := &state{
+		id:      len(a.states),
+		kernel:  kernel,
+		closure: closure0(a.g, kernel),
+		trans:   make(map[grammar.Sym]int),
+	}
+	a.states = append(a.states, st)
+	a.index[key] = st.id
+	return st.id
+}
+
+// lr1Item is an LR(1) item: an LR(0) item plus one lookahead terminal.
+// The sentinel lookahead dummyLA is used during LALR lookahead discovery.
+type lr1Item struct {
+	item
+	la grammar.Sym
+}
+
+const dummyLA grammar.Sym = -2
+
+// closure1 computes the LR(1) closure of a set of LR(1) items.
+// For an item [A → α·Bβ, a], each production B → γ is added with lookahead
+// FIRST(βa).
+func closure1(g *grammar.Grammar, kernel []lr1Item) []lr1Item {
+	seen := make(map[lr1Item]bool, len(kernel)*4)
+	out := make([]lr1Item, 0, len(kernel)*4)
+	var work []lr1Item
+	for _, it := range kernel {
+		if !seen[it] {
+			seen[it] = true
+			out = append(out, it)
+			work = append(work, it)
+		}
+	}
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		b := nextSym(g, it.item)
+		if b == grammar.InvalidSym || g.IsTerminal(b) {
+			continue
+		}
+		p := g.Production(it.prod)
+		rest := p.RHS[it.dot+1:]
+		// FIRST(rest ⋅ la)
+		first := grammar.NewTermSet(g.NumSymbols())
+		nullable := g.FirstOfSeq(rest, first)
+		var las []grammar.Sym
+		first.ForEach(func(t grammar.Sym) { las = append(las, t) })
+		if nullable {
+			las = append(las, it.la)
+		}
+		for _, q := range g.ProductionsFor(b) {
+			for _, la := range las {
+				ni := lr1Item{item: item{prod: q.ID, dot: 0}, la: la}
+				if !seen[ni] {
+					seen[ni] = true
+					out = append(out, ni)
+					work = append(work, ni)
+				}
+			}
+		}
+	}
+	return out
+}

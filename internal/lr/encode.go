@@ -1,0 +1,212 @@
+package lr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"iglr/internal/grammar"
+)
+
+// Binary serialization of parse tables (with their grammar): the compiled
+// language artifact that iglrc -o writes and environments load at run time,
+// mirroring Ensemble's off-line language compilation.
+
+const tableMagic = "IGTB"
+const tableVersion = 1
+
+// Encode writes the table (including its grammar) to w.
+func (t *Table) Encode(w io.Writer) error {
+	buf := make([]byte, 0, 1<<16)
+	buf = append(buf, tableMagic...)
+	buf = binary.AppendUvarint(buf, tableVersion)
+	buf = t.g.AppendBinary(buf)
+	buf = append(buf, byte(t.method))
+	buf = binary.AppendUvarint(buf, uint64(t.numStates))
+	buf = binary.AppendUvarint(buf, uint64(t.nSyms))
+
+	// Actions: sparse cells.
+	occupied := 0
+	for _, acts := range t.actions {
+		if len(acts) > 0 {
+			occupied++
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(occupied))
+	for idx, acts := range t.actions {
+		if len(acts) == 0 {
+			continue
+		}
+		buf = binary.AppendUvarint(buf, uint64(idx))
+		buf = binary.AppendUvarint(buf, uint64(len(acts)))
+		for _, a := range acts {
+			buf = append(buf, byte(a.Kind))
+			buf = binary.AppendVarint(buf, int64(a.Target))
+		}
+	}
+	// Gotos: sparse.
+	occupied = 0
+	for _, g := range t.gotos {
+		if g >= 0 {
+			occupied++
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(occupied))
+	for idx, g := range t.gotos {
+		if g < 0 {
+			continue
+		}
+		buf = binary.AppendUvarint(buf, uint64(idx))
+		buf = binary.AppendUvarint(buf, uint64(g))
+	}
+	// Resolutions (diagnostics).
+	buf = binary.AppendUvarint(buf, uint64(len(t.resolutions)))
+	for _, r := range t.resolutions {
+		buf = binary.AppendUvarint(buf, uint64(r.State))
+		buf = binary.AppendVarint(buf, int64(r.Term))
+		buf = append(buf, byte(r.Kept.Kind))
+		buf = binary.AppendVarint(buf, int64(r.Kept.Target))
+		buf = binary.AppendUvarint(buf, uint64(len(r.Dropped)))
+		for _, a := range r.Dropped {
+			buf = append(buf, byte(a.Kind))
+			buf = binary.AppendVarint(buf, int64(a.Target))
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(r.Rule)))
+		buf = append(buf, r.Rule...)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// Decode reads a table serialized by Encode, reconstructing conflicts and
+// the precomputed nonterminal actions.
+func Decode(data []byte) (*Table, error) {
+	if len(data) < 4 || string(data[:4]) != tableMagic {
+		return nil, fmt.Errorf("lr: bad table magic")
+	}
+	data = data[4:]
+	v, n := binary.Uvarint(data)
+	if n <= 0 || v != tableVersion {
+		return nil, fmt.Errorf("lr: unsupported table version")
+	}
+	data = data[n:]
+
+	g, rest, err := grammar.DecodeBinary(data)
+	if err != nil {
+		return nil, err
+	}
+	d := &decoder{data: rest}
+	method := Method(d.byte())
+	numStates := int(d.uvarint())
+	nSyms := int(d.uvarint())
+	if nSyms != g.NumSymbols() {
+		return nil, fmt.Errorf("lr: symbol count mismatch (%d vs %d)", nSyms, g.NumSymbols())
+	}
+
+	tb := newTableBuilder(g, numStates, method, Options{})
+	t := tb.t
+	occ := int(d.uvarint())
+	for i := 0; i < occ; i++ {
+		idx := int(d.uvarint())
+		cnt := int(d.uvarint())
+		if idx < 0 || idx >= len(t.actions) {
+			return nil, fmt.Errorf("lr: action index out of range")
+		}
+		acts := make([]Action, cnt)
+		for j := range acts {
+			acts[j] = Action{Kind: Kind(d.byte()), Target: int32(d.varint())}
+		}
+		t.actions[idx] = acts
+	}
+	occ = int(d.uvarint())
+	for i := 0; i < occ; i++ {
+		idx := int(d.uvarint())
+		val := int32(d.uvarint())
+		if idx < 0 || idx >= len(t.gotos) {
+			return nil, fmt.Errorf("lr: goto index out of range")
+		}
+		t.gotos[idx] = val
+	}
+	nRes := int(d.uvarint())
+	for i := 0; i < nRes; i++ {
+		var r Resolution
+		r.State = int(d.uvarint())
+		r.Term = grammar.Sym(d.varint())
+		r.Kept = Action{Kind: Kind(d.byte()), Target: int32(d.varint())}
+		nd := int(d.uvarint())
+		r.Dropped = make([]Action, nd)
+		for j := range r.Dropped {
+			r.Dropped[j] = Action{Kind: Kind(d.byte()), Target: int32(d.varint())}
+		}
+		r.Rule = string(d.bytes(int(d.uvarint())))
+		t.resolutions = append(t.resolutions, r)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("lr: truncated table: %w", d.err)
+	}
+
+	// Rebuild conflicts and the nonterminal-action precomputation.
+	for state := 0; state < numStates; state++ {
+		for term := 0; term < nSyms; term++ {
+			acts := t.actions[state*nSyms+term]
+			if len(acts) > 1 {
+				t.conflicts = append(t.conflicts, Conflict{
+					State: state, Term: grammar.Sym(term), Actions: acts,
+				})
+				t.conflictState[state] = true
+			}
+		}
+	}
+	tb.precomputeNontermActions()
+	return t, nil
+}
+
+type decoder struct {
+	data []byte
+	err  error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("unexpected end of data")
+	}
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if n < 0 || len(d.data) < n {
+		d.fail()
+		return make([]byte, maxInt(n, 0))
+	}
+	out := d.data[:n]
+	d.data = d.data[n:]
+	return out
+}
+
+func (d *decoder) byte() byte { return d.bytes(1)[0] }
+
+func (d *decoder) uvarint() uint64 {
+	v, n := binary.Uvarint(d.data)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.data = d.data[n:]
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	v, n := binary.Varint(d.data)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.data = d.data[n:]
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,101 @@
+// Package lr constructs LR parse tables — SLR(1), LALR(1) and canonical
+// LR(1) — from grammars. Unlike a conventional generator it records
+// conflicts instead of rejecting them (the paper's "modified bison that
+// explicitly records all conflicts", §5), producing tables suitable for
+// driving deterministic, incremental, GLR and incremental-GLR parsers.
+// Yacc-style precedence/associativity declarations act as static syntactic
+// filters (§4.1), removing conflicts at table-construction time.
+package lr
+
+import (
+	"fmt"
+	"sort"
+
+	"iglr/internal/grammar"
+)
+
+// item is an LR(0) item: a production with a dot position.
+type item struct {
+	prod int
+	dot  int
+}
+
+func (it item) String() string { return fmt.Sprintf("[p%d·%d]", it.prod, it.dot) }
+
+// nextSym returns the symbol after the dot, or InvalidSym at the end.
+func nextSym(g *grammar.Grammar, it item) grammar.Sym {
+	p := g.Production(it.prod)
+	if it.dot >= len(p.RHS) {
+		return grammar.InvalidSym
+	}
+	return p.RHS[it.dot]
+}
+
+// itemSet is a sorted set of LR(0) items (a state kernel or closure).
+type itemSet []item
+
+func (s itemSet) Len() int      { return len(s) }
+func (s itemSet) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s itemSet) Less(i, j int) bool {
+	if s[i].prod != s[j].prod {
+		return s[i].prod < s[j].prod
+	}
+	return s[i].dot < s[j].dot
+}
+
+// key returns a canonical map key for the (sorted) item set.
+func (s itemSet) key() string {
+	b := make([]byte, 0, len(s)*8)
+	for _, it := range s {
+		b = append(b,
+			byte(it.prod), byte(it.prod>>8), byte(it.prod>>16), byte(it.prod>>24),
+			byte(it.dot), byte(it.dot>>8), byte(it.dot>>16), byte(it.dot>>24))
+	}
+	return string(b)
+}
+
+// closure0 expands an LR(0) kernel to its closure: for every item with the
+// dot before a nonterminal, all productions of that nonterminal are added
+// with the dot at the start.
+func closure0(g *grammar.Grammar, kernel itemSet) itemSet {
+	seen := make(map[item]bool, len(kernel)*2)
+	out := make(itemSet, 0, len(kernel)*2)
+	var work []item
+	for _, it := range kernel {
+		if !seen[it] {
+			seen[it] = true
+			out = append(out, it)
+			work = append(work, it)
+		}
+	}
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		s := nextSym(g, it)
+		if s == grammar.InvalidSym || g.IsTerminal(s) {
+			continue
+		}
+		for _, p := range g.ProductionsFor(s) {
+			ni := item{prod: p.ID, dot: 0}
+			if !seen[ni] {
+				seen[ni] = true
+				out = append(out, ni)
+				work = append(work, ni)
+			}
+		}
+	}
+	sort.Sort(out)
+	return out
+}
+
+// gotoSet computes GOTO(items, x): kernel of the successor state.
+func gotoSet(g *grammar.Grammar, closure itemSet, x grammar.Sym) itemSet {
+	var out itemSet
+	for _, it := range closure {
+		if nextSym(g, it) == x {
+			out = append(out, item{prod: it.prod, dot: it.dot + 1})
+		}
+	}
+	sort.Sort(out)
+	return out
+}

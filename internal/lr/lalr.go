@@ -1,0 +1,148 @@
+package lr
+
+import (
+	"iglr/internal/grammar"
+)
+
+// buildFromLR0 constructs SLR(1) or LALR(1) tables over the LR(0) automaton.
+func buildFromLR0(g *grammar.Grammar, opts Options) (*Table, error) {
+	a := buildLR0(g)
+	tb := newTableBuilder(g, len(a.states), opts.Method, opts)
+
+	for _, st := range a.states {
+		for sym, to := range st.trans {
+			tb.setGoto(st.id, sym, to)
+			if g.IsTerminal(sym) {
+				tb.addAction(st.id, sym, Action{Kind: Shift, Target: int32(to)})
+			}
+		}
+	}
+
+	switch opts.Method {
+	case SLR:
+		for _, st := range a.states {
+			for _, it := range st.closure {
+				if nextSym(g, it) != grammar.InvalidSym {
+					continue
+				}
+				if it.prod == 0 {
+					tb.addAction(st.id, grammar.EOF, Action{Kind: Accept})
+					continue
+				}
+				lhs := g.Production(it.prod).LHS
+				g.Follow(lhs).ForEach(func(t grammar.Sym) {
+					tb.addAction(st.id, t, Action{Kind: Reduce, Target: int32(it.prod)})
+				})
+			}
+		}
+	case LALR:
+		finals := lalrFinalItems(g, a)
+		for stateID, items := range finals {
+			for _, li := range items {
+				if li.prod == 0 {
+					if li.la == grammar.EOF {
+						tb.addAction(stateID, grammar.EOF, Action{Kind: Accept})
+					}
+					continue
+				}
+				tb.addAction(stateID, li.la, Action{Kind: Reduce, Target: int32(li.prod)})
+			}
+		}
+	}
+	return tb.finish(), nil
+}
+
+// lalrFinalItems computes, for every LR(0) state, the completed LR(1) items
+// (dot at end, with LALR lookaheads) using the spontaneous-generation /
+// propagation algorithm (Dragon Book §4.7.4, as in bison).
+func lalrFinalItems(g *grammar.Grammar, a *automaton) [][]lr1Item {
+	n := g.NumSymbols()
+
+	// Index kernel items per state.
+	kidx := make([]map[item]int, len(a.states))
+	las := make([][]grammar.TermSet, len(a.states))
+	for _, st := range a.states {
+		kidx[st.id] = make(map[item]int, len(st.kernel))
+		las[st.id] = make([]grammar.TermSet, len(st.kernel))
+		for i, it := range st.kernel {
+			kidx[st.id][it] = i
+			las[st.id][i] = grammar.NewTermSet(n)
+		}
+	}
+
+	type edge struct{ toState, toIdx int }
+	// prop[state][kernelIdx] = propagation targets.
+	prop := make([][][]edge, len(a.states))
+	for i, st := range a.states {
+		prop[i] = make([][]edge, len(st.kernel))
+	}
+
+	// Discover spontaneous lookaheads and propagation edges.
+	for _, st := range a.states {
+		for ki, kit := range st.kernel {
+			cl := closure1(g, []lr1Item{{item: kit, la: dummyLA}})
+			for _, li := range cl {
+				x := nextSym(g, li.item)
+				if x == grammar.InvalidSym {
+					continue
+				}
+				to, ok := st.trans[x]
+				if !ok {
+					continue
+				}
+				target := item{prod: li.prod, dot: li.dot + 1}
+				ti, ok := kidx[to][target]
+				if !ok {
+					continue
+				}
+				if li.la == dummyLA {
+					prop[st.id][ki] = append(prop[st.id][ki], edge{toState: to, toIdx: ti})
+				} else {
+					las[to][ti].Add(li.la)
+				}
+			}
+		}
+	}
+
+	// Initialize: [S' → ·start] in state 0 has lookahead EOF.
+	if i, ok := kidx[0][item{prod: 0, dot: 0}]; ok {
+		las[0][i].Add(grammar.EOF)
+	}
+
+	// Propagate to a fixed point.
+	for changed := true; changed; {
+		changed = false
+		for _, st := range a.states {
+			for ki := range st.kernel {
+				src := las[st.id][ki]
+				for _, e := range prop[st.id][ki] {
+					if las[e.toState][e.toIdx].UnionWith(src) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// For each state, close the kernel with its final lookaheads and
+	// collect completed items (handles ε-production reductions, which live
+	// only in the closure).
+	out := make([][]lr1Item, len(a.states))
+	for _, st := range a.states {
+		var seed []lr1Item
+		for ki, kit := range st.kernel {
+			las[st.id][ki].ForEach(func(t grammar.Sym) {
+				seed = append(seed, lr1Item{item: kit, la: t})
+			})
+		}
+		cl := closure1(g, seed)
+		var finals []lr1Item
+		for _, li := range cl {
+			if nextSym(g, li.item) == grammar.InvalidSym {
+				finals = append(finals, li)
+			}
+		}
+		out[st.id] = finals
+	}
+	return out
+}

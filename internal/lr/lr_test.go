@@ -1,0 +1,456 @@
+package lr
+
+import (
+	"testing"
+
+	"iglr/internal/grammar"
+)
+
+const exprSrc = `
+%token ID NUM
+%left '+' '-'
+%left '*' '/'
+%right UMINUS
+%start Expr
+Expr : Expr '+' Expr
+     | Expr '-' Expr
+     | Expr '*' Expr
+     | Expr '/' Expr
+     | '-' Expr %prec UMINUS
+     | '(' Expr ')'
+     | ID
+     | NUM
+     ;
+`
+
+// figure7Src is the LR(2) grammar of the paper's Figure 7: unambiguous but
+// not LR(1) — parsing "x z c" needs two tokens of lookahead to decide
+// whether x reduces to U or V.
+const figure7Src = `
+%token x z c e
+%start A
+A : B c | D e ;
+B : U z ;
+D : V z ;
+U : x ;
+V : x ;
+`
+
+func toSyms(t *testing.T, g *grammar.Grammar, names ...string) []grammar.Sym {
+	t.Helper()
+	out := make([]grammar.Sym, len(names))
+	for i, n := range names {
+		s := g.Lookup(n)
+		if s == grammar.InvalidSym {
+			t.Fatalf("symbol %q not in grammar", n)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// run simulates a deterministic LR parse, returning whether input (without
+// EOF) is accepted. Fails the test if a multiply-defined cell is hit.
+func run(t *testing.T, tbl *Table, input []grammar.Sym) bool {
+	t.Helper()
+	g := tbl.Grammar()
+	stack := []int{tbl.StartState()}
+	input = append(append([]grammar.Sym{}, input...), grammar.EOF)
+	i := 0
+	for steps := 0; steps < 100000; steps++ {
+		top := stack[len(stack)-1]
+		acts := tbl.Actions(top, input[i])
+		if len(acts) == 0 {
+			return false
+		}
+		if len(acts) > 1 {
+			t.Fatalf("non-deterministic cell hit in deterministic run: state %d on %s", top, g.Name(input[i]))
+		}
+		switch a := acts[0]; a.Kind {
+		case Shift:
+			stack = append(stack, int(a.Target))
+			i++
+		case Reduce:
+			p := g.Production(int(a.Target))
+			stack = stack[:len(stack)-p.Arity()]
+			nt := tbl.Goto(stack[len(stack)-1], p.LHS)
+			if nt < 0 {
+				t.Fatalf("missing goto for %s in state %d", g.Name(p.LHS), stack[len(stack)-1])
+			}
+			stack = append(stack, nt)
+		case Accept:
+			return true
+		}
+	}
+	t.Fatalf("parser did not terminate")
+	return false
+}
+
+func build(t *testing.T, src string, opts Options) *Table {
+	t.Helper()
+	g, err := grammar.Parse(src)
+	if err != nil {
+		t.Fatalf("grammar: %v", err)
+	}
+	tbl, err := Build(g, opts)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return tbl
+}
+
+func TestExprPrecedenceResolvesAllConflicts(t *testing.T) {
+	for _, m := range []Method{SLR, LALR, LR1} {
+		t.Run(m.String(), func(t *testing.T) {
+			tbl := build(t, exprSrc, Options{Method: m})
+			if !tbl.Deterministic() {
+				t.Fatalf("expected deterministic table, got conflicts:\n%s", tbl.DescribeConflicts())
+			}
+			if len(tbl.Resolutions()) == 0 {
+				t.Fatalf("expected static resolutions from precedence declarations")
+			}
+			g := tbl.Grammar()
+			if !run(t, tbl, toSyms(t, g, "ID", "'+'", "ID", "'*'", "NUM")) {
+				t.Fatalf("should accept ID + ID * NUM")
+			}
+			if !run(t, tbl, toSyms(t, g, "'-'", "'('", "ID", "')'")) {
+				t.Fatalf("should accept - ( ID )")
+			}
+			if run(t, tbl, toSyms(t, g, "ID", "'+'")) {
+				t.Fatalf("should reject ID +")
+			}
+			if run(t, tbl, toSyms(t, g, "'+'", "ID")) {
+				t.Fatalf("should reject + ID")
+			}
+		})
+	}
+}
+
+func TestAmbiguousWithoutPrecedence(t *testing.T) {
+	src := `
+%token ID '+'
+%start E
+E : E '+' E | ID ;
+`
+	tbl := build(t, src, Options{Method: LALR})
+	if tbl.Deterministic() {
+		t.Fatalf("ambiguous grammar should produce conflicts")
+	}
+	found := false
+	g := tbl.Grammar()
+	for _, c := range tbl.Conflicts() {
+		if c.Term == g.Lookup("'+'") {
+			found = true
+			hasShift, hasReduce := false, false
+			for _, a := range c.Actions {
+				switch a.Kind {
+				case Shift:
+					hasShift = true
+				case Reduce:
+					hasReduce = true
+				}
+			}
+			if !hasShift || !hasReduce {
+				t.Fatalf("expected shift/reduce conflict, got %v", c.Actions)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("expected a conflict on '+'")
+	}
+}
+
+func TestFigure7IsNonDeterministicLR1(t *testing.T) {
+	// The LR(2) grammar conflicts under every 1-token method, including
+	// canonical LR(1): the table cannot decide U→x vs V→x on lookahead z.
+	for _, m := range []Method{SLR, LALR, LR1} {
+		tbl := build(t, figure7Src, Options{Method: m})
+		if tbl.Deterministic() {
+			t.Fatalf("%v: figure 7 grammar should have conflicts", m)
+		}
+		g := tbl.Grammar()
+		z := g.Lookup("z")
+		foundRR := false
+		for _, c := range tbl.Conflicts() {
+			if c.Term != z {
+				continue
+			}
+			reduces := 0
+			for _, a := range c.Actions {
+				if a.Kind == Reduce {
+					reduces++
+				}
+			}
+			if reduces >= 2 {
+				foundRR = true
+			}
+		}
+		if !foundRR {
+			t.Fatalf("%v: expected reduce/reduce conflict on z:\n%s", m, tbl.DescribeConflicts())
+		}
+	}
+}
+
+func TestLALRNotSLR(t *testing.T) {
+	// The classic pointer-assignment grammar: LALR(1) but not SLR(1).
+	src := `
+%token id '*' '='
+%start S
+S : L '=' R | R ;
+L : '*' R | id ;
+R : L ;
+`
+	slr := build(t, src, Options{Method: SLR})
+	if slr.Deterministic() {
+		t.Fatalf("SLR should conflict on '='")
+	}
+	lalr := build(t, src, Options{Method: LALR})
+	if !lalr.Deterministic() {
+		t.Fatalf("LALR should be conflict-free:\n%s", lalr.DescribeConflicts())
+	}
+	lr1 := build(t, src, Options{Method: LR1})
+	if !lr1.Deterministic() {
+		t.Fatalf("LR1 should be conflict-free")
+	}
+	g := lalr.Grammar()
+	if !run(t, lalr, toSyms(t, g, "'*'", "id", "'='", "id")) {
+		t.Fatalf("LALR should accept * id = id")
+	}
+}
+
+func TestLR1NotLALR(t *testing.T) {
+	// Canonical example: LR(1) but not LALR(1) — core merging induces a
+	// reduce/reduce conflict.
+	src := `
+%token a b c d e
+%start S
+S : a E c | a F d | b F c | b E d ;
+E : e ;
+F : e ;
+`
+	lalr := build(t, src, Options{Method: LALR})
+	if lalr.Deterministic() {
+		t.Fatalf("LALR should conflict for this grammar")
+	}
+	lr1 := build(t, src, Options{Method: LR1})
+	if !lr1.Deterministic() {
+		t.Fatalf("LR1 should be conflict-free:\n%s", lr1.DescribeConflicts())
+	}
+	if lr1.NumStates() <= lalr.NumStates() {
+		t.Fatalf("LR1 states (%d) should exceed LALR states (%d)", lr1.NumStates(), lalr.NumStates())
+	}
+	g := lr1.Grammar()
+	for _, input := range [][]string{{"a", "e", "c"}, {"a", "e", "d"}, {"b", "e", "c"}, {"b", "e", "d"}} {
+		if !run(t, lr1, toSyms(t, g, input...)) {
+			t.Fatalf("LR1 should accept %v", input)
+		}
+	}
+	if run(t, lr1, toSyms(t, g, "a", "e")) {
+		t.Fatalf("LR1 should reject a e")
+	}
+}
+
+func TestEpsilonProductions(t *testing.T) {
+	src := `
+%token a b
+%start S
+S : A B ;
+A : a | ;
+B : b | ;
+`
+	for _, m := range []Method{SLR, LALR, LR1} {
+		tbl := build(t, src, Options{Method: m})
+		if !tbl.Deterministic() {
+			t.Fatalf("%v: should be deterministic:\n%s", m, tbl.DescribeConflicts())
+		}
+		g := tbl.Grammar()
+		for _, input := range [][]string{{"a", "b"}, {"a"}, {"b"}, {}} {
+			if !run(t, tbl, toSyms(t, g, input...)) {
+				t.Fatalf("%v: should accept %v", m, input)
+			}
+		}
+		if run(t, tbl, toSyms(t, g, "b", "a")) {
+			t.Fatalf("%v: should reject b a", m)
+		}
+	}
+}
+
+func TestNonassoc(t *testing.T) {
+	src := `
+%token ID '<'
+%nonassoc '<'
+%start E
+E : E '<' E | ID ;
+`
+	tbl := build(t, src, Options{Method: LALR})
+	if !tbl.Deterministic() {
+		t.Fatalf("nonassoc should remove the conflict")
+	}
+	g := tbl.Grammar()
+	if !run(t, tbl, toSyms(t, g, "ID", "'<'", "ID")) {
+		t.Fatalf("should accept ID < ID")
+	}
+	if run(t, tbl, toSyms(t, g, "ID", "'<'", "ID", "'<'", "ID")) {
+		t.Fatalf("nonassoc chain ID < ID < ID should be a syntax error")
+	}
+	foundNonassoc := false
+	for _, r := range tbl.Resolutions() {
+		if r.Rule == "nonassoc" {
+			foundNonassoc = true
+		}
+	}
+	if !foundNonassoc {
+		t.Fatalf("expected a nonassoc resolution record")
+	}
+}
+
+func TestPreferShift(t *testing.T) {
+	// Dangling else, resolved by prefer-shift.
+	src := `
+%token if then else other
+%start S
+S : if S then S | if S then S else S | other ;
+`
+	plain := build(t, src, Options{Method: LALR})
+	if plain.Deterministic() {
+		t.Fatalf("dangling else should conflict without filters")
+	}
+	ps := build(t, src, Options{Method: LALR, PreferShift: true})
+	if !ps.Deterministic() {
+		t.Fatalf("prefer-shift should resolve dangling else:\n%s", ps.DescribeConflicts())
+	}
+	g := ps.Grammar()
+	if !run(t, ps, toSyms(t, g, "if", "other", "then", "if", "other", "then", "other", "else", "other")) {
+		t.Fatalf("should accept nested dangling else")
+	}
+}
+
+func TestPreferEarlierRule(t *testing.T) {
+	src := `
+%token x z c e
+%start A
+A : B c | D e ;
+B : U z ;
+D : V z ;
+U : x ;
+V : x ;
+`
+	tbl := build(t, src, Options{Method: LALR, PreferEarlierRule: true})
+	// The r/r conflict on z resolves to the earlier rule (U : x).
+	for _, c := range tbl.Conflicts() {
+		reduces := 0
+		for _, a := range c.Actions {
+			if a.Kind == Reduce {
+				reduces++
+			}
+		}
+		if reduces > 1 {
+			t.Fatalf("reduce/reduce should have been resolved: %v", c)
+		}
+	}
+	found := false
+	for _, r := range tbl.Resolutions() {
+		if r.Rule == "prefer-reduce" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected prefer-reduce resolution record")
+	}
+}
+
+func TestTableSizesLALRSmallerThanLR1(t *testing.T) {
+	// Reproduces the shape of the Lankhorst comparison the paper cites:
+	// LALR tables are significantly smaller than canonical LR(1).
+	lalr := build(t, exprSrc, Options{Method: LALR})
+	lr1 := build(t, exprSrc, Options{Method: LR1})
+	if lr1.NumStates() < lalr.NumStates() {
+		t.Fatalf("LR1 should have at least as many states: %d vs %d", lr1.NumStates(), lalr.NumStates())
+	}
+	aL, gL := lalr.TableSize()
+	a1, g1 := lr1.TableSize()
+	if a1+g1 < aL+gL {
+		t.Fatalf("LR1 table (%d) should not be smaller than LALR (%d)", a1+g1, aL+gL)
+	}
+}
+
+func TestNontermActions(t *testing.T) {
+	tbl := build(t, exprSrc, Options{Method: LALR})
+	g := tbl.Grammar()
+	expr := g.Lookup("Expr")
+	// In the start state, the parser must be able to *shift* terminals in
+	// FIRST(Expr); NontermActions is only defined when all of them agree,
+	// which they do not in general for Expr (different shift targets). Just
+	// exercise the API across all states and check consistency with the
+	// definition.
+	for st := 0; st < tbl.NumStates(); st++ {
+		acts := tbl.NontermActions(st, expr)
+		if acts == nil {
+			continue
+		}
+		g.First(expr).ForEach(func(term grammar.Sym) {
+			cell := tbl.Actions(st, term)
+			if !sameActions(cell, acts) {
+				t.Fatalf("state %d: NontermActions disagrees with cell for %s", st, g.Name(term))
+			}
+		})
+	}
+}
+
+func TestNullableNontermExcludedFromNontermActions(t *testing.T) {
+	src := `
+%token a b
+%start S
+S : A b ;
+A : a | ;
+`
+	tbl := build(t, src, Options{Method: LALR})
+	g := tbl.Grammar()
+	A := g.Lookup("A")
+	for st := 0; st < tbl.NumStates(); st++ {
+		if tbl.NontermActions(st, A) != nil {
+			t.Fatalf("nullable nonterminal A must have no precomputed actions (state %d)", st)
+		}
+	}
+}
+
+func TestHasConflictFlag(t *testing.T) {
+	tbl := build(t, figure7Src, Options{Method: LALR})
+	any := false
+	for st := 0; st < tbl.NumStates(); st++ {
+		if tbl.HasConflict(st) {
+			any = true
+		}
+	}
+	if !any {
+		t.Fatalf("expected at least one conflicted state")
+	}
+	for _, c := range tbl.Conflicts() {
+		if !tbl.HasConflict(c.State) {
+			t.Fatalf("conflict state %d not flagged", c.State)
+		}
+	}
+}
+
+func TestSequenceGrammarTables(t *testing.T) {
+	src := `
+%token x ';'
+%start Block
+Block : Stmt* ;
+Stmt : x ';' ;
+`
+	tbl := build(t, src, Options{Method: LALR})
+	if !tbl.Deterministic() {
+		t.Fatalf("sequence grammar should be deterministic:\n%s", tbl.DescribeConflicts())
+	}
+	g := tbl.Grammar()
+	for _, n := range []int{0, 1, 2, 5} {
+		var input []grammar.Sym
+		for i := 0; i < n; i++ {
+			input = append(input, g.Lookup("x"), g.Lookup("';'"))
+		}
+		if !run(t, tbl, input) {
+			t.Fatalf("should accept %d statements", n)
+		}
+	}
+}

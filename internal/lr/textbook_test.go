@@ -1,0 +1,158 @@
+package lr
+
+import (
+	"testing"
+
+	"iglr/internal/grammar"
+)
+
+// The dragon-book expression grammar (Aho et al., grammar 4.1): its SLR(1)
+// automaton famously has 12 states. A concrete anchor that the item-set
+// construction matches the literature.
+const dragonSrc = `
+%token id '+' '*' '(' ')'
+%start E
+E : E '+' T | T ;
+T : T '*' F | F ;
+F : '(' E ')' | id ;
+`
+
+func TestDragonBookStateCount(t *testing.T) {
+	for _, m := range []Method{SLR, LALR} {
+		tbl := build(t, dragonSrc, Options{Method: m})
+		if tbl.NumStates() != 12 {
+			t.Fatalf("%v: %d states, the literature says 12", m, tbl.NumStates())
+		}
+		if !tbl.Deterministic() {
+			t.Fatalf("%v: conflicts:\n%s", m, tbl.DescribeConflicts())
+		}
+	}
+	// Canonical LR(1) is strictly larger for this grammar.
+	lr1 := build(t, dragonSrc, Options{Method: LR1})
+	if lr1.NumStates() <= 12 {
+		t.Fatalf("LR(1) states = %d, want > 12", lr1.NumStates())
+	}
+}
+
+func TestDragonBookParses(t *testing.T) {
+	tbl := build(t, dragonSrc, Options{Method: SLR})
+	g := tbl.Grammar()
+	accept := [][]string{
+		{"id"},
+		{"id", "'+'", "id"},
+		{"id", "'+'", "id", "'*'", "id"},
+		{"'('", "id", "'+'", "id", "')'", "'*'", "id"},
+		{"'('", "'('", "id", "')'", "')'"},
+	}
+	reject := [][]string{
+		{},
+		{"'+'"},
+		{"id", "id"},
+		{"'('", "id"},
+		{"id", "'+'"},
+		{"'('", "')'"},
+	}
+	for _, in := range accept {
+		if !run(t, tbl, toSyms(t, g, in...)) {
+			t.Fatalf("should accept %v", in)
+		}
+	}
+	for _, in := range reject {
+		if run(t, tbl, toSyms(t, g, in...)) {
+			t.Fatalf("should reject %v", in)
+		}
+	}
+}
+
+// TestMethodsAgreeOnDeterministicGrammars: whenever two construction
+// methods both produce conflict-free tables for a grammar, they must accept
+// exactly the same strings.
+func TestMethodsAgreeOnDeterministicGrammars(t *testing.T) {
+	grammars := []string{
+		dragonSrc,
+		"%token a b\n%start S\nS : a S b | ;",
+		"%token x ';'\n%start B\nB : Stmt* ;\nStmt : x ';' ;",
+		"%token a b c\n%start S\nS : A B c ;\nA : a | ;\nB : b | ;",
+	}
+	inputsFor := func(g *grammar.Grammar) [][]grammar.Sym {
+		terms := g.Terminals()
+		var real []grammar.Sym
+		for _, tm := range terms {
+			if tm != grammar.EOF && tm != grammar.ErrorSym {
+				real = append(real, tm)
+			}
+		}
+		// All strings up to length 4 over the terminal alphabet.
+		var out [][]grammar.Sym
+		var gen func(prefix []grammar.Sym, depth int)
+		gen = func(prefix []grammar.Sym, depth int) {
+			out = append(out, append([]grammar.Sym(nil), prefix...))
+			if depth == 0 {
+				return
+			}
+			for _, tm := range real {
+				gen(append(prefix, tm), depth-1)
+			}
+		}
+		gen(nil, 4)
+		return out
+	}
+	for gi, src := range grammars {
+		tables := map[Method]*Table{}
+		for _, m := range []Method{SLR, LALR, LR1} {
+			tbl := build(t, src, Options{Method: m})
+			if tbl.Deterministic() {
+				tables[m] = tbl
+			}
+		}
+		if len(tables) < 2 {
+			continue
+		}
+		var ref *Table
+		var refM Method
+		for m, tbl := range tables {
+			ref, refM = tbl, m
+			break
+		}
+		for _, input := range inputsFor(ref.Grammar()) {
+			want := run(t, ref, input)
+			for m, tbl := range tables {
+				if m == refM {
+					continue
+				}
+				if got := run(t, tbl, input); got != want {
+					t.Fatalf("grammar %d: %v vs %v disagree on %v (%v vs %v)",
+						gi, refM, m, input, want, got)
+				}
+			}
+		}
+	}
+}
+
+func TestActionStringFormats(t *testing.T) {
+	cases := map[Action]string{
+		{Kind: Shift, Target: 5}:  "s5",
+		{Kind: Reduce, Target: 3}: "r3",
+		{Kind: Accept}:            "acc",
+	}
+	for a, want := range cases {
+		if a.String() != want {
+			t.Fatalf("%v.String() = %q, want %q", a, a.String(), want)
+		}
+	}
+	for m, want := range map[Method]string{SLR: "SLR(1)", LALR: "LALR(1)", LR1: "LR(1)"} {
+		if m.String() != want {
+			t.Fatalf("method string %q != %q", m.String(), want)
+		}
+	}
+}
+
+func TestUnknownMethodRejected(t *testing.T) {
+	g, err := grammar.Parse("%token a\n%start S\nS : a ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(g, Options{Method: Method(99)}); err == nil {
+		t.Fatal("unknown method should error")
+	}
+}

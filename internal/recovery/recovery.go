@@ -1,0 +1,97 @@
+// Package recovery implements the paper's history-sensitive, non-correcting
+// error recovery (§4.3, [27]): when a reparse fails, the user's
+// modifications since the last consistent version are replayed one at a
+// time, and only those that yield at least one valid parse tree are
+// incorporated. The remainder are reverted and reported as unincorporated
+// material — the document always converges to a consistent tree, and the
+// erroneous edits are flagged rather than "corrected". The approach is
+// automated, language independent and incremental: each probe is an
+// incremental parse over mostly reused structure.
+//
+// Non-deterministic regions are treated atomically by construction: an
+// edit inside an ambiguous region invalidates (and reparses) the whole
+// region, so partial update incorporation within one cannot occur.
+package recovery
+
+import (
+	"iglr/internal/dag"
+	"iglr/internal/document"
+)
+
+// ParseFunc runs one incremental parse attempt over the document's current
+// state (e.g. wrapping iglr.Parser.Parse with the document's stream).
+type ParseFunc func(d *document.Document) (*dag.Node, error)
+
+// Outcome reports a recovery run.
+type Outcome struct {
+	// Root is the committed tree after recovery.
+	Root *dag.Node
+	// Incorporated holds the edits that were kept.
+	Incorporated []document.AppliedEdit
+	// Unincorporated holds the reverted edits, in application order —
+	// the "unincorporated material" the environment flags to the user.
+	Unincorporated []document.AppliedEdit
+	// Clean reports that the initial parse succeeded with no recovery.
+	Clean bool
+	// Err is non-nil only when there is no history to fall back on (the
+	// very first parse of a document failed).
+	Err error
+}
+
+// Parse parses the document, recovering via edit replay on failure. On
+// success (with or without recovery) the resulting tree is committed.
+func Parse(d *document.Document, parse ParseFunc) Outcome {
+	root, err := parse(d)
+	if err == nil {
+		out := Outcome{Root: root, Incorporated: d.PendingEdits(), Clean: true}
+		d.Commit(root)
+		return out
+	}
+	if d.Root() == nil {
+		// No prior consistent version exists; nothing to recover to.
+		return Outcome{Err: err}
+	}
+
+	pending := d.PendingEdits()
+	d.RevertPending()
+
+	var out Outcome
+	// Offsets of later edits were recorded in a world where earlier edits
+	// had been applied; skipping an edit shifts positions after it.
+	type skip struct{ pos, delta int }
+	var skips []skip
+	adjust := func(off int) int {
+		for _, s := range skips {
+			if off >= s.pos {
+				off -= s.delta
+			}
+		}
+		return off
+	}
+
+	for _, e := range pending {
+		off := adjust(e.Offset)
+		if off < 0 || off+len(e.Inserted) > d.Len()+len(e.Inserted) {
+			out.Unincorporated = append(out.Unincorporated, e)
+			skips = append(skips, skip{pos: e.Offset, delta: len(e.Inserted) - len(e.Removed)})
+			continue
+		}
+		if off+len(e.Removed) > d.Len() {
+			out.Unincorporated = append(out.Unincorporated, e)
+			skips = append(skips, skip{pos: e.Offset, delta: len(e.Inserted) - len(e.Removed)})
+			continue
+		}
+		d.Replace(off, len(e.Removed), e.Inserted)
+		root, err := parse(d)
+		if err != nil {
+			d.RevertPending()
+			out.Unincorporated = append(out.Unincorporated, e)
+			skips = append(skips, skip{pos: e.Offset, delta: len(e.Inserted) - len(e.Removed)})
+			continue
+		}
+		d.Commit(root)
+		out.Incorporated = append(out.Incorporated, e)
+	}
+	out.Root = d.Root()
+	return out
+}

@@ -1,0 +1,131 @@
+package recovery_test
+
+import (
+	"strings"
+	"testing"
+
+	"iglr/internal/dag"
+	"iglr/internal/document"
+	"iglr/internal/iglr"
+	"iglr/internal/langs/csub"
+	"iglr/internal/recovery"
+)
+
+func parser() recovery.ParseFunc {
+	l := csub.Lang()
+	return func(d *document.Document) (*dag.Node, error) {
+		p := iglr.New(l.Table)
+		return p.Parse(d.Stream())
+	}
+}
+
+func TestCleanParse(t *testing.T) {
+	l := csub.Lang()
+	d := l.NewDocument("int a; a = 1;")
+	out := recovery.Parse(d, parser())
+	if out.Err != nil || !out.Clean || out.Root == nil {
+		t.Fatalf("outcome = %+v", out)
+	}
+}
+
+func TestFirstParseFailureHasNoFallback(t *testing.T) {
+	l := csub.Lang()
+	d := l.NewDocument("int ;;;")
+	out := recovery.Parse(d, parser())
+	if out.Err == nil {
+		t.Fatal("expected an unrecoverable error on first parse")
+	}
+}
+
+func TestBadEditReverted(t *testing.T) {
+	l := csub.Lang()
+	d := l.NewDocument("int a; a = 1; int b;")
+	recovery.Parse(d, parser())
+
+	// A good edit and a bad one.
+	d.Replace(4, 1, "x") // rename a → x (decl)
+	d.Replace(11, 1, "") // delete '=' → syntax error
+	out := recovery.Parse(d, parser())
+	if out.Err != nil {
+		t.Fatalf("recovery failed: %v", out.Err)
+	}
+	if len(out.Incorporated) != 1 || len(out.Unincorporated) != 1 {
+		t.Fatalf("inc=%d uninc=%d", len(out.Incorporated), len(out.Unincorporated))
+	}
+	// The good rename survives; the deletion was reverted.
+	if got := d.Text(); got != "int x; a = 1; int b;" {
+		t.Fatalf("text = %q", got)
+	}
+	if out.Root == nil || out.Root != d.Root() {
+		t.Fatal("root not committed")
+	}
+}
+
+func TestAllEditsBad(t *testing.T) {
+	l := csub.Lang()
+	d := l.NewDocument("int a;")
+	recovery.Parse(d, parser())
+	orig := d.Text()
+
+	d.Replace(0, 3, ")))")
+	d.Replace(5, 1, "(")
+	out := recovery.Parse(d, parser())
+	if out.Err != nil {
+		t.Fatalf("recovery errored: %v", out.Err)
+	}
+	if len(out.Unincorporated) != 2 || len(out.Incorporated) != 0 {
+		t.Fatalf("inc=%d uninc=%d", len(out.Incorporated), len(out.Unincorporated))
+	}
+	if d.Text() != orig {
+		t.Fatalf("text = %q, want reverted %q", d.Text(), orig)
+	}
+}
+
+func TestManyIndependentEdits(t *testing.T) {
+	l := csub.Lang()
+	var sb strings.Builder
+	for i := 0; i < 10; i++ {
+		sb.WriteString("int v; ")
+	}
+	d := l.NewDocument(sb.String())
+	recovery.Parse(d, parser())
+
+	// Edit statements 2, 5, 8; make 5's edit invalid.
+	d.Replace(2*7+4, 1, "a")
+	d.Replace(5*7+4, 1, "(")
+	d.Replace(8*7+4, 1, "b")
+	out := recovery.Parse(d, parser())
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if len(out.Incorporated) != 2 || len(out.Unincorporated) != 1 {
+		t.Fatalf("inc=%d uninc=%d text=%q", len(out.Incorporated), len(out.Unincorporated), d.Text())
+	}
+	if !strings.Contains(d.Text(), "int a;") || !strings.Contains(d.Text(), "int b;") {
+		t.Fatalf("good edits missing: %q", d.Text())
+	}
+	if strings.Contains(d.Text(), "(") {
+		t.Fatalf("bad edit kept: %q", d.Text())
+	}
+}
+
+func TestOffsetAdjustmentAfterSkippedEdit(t *testing.T) {
+	l := csub.Lang()
+	d := l.NewDocument("int a; int b;")
+	recovery.Parse(d, parser())
+
+	// First edit inserts garbage (will be reverted and shifts offsets);
+	// second edit renames b, recorded at a shifted offset.
+	d.Replace(0, 0, "((( ")
+	d.Replace(4+11, 1, "z") // 'b' at 11 in original, +4 for the insertion
+	out := recovery.Parse(d, parser())
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if len(out.Incorporated) != 1 || len(out.Unincorporated) != 1 {
+		t.Fatalf("inc=%d uninc=%d text=%q", len(out.Incorporated), len(out.Unincorporated), d.Text())
+	}
+	if d.Text() != "int a; int z;" {
+		t.Fatalf("text = %q", d.Text())
+	}
+}

@@ -1,0 +1,330 @@
+package regex
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DFA is a deterministic finite automaton over runes with range-compressed
+// transitions. State 0 is the start state. Accept values identify which
+// rule (pattern index) accepts in a state, with lower indices winning ties.
+type DFA struct {
+	// edges[s] is sorted by Lo; lookup is a binary search.
+	edges  [][]dfaEdge
+	accept []int // rule index or -1
+}
+
+type dfaEdge struct {
+	rng RuneRange
+	to  int32
+}
+
+// Compile compiles a single pattern; its accept rule index is 0.
+func Compile(pattern string) (*DFA, error) {
+	return CompileSet([]string{pattern})
+}
+
+// MustCompile is Compile but panics on error.
+func MustCompile(pattern string) *DFA {
+	d, err := Compile(pattern)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// CompileSet compiles several patterns into a combined DFA. When multiple
+// patterns accept the same string, the smallest pattern index wins — the
+// rule-priority convention of lex.
+func CompileSet(patterns []string) (*DFA, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("regex: empty pattern set")
+	}
+	asts := make([]node, len(patterns))
+	for i, p := range patterns {
+		ast, err := parse(p)
+		if err != nil {
+			return nil, err
+		}
+		asts[i] = ast
+	}
+	n := buildNFA(asts)
+	d := determinize(n)
+	return minimize(d), nil
+}
+
+// NumStates returns the number of DFA states.
+func (d *DFA) NumStates() int { return len(d.accept) }
+
+// Start returns the start state.
+func (d *DFA) Start() int { return 0 }
+
+// Dead is the sink returned by Step when no transition exists.
+const Dead = -1
+
+// Step advances from state on rune r, returning the next state or Dead.
+func (d *DFA) Step(state int, r rune) int {
+	edges := d.edges[state]
+	lo, hi := 0, len(edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		e := edges[mid]
+		switch {
+		case r < e.rng.Lo:
+			hi = mid
+		case r > e.rng.Hi:
+			lo = mid + 1
+		default:
+			return int(e.to)
+		}
+	}
+	return Dead
+}
+
+// Accept returns the accepting rule index for state, or -1.
+func (d *DFA) Accept(state int) int { return d.accept[state] }
+
+// Match finds the longest prefix of s accepted by any rule. It returns the
+// byte length of the match and the winning rule, or (-1, -1) when no prefix
+// matches. The empty match is reported only if a rule accepts ε.
+func (d *DFA) Match(s string) (length, rule int) {
+	length, rule = -1, -1
+	state := 0
+	if a := d.accept[state]; a >= 0 {
+		length, rule = 0, a
+	}
+	for i, r := range s {
+		state = d.Step(state, r)
+		if state == Dead {
+			return length, rule
+		}
+		if a := d.accept[state]; a >= 0 {
+			length = i + runeLen(r)
+			rule = a
+		}
+	}
+	return length, rule
+}
+
+func runeLen(r rune) int {
+	switch {
+	case r < 0x80:
+		return 1
+	case r < 0x800:
+		return 2
+	case r < 0x10000:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// determinize performs subset construction over a partition of the rune
+// space induced by all NFA edge boundaries.
+func determinize(n *nfa) *DFA {
+	// Compute the alphabet partition: all Lo and Hi+1 boundaries.
+	boundarySet := map[rune]bool{}
+	for _, st := range n.states {
+		for _, e := range st.edges {
+			boundarySet[e.rng.Lo] = true
+			boundarySet[e.rng.Hi+1] = true
+		}
+	}
+	boundaries := make([]rune, 0, len(boundarySet))
+	for b := range boundarySet {
+		boundaries = append(boundaries, b)
+	}
+	sort.Slice(boundaries, func(i, j int) bool { return boundaries[i] < boundaries[j] })
+
+	closure := func(set []int) []int {
+		seen := make(map[int]bool, len(set)*2)
+		var out []int
+		var stack []int
+		for _, s := range set {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			out = append(out, s)
+			for _, t := range n.states[s].eps {
+				if !seen[t] {
+					seen[t] = true
+					stack = append(stack, t)
+				}
+			}
+		}
+		sort.Ints(out)
+		return out
+	}
+	key := func(set []int) string {
+		b := make([]byte, 0, len(set)*4)
+		for _, s := range set {
+			b = append(b, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+		}
+		return string(b)
+	}
+
+	d := &DFA{}
+	var subsets [][]int
+	index := map[string]int{}
+	addState := func(set []int) int {
+		k := key(set)
+		if id, ok := index[k]; ok {
+			return id
+		}
+		id := len(subsets)
+		subsets = append(subsets, set)
+		index[k] = id
+		accept := -1
+		for _, s := range set {
+			if a := n.states[s].accept; a >= 0 && (accept < 0 || a < accept) {
+				accept = a
+			}
+		}
+		d.accept = append(d.accept, accept)
+		d.edges = append(d.edges, nil)
+		return id
+	}
+
+	addState(closure([]int{n.start}))
+	for id := 0; id < len(subsets); id++ {
+		set := subsets[id]
+		// For each partition cell [b, nextB-1], compute the move set.
+		for bi := 0; bi+1 <= len(boundaries); bi++ {
+			lo := boundaries[bi]
+			var hi rune
+			if bi+1 < len(boundaries) {
+				hi = boundaries[bi+1] - 1
+			} else {
+				hi = maxRune
+			}
+			if lo > maxRune {
+				break
+			}
+			var move []int
+			for _, s := range set {
+				for _, e := range n.states[s].edges {
+					if e.rng.Lo <= lo && hi <= e.rng.Hi {
+						move = append(move, e.to)
+					}
+				}
+			}
+			if len(move) == 0 {
+				continue
+			}
+			to := addState(closure(move))
+			// Merge with previous edge when contiguous and same target.
+			edges := d.edges[id]
+			if k := len(edges) - 1; k >= 0 && edges[k].to == int32(to) && edges[k].rng.Hi+1 == lo {
+				d.edges[id][k].rng.Hi = hi
+			} else {
+				d.edges[id] = append(d.edges[id], dfaEdge{rng: RuneRange{lo, hi}, to: int32(to)})
+			}
+		}
+	}
+	return d
+}
+
+// minimize applies Moore partition refinement. Accepting states are
+// distinguished by rule index.
+func minimize(d *DFA) *DFA {
+	n := d.NumStates()
+	// Initial partition by accept value.
+	part := make([]int, n)
+	classOf := map[int]int{}
+	numClasses := 0
+	for s := 0; s < n; s++ {
+		a := d.accept[s]
+		c, ok := classOf[a]
+		if !ok {
+			c = numClasses
+			numClasses++
+			classOf[a] = c
+		}
+		part[s] = c
+	}
+
+	// Refine until stable, using transition signatures over the boundary
+	// partition of each state's edges.
+	for {
+		sig := make([]string, n)
+		for s := 0; s < n; s++ {
+			b := make([]byte, 0, 16)
+			b = append(b, byte(part[s]), byte(part[s]>>8))
+			for _, e := range d.edges[s] {
+				b = append(b,
+					byte(e.rng.Lo), byte(e.rng.Lo>>8), byte(e.rng.Lo>>16),
+					byte(e.rng.Hi), byte(e.rng.Hi>>8), byte(e.rng.Hi>>16),
+					byte(part[e.to]), byte(part[e.to]>>8))
+			}
+			sig[s] = string(b)
+		}
+		newClass := map[string]int{}
+		newPart := make([]int, n)
+		next := 0
+		for s := 0; s < n; s++ {
+			c, ok := newClass[sig[s]]
+			if !ok {
+				c = next
+				next++
+				newClass[sig[s]] = c
+			}
+			newPart[s] = c
+		}
+		if next == numClasses {
+			break
+		}
+		part = newPart
+		numClasses = next
+	}
+
+	// Rebuild with class representatives; keep class of start state as 0.
+	remap := make([]int32, numClasses)
+	for i := range remap {
+		remap[i] = -1
+	}
+	order := make([]int, 0, numClasses)
+	// BFS from start to keep reachable classes only and make start class 0.
+	startClass := part[0]
+	remap[startClass] = 0
+	order = append(order, 0) // representative state index
+	reprOf := map[int]int{startClass: 0}
+	queue := []int{0}
+	nextID := int32(1)
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, e := range d.edges[s] {
+			c := part[e.to]
+			if remap[c] < 0 {
+				remap[c] = nextID
+				nextID++
+				reprOf[c] = int(e.to)
+				order = append(order, int(e.to))
+				queue = append(queue, int(e.to))
+			}
+		}
+	}
+	out := &DFA{
+		edges:  make([][]dfaEdge, len(order)),
+		accept: make([]int, len(order)),
+	}
+	for newID, repr := range order {
+		out.accept[newID] = d.accept[repr]
+		var edges []dfaEdge
+		for _, e := range d.edges[repr] {
+			to := remap[part[e.to]]
+			if k := len(edges) - 1; k >= 0 && edges[k].to == to && edges[k].rng.Hi+1 == e.rng.Lo {
+				edges[k].rng.Hi = e.rng.Hi
+			} else {
+				edges = append(edges, dfaEdge{rng: e.rng, to: to})
+			}
+		}
+		out.edges[newID] = edges
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package regex
+
+// nfaState is a Thompson NFA state. accept < 0 means non-accepting;
+// otherwise it is the rule index that accepts here.
+type nfaState struct {
+	eps    []int
+	edges  []nfaEdge
+	accept int
+}
+
+type nfaEdge struct {
+	rng RuneRange
+	to  int
+}
+
+type nfa struct {
+	states []nfaState
+	start  int
+}
+
+// nfaBuilder assembles the combined NFA for a set of patterns.
+type nfaBuilder struct {
+	n nfa
+}
+
+func (b *nfaBuilder) newState() int {
+	b.n.states = append(b.n.states, nfaState{accept: -1})
+	return len(b.n.states) - 1
+}
+
+func (b *nfaBuilder) eps(from, to int) {
+	b.n.states[from].eps = append(b.n.states[from].eps, to)
+}
+
+func (b *nfaBuilder) edge(from int, rng RuneRange, to int) {
+	b.n.states[from].edges = append(b.n.states[from].edges, nfaEdge{rng: rng, to: to})
+}
+
+// build compiles an AST fragment, returning (entry, exit) states.
+func (b *nfaBuilder) build(n node) (int, int) {
+	switch t := n.(type) {
+	case emptyNode:
+		s := b.newState()
+		e := b.newState()
+		b.eps(s, e)
+		return s, e
+	case classNode:
+		s := b.newState()
+		e := b.newState()
+		for _, r := range t.ranges {
+			b.edge(s, r, e)
+		}
+		return s, e
+	case concatNode:
+		first, last := -1, -1
+		for _, sub := range t.subs {
+			s, e := b.build(sub)
+			if first < 0 {
+				first = s
+			} else {
+				b.eps(last, s)
+			}
+			last = e
+		}
+		return first, last
+	case altNode:
+		s := b.newState()
+		e := b.newState()
+		for _, sub := range t.subs {
+			ss, se := b.build(sub)
+			b.eps(s, ss)
+			b.eps(se, e)
+		}
+		return s, e
+	case repeatNode:
+		s := b.newState()
+		e := b.newState()
+		ss, se := b.build(t.sub)
+		b.eps(s, ss)
+		b.eps(se, e)
+		if t.infinite {
+			b.eps(se, ss)
+		}
+		if t.min == 0 {
+			b.eps(s, e)
+		}
+		return s, e
+	default:
+		panic("regex: unknown AST node")
+	}
+}
+
+// buildNFA compiles several patterns into one NFA whose accepting states
+// carry the pattern's rule index.
+func buildNFA(asts []node) *nfa {
+	b := &nfaBuilder{}
+	start := b.newState()
+	for rule, ast := range asts {
+		s, e := b.build(ast)
+		b.eps(start, s)
+		b.n.states[e].accept = rule
+	}
+	b.n.start = start
+	return &b.n
+}

@@ -1,0 +1,166 @@
+package regex
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// refMatch is a direct backtracking interpreter over the AST — an
+// independent semantics for the same patterns. It returns the set of
+// prefix lengths (in bytes) the pattern can match.
+func refMatch(n node, s string) map[int]bool {
+	switch t := n.(type) {
+	case emptyNode:
+		return map[int]bool{0: true}
+	case classNode:
+		out := map[int]bool{}
+		for i, r := range s {
+			if i > 0 {
+				break
+			}
+			for _, rng := range t.ranges {
+				if r >= rng.Lo && r <= rng.Hi {
+					out[len(string(r))] = true
+				}
+			}
+		}
+		return out
+	case concatNode:
+		cur := map[int]bool{0: true}
+		for _, sub := range t.subs {
+			next := map[int]bool{}
+			for p := range cur {
+				for q := range refMatch(sub, s[p:]) {
+					next[p+q] = true
+				}
+			}
+			cur = next
+			if len(cur) == 0 {
+				return cur
+			}
+		}
+		return cur
+	case altNode:
+		out := map[int]bool{}
+		for _, sub := range t.subs {
+			for p := range refMatch(sub, s) {
+				out[p] = true
+			}
+		}
+		return out
+	case repeatNode:
+		out := map[int]bool{}
+		if t.min == 0 {
+			out[0] = true
+		}
+		// Iterative expansion (bounded by |s| since each step consumes
+		// at least one byte or loops forever on ε — guard with progress).
+		frontier := map[int]bool{0: true}
+		for iter := 0; iter <= len(s); iter++ {
+			next := map[int]bool{}
+			for p := range frontier {
+				for q := range refMatch(t.sub, s[p:]) {
+					if q == 0 {
+						continue // ε-iteration adds nothing new
+					}
+					if !out[p+q] || iter == 0 {
+						next[p+q] = true
+					}
+					out[p+q] = true
+				}
+			}
+			if !t.infinite {
+				// ? — at most one iteration.
+				break
+			}
+			if len(next) == 0 {
+				break
+			}
+			frontier = next
+		}
+		if t.min == 1 {
+			delete(out, 0)
+			// out currently holds ≥1-iteration endpoints only, built from
+			// progress-making steps; 0 could only appear via min==0.
+		}
+		return out
+	default:
+		panic("unknown node")
+	}
+}
+
+func refLongest(n node, s string) int {
+	best := -1
+	for p := range refMatch(n, s) {
+		if p > best {
+			best = p
+		}
+	}
+	return best
+}
+
+func TestDFAMatchesReferenceSemantics(t *testing.T) {
+	patterns := []string{
+		"a", "ab", "a|b", "a*", "a+", "a?",
+		"(ab)*", "(a|b)*abb", "a(b|c)d", "a*b*c*",
+		"(a|ab)(c|bcd)", "(a+)(b+)", "x(yz)?",
+		"[ab]+c", "[^a]b", "a.c",
+	}
+	inputs := []string{
+		"", "a", "b", "ab", "abb", "aabb", "abc", "abcd",
+		"aaa", "bbb", "abab", "ababb", "acd", "abd", "xyz", "x",
+		"aabbcc", "cab", "bca", "abbcdd",
+	}
+	for _, pat := range patterns {
+		ast, err := parse(pat)
+		if err != nil {
+			t.Fatalf("parse(%q): %v", pat, err)
+		}
+		d := MustCompile(pat)
+		for _, in := range inputs {
+			want := refLongest(ast, in)
+			got, _ := d.Match(in)
+			if got != want {
+				t.Fatalf("pattern %q input %q: DFA %d, reference %d", pat, in, got, want)
+			}
+		}
+	}
+}
+
+func TestDFAMatchesReferenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	patterns := []string{"(a|b)*abb", "a(b|c)*d", "(ab|a)(b|bb)", "[ab]*c?"}
+	for _, pat := range patterns {
+		ast, err := parse(pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := MustCompile(pat)
+		for i := 0; i < 400; i++ {
+			var sb strings.Builder
+			for n := rng.Intn(10); n > 0; n-- {
+				sb.WriteByte("abcd"[rng.Intn(4)])
+			}
+			in := sb.String()
+			want := refLongest(ast, in)
+			got, _ := d.Match(in)
+			if got != want {
+				t.Fatalf("pattern %q input %q: DFA %d, reference %d", pat, in, got, want)
+			}
+		}
+	}
+}
+
+func TestDFADeterminism(t *testing.T) {
+	// Every state has non-overlapping edges sorted by range.
+	d := MustCompile(`/\*([^*]|\*+[^*/])*\*+/|[a-z]+|[0-9]+`)
+	for s := 0; s < d.NumStates(); s++ {
+		edges := d.edges[s]
+		for i := 1; i < len(edges); i++ {
+			if edges[i].rng.Lo <= edges[i-1].rng.Hi {
+				t.Fatalf("state %d: overlapping/unsorted edges %v", s, edges)
+			}
+		}
+	}
+}

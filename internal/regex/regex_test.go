@@ -1,0 +1,219 @@
+package regex
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func match(t *testing.T, pattern, s string) (int, int) {
+	t.Helper()
+	d, err := Compile(pattern)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", pattern, err)
+	}
+	return d.Match(s)
+}
+
+func TestBasicMatching(t *testing.T) {
+	cases := []struct {
+		pattern, input string
+		want           int // matched byte length; -1 = no match
+	}{
+		{"abc", "abcdef", 3},
+		{"abc", "abd", -1},
+		{"a*", "aaab", 3},
+		{"a*", "b", 0},
+		{"a+", "aaab", 3},
+		{"a+", "b", -1},
+		{"a?b", "ab", 2},
+		{"a?b", "b", 1},
+		{"a|bc", "bc", 2},
+		{"a|bc", "a", 1},
+		{"(ab)+", "ababx", 4},
+		{"[a-z]+", "hello WORLD", 5},
+		{"[^a-z]+", "HELLO world", 6}, // includes the space
+		{"[0-9]+", "42x", 2},
+		{`\d+`, "123abc", 3},
+		{`\w+`, "foo_bar9 baz", 8},
+		{`\s+`, " \t\nx", 3},
+		{".", "\n", -1},
+		{".", "x", 1},
+		{`\.`, ".", 1},
+		{`\.`, "x", -1},
+		{"[-+]?[0-9]+", "-42", 3},
+		{"[+-]", "-", 1},
+		{"a.c", "abc", 3},
+		{"a.c", "a\nc", -1},
+		{"(a|b)*abb", "aababb", 6},
+		{"x", "", -1},
+		{"", "anything", 0},
+		{"[]-a]", "]", 1},
+		{"日本?語", "日語", 6},
+		{"日本?語", "日本語", 9},
+	}
+	for _, c := range cases {
+		got, _ := match(t, c.pattern, c.input)
+		if got != c.want {
+			t.Errorf("Match(%q, %q) = %d, want %d", c.pattern, c.input, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, p := range []string{"(", ")", "a)", "*a", "+", "?", "[a", "[", `a\`, "[z-a]"} {
+		if _, err := Compile(p); err == nil {
+			t.Errorf("Compile(%q) should fail", p)
+		}
+	}
+}
+
+func TestRulePriority(t *testing.T) {
+	// Keywords before identifiers: same length match goes to the lower
+	// rule index.
+	d, err := CompileSet([]string{"if", "while", "[a-z]+"})
+	if err != nil {
+		t.Fatalf("CompileSet: %v", err)
+	}
+	if n, rule := d.Match("if"); n != 2 || rule != 0 {
+		t.Fatalf("Match(if) = (%d,%d), want (2,0)", n, rule)
+	}
+	if n, rule := d.Match("while"); n != 5 || rule != 1 {
+		t.Fatalf("Match(while) = (%d,%d), want (5,1)", n, rule)
+	}
+	// Longest match beats priority: "iffy" is an identifier.
+	if n, rule := d.Match("iffy"); n != 4 || rule != 2 {
+		t.Fatalf("Match(iffy) = (%d,%d), want (4,2)", n, rule)
+	}
+	if n, rule := d.Match("whiles"); n != 6 || rule != 2 {
+		t.Fatalf("Match(whiles) = (%d,%d), want (6,2)", n, rule)
+	}
+}
+
+func TestCCommentPattern(t *testing.T) {
+	// The classic C block-comment regex.
+	pat := `/\*([^*]|\*+[^*/])*\*+/`
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"/**/", 4},
+		{"/* hi */", 8},
+		{"/* a * b */", 11},
+		{"/***/x", 5},
+		{"/* unterminated", -1},
+		{"/* nested /* */", 15},
+	}
+	for _, c := range cases {
+		if got, _ := match(t, pat, c.in); got != c.want {
+			t.Errorf("comment match(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCStringPattern(t *testing.T) {
+	pat := `"([^"\\\n]|\\.)*"`
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{`"hi"`, 4},
+		{`"a\"b"`, 6},
+		{`"a\\"`, 5},
+		{`"unterminated`, -1},
+		{"\"no\nnewlines\"", -1},
+	}
+	for _, c := range cases {
+		if got, _ := match(t, pat, c.in); got != c.want {
+			t.Errorf("string match(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMinimizationEquivalence(t *testing.T) {
+	// Build the same language two ways; minimized DFAs must agree on
+	// random inputs. (a|b)*abb
+	d1 := MustCompile("(a|b)*abb")
+	d2 := MustCompile("(a|b)*abb")
+	f := func(bits []bool) bool {
+		var sb strings.Builder
+		for _, b := range bits {
+			if b {
+				sb.WriteByte('a')
+			} else {
+				sb.WriteByte('b')
+			}
+		}
+		s := sb.String()
+		n1, _ := d1.Match(s)
+		n2, _ := d2.Match(s)
+		return n1 == n2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchAgainstNaive(t *testing.T) {
+	// Property: DFA longest-match for a|ab|abc over random abc-strings
+	// equals the naive longest prefix in {a, ab, abc}.
+	d := MustCompile("a|ab|abc")
+	f := func(raw []byte) bool {
+		var sb strings.Builder
+		for _, b := range raw {
+			sb.WriteByte("abc"[int(b)%3])
+		}
+		s := sb.String()
+		want := -1
+		for _, p := range []string{"a", "ab", "abc"} {
+			if strings.HasPrefix(s, p) && len(p) > want {
+				want = len(p)
+			}
+		}
+		got, _ := d.Match(s)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepAPI(t *testing.T) {
+	d := MustCompile("ab*c")
+	s := d.Start()
+	s = d.Step(s, 'a')
+	if s == Dead {
+		t.Fatal("dead after a")
+	}
+	for i := 0; i < 5; i++ {
+		s = d.Step(s, 'b')
+		if s == Dead {
+			t.Fatal("dead in b*")
+		}
+		if d.Accept(s) >= 0 {
+			t.Fatal("should not accept inside b*")
+		}
+	}
+	s = d.Step(s, 'c')
+	if s == Dead || d.Accept(s) != 0 {
+		t.Fatal("should accept after c")
+	}
+	if d.Step(s, 'x') != Dead {
+		t.Fatal("should be dead after trailing x")
+	}
+}
+
+func TestMinimizedSmallerOrEqual(t *testing.T) {
+	// Redundant alternation should collapse states.
+	d := MustCompile("(ab|ab)|ab")
+	if d.NumStates() > 3 {
+		t.Fatalf("minimized DFA for 'ab' has %d states, want <= 3", d.NumStates())
+	}
+}
+
+func TestUnicodeClasses(t *testing.T) {
+	d := MustCompile("[α-ω]+")
+	if n, _ := d.Match("αβγx"); n != 6 {
+		t.Fatalf("greek match = %d, want 6", n)
+	}
+}

@@ -1,0 +1,348 @@
+// Package regex implements a small regular-expression engine — parser,
+// Thompson NFA construction, subset-construction DFA, and DFA minimization —
+// used to compile token definitions for the batch and incremental lexers.
+// It supports the operators needed by programming-language token syntax:
+// concatenation, alternation (|), repetition (* + ?), grouping, character
+// classes ([a-z], [^...]), '.' (any rune except newline), and escapes.
+package regex
+
+import (
+	"fmt"
+	"unicode/utf8"
+)
+
+// node is a regex AST node.
+type node interface{ isNode() }
+
+type (
+	// emptyNode matches the empty string.
+	emptyNode struct{}
+	// classNode matches one rune drawn from a set of ranges.
+	classNode struct{ ranges []RuneRange }
+	// concatNode matches a sequence.
+	concatNode struct{ subs []node }
+	// altNode matches any alternative.
+	altNode struct{ subs []node }
+	// repeatNode matches sub repeated (min 0 or 1, max 1 or unbounded).
+	repeatNode struct {
+		sub      node
+		min      int  // 0 or 1
+		infinite bool // true for * and +
+	}
+)
+
+func (emptyNode) isNode()  {}
+func (classNode) isNode()  {}
+func (concatNode) isNode() {}
+func (altNode) isNode()    {}
+func (repeatNode) isNode() {}
+
+// RuneRange is an inclusive range of runes.
+type RuneRange struct {
+	Lo, Hi rune
+}
+
+// maxRune is the largest valid rune.
+const maxRune = utf8.MaxRune
+
+type parser struct {
+	src string
+	pos int
+}
+
+// parse compiles the regex source to an AST.
+func parse(src string) (node, error) {
+	p := &parser{src: src}
+	n, err := p.alternation()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("regex %q: unexpected %q at %d", src, p.src[p.pos], p.pos)
+	}
+	return n, nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("regex %q at %d: %s", p.src, p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) peek() (rune, bool) {
+	if p.pos >= len(p.src) {
+		return 0, false
+	}
+	r, _ := utf8.DecodeRuneInString(p.src[p.pos:])
+	return r, true
+}
+
+func (p *parser) advance() rune {
+	r, sz := utf8.DecodeRuneInString(p.src[p.pos:])
+	p.pos += sz
+	return r
+}
+
+// alternation := concat ('|' concat)*
+func (p *parser) alternation() (node, error) {
+	first, err := p.concat()
+	if err != nil {
+		return nil, err
+	}
+	subs := []node{first}
+	for {
+		r, ok := p.peek()
+		if !ok || r != '|' {
+			break
+		}
+		p.advance()
+		n, err := p.concat()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, n)
+	}
+	if len(subs) == 1 {
+		return subs[0], nil
+	}
+	return altNode{subs: subs}, nil
+}
+
+// concat := repeat*
+func (p *parser) concat() (node, error) {
+	var subs []node
+	for {
+		r, ok := p.peek()
+		if !ok || r == '|' || r == ')' {
+			break
+		}
+		n, err := p.repeat()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, n)
+	}
+	switch len(subs) {
+	case 0:
+		return emptyNode{}, nil
+	case 1:
+		return subs[0], nil
+	default:
+		return concatNode{subs: subs}, nil
+	}
+}
+
+// repeat := atom ('*'|'+'|'?')*
+func (p *parser) repeat() (node, error) {
+	n, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		r, ok := p.peek()
+		if !ok {
+			break
+		}
+		switch r {
+		case '*':
+			p.advance()
+			n = repeatNode{sub: n, min: 0, infinite: true}
+		case '+':
+			p.advance()
+			n = repeatNode{sub: n, min: 1, infinite: true}
+		case '?':
+			p.advance()
+			n = repeatNode{sub: n, min: 0, infinite: false}
+		default:
+			return n, nil
+		}
+	}
+	return n, nil
+}
+
+// atom := '(' alternation ')' | class | '.' | escape | literal
+func (p *parser) atom() (node, error) {
+	r, ok := p.peek()
+	if !ok {
+		return nil, p.errf("unexpected end of pattern")
+	}
+	switch r {
+	case '(':
+		p.advance()
+		n, err := p.alternation()
+		if err != nil {
+			return nil, err
+		}
+		if c, ok := p.peek(); !ok || c != ')' {
+			return nil, p.errf("missing ')'")
+		}
+		p.advance()
+		return n, nil
+	case '[':
+		return p.class()
+	case '.':
+		p.advance()
+		// Any rune except newline.
+		return classNode{ranges: []RuneRange{{0, '\n' - 1}, {'\n' + 1, maxRune}}}, nil
+	case '\\':
+		p.advance()
+		return p.escape()
+	case '*', '+', '?':
+		return nil, p.errf("repetition operator %q with nothing to repeat", r)
+	case ')':
+		return nil, p.errf("unmatched ')'")
+	default:
+		p.advance()
+		return classNode{ranges: []RuneRange{{r, r}}}, nil
+	}
+}
+
+// escape handles \n \t \r \\ and metacharacter escapes, plus \d \w \s.
+func (p *parser) escape() (node, error) {
+	r, ok := p.peek()
+	if !ok {
+		return nil, p.errf("trailing backslash")
+	}
+	p.advance()
+	if rs, ok := escapeClass(r); ok {
+		return classNode{ranges: rs}, nil
+	}
+	return classNode{ranges: []RuneRange{{escapeRune(r), escapeRune(r)}}}, nil
+}
+
+func escapeRune(r rune) rune {
+	switch r {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case 'f':
+		return '\f'
+	case 'v':
+		return '\v'
+	case '0':
+		return 0
+	default:
+		return r
+	}
+}
+
+func escapeClass(r rune) ([]RuneRange, bool) {
+	switch r {
+	case 'd':
+		return []RuneRange{{'0', '9'}}, true
+	case 'w':
+		return []RuneRange{{'0', '9'}, {'A', 'Z'}, {'_', '_'}, {'a', 'z'}}, true
+	case 's':
+		return []RuneRange{{'\t', '\r'}, {' ', ' '}}, true
+	default:
+		return nil, false
+	}
+}
+
+// class := '[' '^'? item+ ']' ; item := rune ('-' rune)? | escape
+func (p *parser) class() (node, error) {
+	p.advance() // '['
+	negate := false
+	if r, ok := p.peek(); ok && r == '^' {
+		negate = true
+		p.advance()
+	}
+	var ranges []RuneRange
+	first := true
+	for {
+		r, ok := p.peek()
+		if !ok {
+			return nil, p.errf("unterminated character class")
+		}
+		if r == ']' && !first {
+			p.advance()
+			break
+		}
+		first = false
+		lo := p.advance()
+		if lo == '\\' {
+			e, ok := p.peek()
+			if !ok {
+				return nil, p.errf("trailing backslash in class")
+			}
+			p.advance()
+			if rs, isClass := escapeClass(e); isClass {
+				ranges = append(ranges, rs...)
+				continue
+			}
+			lo = escapeRune(e)
+		}
+		hi := lo
+		if r, ok := p.peek(); ok && r == '-' {
+			// Peek past '-' to see whether it's a range or a literal '-]'.
+			save := p.pos
+			p.advance()
+			if r2, ok := p.peek(); ok && r2 != ']' {
+				hi = p.advance()
+				if hi == '\\' {
+					e, ok := p.peek()
+					if !ok {
+						return nil, p.errf("trailing backslash in class")
+					}
+					p.advance()
+					hi = escapeRune(e)
+				}
+				if hi < lo {
+					return nil, p.errf("invalid range %c-%c", lo, hi)
+				}
+			} else {
+				p.pos = save // literal '-' handled on next loop iteration
+			}
+		}
+		ranges = append(ranges, RuneRange{lo, hi})
+	}
+	ranges = normalizeRanges(ranges)
+	if negate {
+		ranges = negateRanges(ranges)
+	}
+	if len(ranges) == 0 {
+		return nil, p.errf("empty character class")
+	}
+	return classNode{ranges: ranges}, nil
+}
+
+// normalizeRanges sorts and merges overlapping ranges.
+func normalizeRanges(rs []RuneRange) []RuneRange {
+	if len(rs) <= 1 {
+		return rs
+	}
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Lo < rs[j-1].Lo; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := &out[len(out)-1]
+		if r.Lo <= last.Hi+1 {
+			if r.Hi > last.Hi {
+				last.Hi = r.Hi
+			}
+		} else {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// negateRanges complements a normalized range set over [0, maxRune].
+func negateRanges(rs []RuneRange) []RuneRange {
+	var out []RuneRange
+	next := rune(0)
+	for _, r := range rs {
+		if r.Lo > next {
+			out = append(out, RuneRange{next, r.Lo - 1})
+		}
+		next = r.Hi + 1
+	}
+	if next <= maxRune {
+		out = append(out, RuneRange{next, maxRune})
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package semantics_test
+
+import (
+	"strings"
+	"testing"
+
+	"iglr/internal/langs"
+	"iglr/internal/langs/cppsub"
+	"iglr/internal/semantics"
+)
+
+func TestResolverUseSites(t *testing.T) {
+	l := cppsub.Lang()
+	r := semantics.NewResolver(langs.CStyleSemantics(l))
+	d, root := parse(t, l, "typedef int a; a(b); a(c); other(q);")
+
+	res, flips := r.Resolve(root)
+	if res.ResolvedDecl != 2 || res.Unresolved != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	if len(flips) != 0 {
+		t.Fatalf("first pass should have no flips, got %d", len(flips))
+	}
+	if got := len(r.UseSites("a")); got != 2 {
+		t.Fatalf("use sites of a = %d, want 2", got)
+	}
+	if got := len(r.UseSites("other")); got != 1 {
+		t.Fatalf("use sites of other = %d, want 1", got)
+	}
+	if r.UseSites("nope") != nil {
+		t.Fatal("unknown name should have no sites")
+	}
+
+	// Replace the typedef with an ordinary declaration: both `a` regions
+	// flip declaration → call, and the resolver reports exactly them
+	// (§4.2: the use sites are located from the recorded bindings, and
+	// "the use sites themselves require no action from the parser").
+	off := strings.Index(d.Text(), "typedef int a;")
+	d.Replace(off, len("typedef int a;"), "int a;")
+	root2 := reparse(t, l, d)
+	res2, flips2 := r.Resolve(root2)
+	if res2.ResolvedStmt != 2 {
+		t.Fatalf("after edit: %+v", res2)
+	}
+	if len(flips2) != 2 {
+		t.Fatalf("flips = %d, want 2", len(flips2))
+	}
+	for _, f := range flips2 {
+		if f.Name != "a" || f.From != semantics.DecidedDecl || f.To != semantics.DecidedStmt {
+			t.Fatalf("unexpected flip %+v", f)
+		}
+	}
+	if r.Last() != res2 {
+		t.Fatal("Last() should track the latest pass")
+	}
+}
+
+func TestResolverFlipToUnresolved(t *testing.T) {
+	l := cppsub.Lang()
+	r := semantics.NewResolver(langs.CStyleSemantics(l))
+	d, root := parse(t, l, "typedef int a; a(b);")
+	r.Resolve(root)
+
+	// Remove the declaration entirely: decl → unresolved.
+	off := strings.Index(d.Text(), "typedef int a; ")
+	d.Replace(off, len("typedef int a; "), "")
+	root2 := reparse(t, l, d)
+	_, flips := r.Resolve(root2)
+	if len(flips) != 1 || flips[0].To != semantics.DecidedNone {
+		t.Fatalf("flips = %+v", flips)
+	}
+}
+
+func TestResolverStableAcrossNeutralEdits(t *testing.T) {
+	// Node retention keeps the choice nodes' identity across unrelated
+	// edits, so the resolver sees no spurious flips.
+	l := cppsub.Lang()
+	r := semantics.NewResolver(langs.CStyleSemantics(l))
+	d, root := parse(t, l, "typedef int a; a(b); i = 1;")
+	r.Resolve(root)
+
+	off := strings.Index(d.Text(), "i = 1")
+	d.Replace(off+4, 1, "7")
+	root2 := reparse(t, l, d)
+	_, flips := r.Resolve(root2)
+	if len(flips) != 0 {
+		t.Fatalf("neutral edit caused %d flips", len(flips))
+	}
+}

@@ -1,0 +1,217 @@
+package semantics_test
+
+import (
+	"testing"
+
+	"iglr/internal/dag"
+	"iglr/internal/document"
+	"iglr/internal/iglr"
+	"iglr/internal/langs"
+	"iglr/internal/langs/cppsub"
+	"iglr/internal/langs/csub"
+	"iglr/internal/semantics"
+)
+
+func parse(t *testing.T, l *langs.Language, src string) (*document.Document, *dag.Node) {
+	t.Helper()
+	d := l.NewDocument(src)
+	p := iglr.New(l.Table)
+	root, err := p.Parse(d.Stream())
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	d.Commit(root)
+	return d, root
+}
+
+func reparse(t *testing.T, l *langs.Language, d *document.Document) *dag.Node {
+	t.Helper()
+	p := iglr.New(l.Table)
+	root, err := p.Parse(d.Stream())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", d.Text(), err)
+	}
+	d.Commit(root)
+	return root
+}
+
+func TestTypedefSelectsDeclaration(t *testing.T) {
+	l := cppsub.Lang()
+	_, root := parse(t, l, "typedef int a; a(b); a(c);")
+	if !root.Ambiguous() {
+		t.Fatal("expected ambiguity before resolution")
+	}
+	res := semantics.Resolve(root, langs.CStyleSemantics(l))
+	if res.ResolvedDecl != 2 || res.ResolvedStmt != 0 || res.Unresolved != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if root.Ambiguous() {
+		t.Fatal("dag should be fully disambiguated")
+	}
+	if res.TypeBindings != 1 {
+		t.Fatalf("type bindings = %d", res.TypeBindings)
+	}
+	// The declarations a(b), a(c) bind b and c as ordinary names.
+	if res.OrdinaryBindings != 2 {
+		t.Fatalf("ordinary bindings = %d", res.OrdinaryBindings)
+	}
+}
+
+func TestOrdinarySelectsCall(t *testing.T) {
+	l := cppsub.Lang()
+	_, root := parse(t, l, "int a; a(b);")
+	res := semantics.Resolve(root, langs.CStyleSemantics(l))
+	if res.ResolvedStmt != 1 || res.ResolvedDecl != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if root.Ambiguous() {
+		t.Fatal("should be resolved to the call reading")
+	}
+}
+
+func TestUndeclaredRetainsBothInterpretations(t *testing.T) {
+	l := cppsub.Lang()
+	_, root := parse(t, l, "a(b);")
+	res := semantics.Resolve(root, langs.CStyleSemantics(l))
+	if res.Unresolved != 1 || res.Resolved() != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if !root.Ambiguous() {
+		t.Fatal("program error must retain every interpretation (§4.3)")
+	}
+}
+
+func TestScopingShadowing(t *testing.T) {
+	l := cppsub.Lang()
+	// Global typedef a; inner block declares ordinary a, so the inner
+	// a(b) is a call while the outer one is a declaration.
+	_, root := parse(t, l, "typedef int a; a(x); { int a; a(y); }")
+	res := semantics.Resolve(root, langs.CStyleSemantics(l))
+	if res.ResolvedDecl != 1 || res.ResolvedStmt != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	if root.Ambiguous() {
+		t.Fatal("both regions should be resolved")
+	}
+}
+
+func TestInnerScopeInheritsOuterTypedef(t *testing.T) {
+	l := cppsub.Lang()
+	_, root := parse(t, l, "typedef int T; { T(q); }")
+	res := semantics.Resolve(root, langs.CStyleSemantics(l))
+	if res.ResolvedDecl != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+// TestFigure8SemanticDisambiguation exercises the paper's Figure 8
+// scenario end to end: typedef processing, binding propagation, filtering,
+// and re-interpretation after the typedef is replaced — all over the same
+// incrementally reused dag.
+func TestFigure8SemanticDisambiguation(t *testing.T) {
+	l := cppsub.Lang()
+	cfg := langs.CStyleSemantics(l)
+	d, root := parse(t, l, "typedef int a; a(b); a(c);")
+
+	res := semantics.Resolve(root, cfg)
+	if res.ResolvedDecl != 2 {
+		t.Fatalf("initial: %+v", res)
+	}
+
+	// Replace the typedef by an ordinary declaration: the use sites'
+	// interpretations flip from declaration to call when the namespace of
+	// the leading identifier changes (§4.2).
+	d.Replace(0, len("typedef int a;"), "int a;")
+	root2 := reparse(t, l, d)
+	res2 := semantics.Resolve(root2, cfg)
+	if res2.ResolvedStmt != 2 || res2.ResolvedDecl != 0 {
+		t.Fatalf("after typedef removal: %+v", res2)
+	}
+
+	// Remove the declaration entirely: the regions become unresolvable
+	// program errors and retain both interpretations.
+	d.Replace(0, len("int a;"), "")
+	root3 := reparse(t, l, d)
+	res3 := semantics.Resolve(root3, cfg)
+	if res3.Unresolved != 2 || res3.Resolved() != 0 {
+		t.Fatalf("after removal: %+v", res3)
+	}
+	if !root3.Ambiguous() {
+		t.Fatal("interpretations must persist for erroneous programs")
+	}
+
+	// Restore the typedef: the same reused regions resolve as
+	// declarations again.
+	d.Replace(0, 0, "typedef int a; ")
+	root4 := reparse(t, l, d)
+	res4 := semantics.Resolve(root4, cfg)
+	if res4.ResolvedDecl != 2 {
+		t.Fatalf("after restore: %+v", res4)
+	}
+}
+
+func TestCSubPointerAmbiguity(t *testing.T) {
+	l := csub.Lang()
+	cfg := langs.CStyleSemantics(l)
+
+	// a * b: declaration when a is a type.
+	_, root := parse(t, l, "typedef int a; a * b;")
+	res := semantics.Resolve(root, cfg)
+	if res.ResolvedDecl != 1 {
+		t.Fatalf("typedef case: %+v", res)
+	}
+
+	// a * b: multiplication when a is a variable.
+	_, root2 := parse(t, l, "int a; a * b;")
+	res2 := semantics.Resolve(root2, cfg)
+	if res2.ResolvedStmt != 1 {
+		t.Fatalf("variable case: %+v", res2)
+	}
+
+	// Undeclared: retained.
+	_, root3 := parse(t, l, "a * b;")
+	res3 := semantics.Resolve(root3, cfg)
+	if res3.Unresolved != 1 {
+		t.Fatalf("undeclared case: %+v", res3)
+	}
+	if !root3.Ambiguous() {
+		t.Fatal("retained ambiguity expected")
+	}
+}
+
+func TestCSubCallAmbiguity(t *testing.T) {
+	l := csub.Lang()
+	cfg := langs.CStyleSemantics(l)
+	_, root := parse(t, l, "typedef int a; int c; a(b); c(d);")
+	res := semantics.Resolve(root, cfg)
+	if res.ResolvedDecl != 1 || res.ResolvedStmt != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestResolveIdempotent(t *testing.T) {
+	l := cppsub.Lang()
+	cfg := langs.CStyleSemantics(l)
+	_, root := parse(t, l, "typedef int a; a(b);")
+	r1 := semantics.Resolve(root, cfg)
+	r2 := semantics.Resolve(root, cfg)
+	if r1 != r2 {
+		t.Fatalf("not idempotent: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestScopeAPI(t *testing.T) {
+	g := semantics.NewScope(nil)
+	g.BindType("T")
+	inner := semantics.NewScope(g)
+	inner.BindOrdinary("T") // shadows the type
+	if !g.IsType("T") || g.IsOrdinary("T") {
+		t.Fatal("global scope wrong")
+	}
+	if inner.IsType("T") || !inner.IsOrdinary("T") {
+		t.Fatal("shadowing wrong")
+	}
+	if inner.IsType("U") || inner.IsOrdinary("U") {
+		t.Fatal("unknown name should be unbound")
+	}
+}

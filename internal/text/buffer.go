@@ -1,0 +1,162 @@
+// Package text provides an editable text buffer — a gap buffer with a
+// version-stamped edit log — serving as the textual half of the
+// self-versioning document model the incremental analyses are built on
+// (Wagner & Graham, CompCon 97 [26]).
+package text
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Edit is a single text modification: Removed bytes at Offset were replaced
+// by Inserted.
+type Edit struct {
+	Offset   int
+	Removed  int
+	Inserted string
+}
+
+// Delta is the signed length change of the edit.
+func (e Edit) Delta() int { return len(e.Inserted) - e.Removed }
+
+func (e Edit) String() string {
+	return fmt.Sprintf("@%d -%d +%q", e.Offset, e.Removed, e.Inserted)
+}
+
+// Buffer is a gap buffer over bytes with an edit history. The zero value is
+// an empty buffer.
+type Buffer struct {
+	data    []byte
+	gapLo   int // start of the gap
+	gapHi   int // end of the gap (exclusive)
+	version int
+	log     []loggedEdit
+}
+
+type loggedEdit struct {
+	version int
+	edit    Edit
+}
+
+// NewBuffer creates a buffer holding s.
+func NewBuffer(s string) *Buffer {
+	b := &Buffer{data: make([]byte, len(s)+64)}
+	copy(b.data, s)
+	b.gapLo = len(s)
+	b.gapHi = len(b.data)
+	return b
+}
+
+// Len returns the text length in bytes.
+func (b *Buffer) Len() int { return len(b.data) - (b.gapHi - b.gapLo) }
+
+// Version returns the buffer version; it increments on every edit.
+func (b *Buffer) Version() int { return b.version }
+
+// String materializes the whole text.
+func (b *Buffer) String() string {
+	var sb strings.Builder
+	sb.Grow(b.Len())
+	sb.Write(b.data[:b.gapLo])
+	sb.Write(b.data[b.gapHi:])
+	return sb.String()
+}
+
+// Slice returns the text in [lo, hi).
+func (b *Buffer) Slice(lo, hi int) string {
+	if lo < 0 || hi > b.Len() || lo > hi {
+		panic(fmt.Sprintf("text: slice [%d,%d) out of range (len %d)", lo, hi, b.Len()))
+	}
+	var sb strings.Builder
+	sb.Grow(hi - lo)
+	for i := lo; i < hi; i++ {
+		sb.WriteByte(b.ByteAt(i))
+	}
+	return sb.String()
+}
+
+// ByteAt returns the byte at position i.
+func (b *Buffer) ByteAt(i int) byte {
+	if i < b.gapLo {
+		return b.data[i]
+	}
+	return b.data[i+(b.gapHi-b.gapLo)]
+}
+
+// moveGap positions the gap start at offset.
+func (b *Buffer) moveGap(offset int) {
+	switch {
+	case offset < b.gapLo:
+		n := b.gapLo - offset
+		copy(b.data[b.gapHi-n:b.gapHi], b.data[offset:b.gapLo])
+		b.gapLo = offset
+		b.gapHi -= n
+	case offset > b.gapLo:
+		n := offset - b.gapLo
+		copy(b.data[b.gapLo:], b.data[b.gapHi:b.gapHi+n])
+		b.gapLo += n
+		b.gapHi += n
+	}
+}
+
+// grow ensures the gap holds at least n more bytes.
+func (b *Buffer) grow(n int) {
+	if b.gapHi-b.gapLo >= n {
+		return
+	}
+	newCap := 2*len(b.data) + n
+	nd := make([]byte, newCap)
+	copy(nd, b.data[:b.gapLo])
+	tail := len(b.data) - b.gapHi
+	copy(nd[newCap-tail:], b.data[b.gapHi:])
+	b.gapHi = newCap - tail
+	b.data = nd
+}
+
+// Apply performs the edit, logs it, and bumps the version.
+func (b *Buffer) Apply(e Edit) {
+	if e.Offset < 0 || e.Offset+e.Removed > b.Len() {
+		panic(fmt.Sprintf("text: edit %v out of range (len %d)", e, b.Len()))
+	}
+	b.moveGap(e.Offset)
+	b.gapHi += e.Removed // absorb removed bytes into the gap
+	b.grow(len(e.Inserted))
+	copy(b.data[b.gapLo:], e.Inserted)
+	b.gapLo += len(e.Inserted)
+	b.version++
+	b.log = append(b.log, loggedEdit{version: b.version, edit: e})
+}
+
+// Replace is shorthand for Apply.
+func (b *Buffer) Replace(offset, removed int, inserted string) {
+	b.Apply(Edit{Offset: offset, Removed: removed, Inserted: inserted})
+}
+
+// Insert inserts text at offset.
+func (b *Buffer) Insert(offset int, s string) { b.Replace(offset, 0, s) }
+
+// Delete removes n bytes at offset.
+func (b *Buffer) Delete(offset, n int) { b.Replace(offset, n, "") }
+
+// EditsSince returns the edits applied after version v, oldest first.
+func (b *Buffer) EditsSince(v int) []Edit {
+	var out []Edit
+	for _, le := range b.log {
+		if le.version > v {
+			out = append(out, le.edit)
+		}
+	}
+	return out
+}
+
+// TrimLog discards history at or before version v (memory management).
+func (b *Buffer) TrimLog(v int) {
+	keep := b.log[:0]
+	for _, le := range b.log {
+		if le.version > v {
+			keep = append(keep, le)
+		}
+	}
+	b.log = keep
+}
