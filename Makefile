@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test race vet check bench paperbench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The CI gate: static analysis plus the full suite under the race
+# detector (includes the concurrent-session stress tests).
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+paperbench:
+	$(GO) run ./cmd/paperbench

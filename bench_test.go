@@ -5,11 +5,13 @@
 package incremental_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
 
 	incremental "iglr"
+	"iglr/engine"
 	"iglr/internal/corpus"
 	"iglr/internal/experiments"
 )
@@ -233,6 +235,40 @@ func BenchmarkSemanticResolution(b *testing.B) {
 		if res.ResolvedDecl != nAmb {
 			b.Fatalf("resolved %d of %d", res.ResolvedDecl, nAmb)
 		}
+	}
+}
+
+// BenchmarkParallelCorpus sweeps the engine's worker count over a scaled
+// Table 1 corpus parsed against one shared language — the multi-core axis
+// the paper's single-stream §5 numbers leave open. bytes/op (via SetBytes)
+// turns into MB/s per worker count; files-failed must stay 0.
+func BenchmarkParallelCorpus(b *testing.B) {
+	var inputs []engine.Input
+	var total int64
+	for i, spec := range corpus.Table1Specs() {
+		spec.Lang = "c" // one shared language drives the whole batch
+		spec.Lines = spec.Lines / 50
+		if spec.Lines < 100 {
+			spec.Lines = 100
+		}
+		src, _ := corpus.Generate(spec)
+		inputs = append(inputs, engine.Input{Name: fmt.Sprintf("%s-%d", spec.Name, i), Source: src})
+		total += int64(len(src))
+	}
+	lang := incremental.CSubset()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(total)
+			for i := 0; i < b.N; i++ {
+				batch, err := engine.ParseAll(context.Background(), lang, inputs, engine.WithWorkers(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if batch.Aggregate.Failed != 0 {
+					b.Fatalf("%d files failed", batch.Aggregate.Failed)
+				}
+			}
+		})
 	}
 }
 

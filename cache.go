@@ -1,0 +1,172 @@
+package incremental
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"iglr/internal/langs"
+	"iglr/internal/lr"
+)
+
+// The compiled-language cache. Building a language is the expensive part of
+// DefineLanguage (LR table construction is super-linear in grammar size),
+// while serving workloads call DefineLanguage with a handful of distinct
+// definitions over and over. Compiled languages are immutable and safe to
+// share (see the Concurrency model in DESIGN.md), so identical definitions
+// can return the same underlying tables. Entries are keyed by a
+// content hash of every field that influences compilation; the semantic
+// configuration is attached per returned *Language and is not part of the
+// key. Concurrent first definitions of the same language deduplicate: one
+// goroutine builds, the rest wait for the result.
+var langCache struct {
+	entries sync.Map // key string → *cacheEntry
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+type cacheEntry struct {
+	once sync.Once
+	lang *langs.Language
+	err  error
+}
+
+// CacheStats reports compiled-language cache effectiveness.
+type CacheStats struct {
+	// Entries is the number of distinct definitions compiled (including
+	// failed ones, which are cached too — recompiling cannot fix them).
+	Entries int
+	// Hits counts DefineLanguage calls served from the cache; Misses
+	// counts calls that compiled.
+	Hits, Misses int64
+}
+
+// LanguageCacheStats returns a snapshot of the compiled-language cache.
+func LanguageCacheStats() CacheStats {
+	var s CacheStats
+	langCache.entries.Range(func(_, _ any) bool { s.Entries++; return true })
+	s.Hits = langCache.hits.Load()
+	s.Misses = langCache.misses.Load()
+	return s
+}
+
+// ResetLanguageCache drops every cached compiled language and zeroes the
+// counters. Existing *Language values remain valid; only future
+// DefineLanguage calls are affected.
+func ResetLanguageCache() {
+	langCache.entries.Range(func(k, _ any) bool { langCache.entries.Delete(k); return true })
+	langCache.hits.Store(0)
+	langCache.misses.Store(0)
+}
+
+// compileDef builds (or fetches) the compiled language for d.
+func compileDef(d LanguageDef) (*langs.Language, error) {
+	if d.noCache {
+		return buildDef(d)
+	}
+	key := defKey(d)
+	v, loaded := langCache.entries.Load(key)
+	if !loaded {
+		v, loaded = langCache.entries.LoadOrStore(key, &cacheEntry{})
+	}
+	e := v.(*cacheEntry)
+	if loaded {
+		langCache.hits.Add(1)
+	} else {
+		langCache.misses.Add(1)
+	}
+	e.once.Do(func() { e.lang, e.err = buildDef(d) })
+	return e.lang, e.err
+}
+
+// buildDef compiles a definition, converting staged build errors and any
+// residual construction panic into *DefinitionError.
+func buildDef(d LanguageDef) (l *langs.Language, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e, ok := r.(error)
+			if !ok {
+				e = fmt.Errorf("%v", r)
+			}
+			err = &DefinitionError{Language: d.Name, Stage: "internal", Err: e}
+		}
+	}()
+	b := &langs.Builder{
+		Name:      d.Name,
+		GramSrc:   d.Grammar,
+		LexRules:  d.Lexer,
+		TokenSyms: d.TokenSyms,
+		Keywords:  d.Keywords,
+		IdentRule: d.IdentRule,
+		Options: lr.Options{
+			Method:       d.Method,
+			PreferShift:  d.PreferShift,
+			NoPrecedence: d.NoPrecedence,
+		},
+	}
+	lang, err := b.Build()
+	if err != nil {
+		return nil, newDefinitionError(d.Name, err)
+	}
+	return lang, nil
+}
+
+// defKey hashes every LanguageDef field that influences compilation into a
+// canonical content key. Map fields are serialized in sorted order; every
+// string is length-prefixed so field boundaries cannot collide.
+func defKey(d LanguageDef) string {
+	h := sha256.New()
+	hashStr(h, d.Name)
+	hashStr(h, d.Grammar)
+	hashInt(h, len(d.Lexer))
+	for _, r := range d.Lexer {
+		hashStr(h, r.Name)
+		hashStr(h, r.Pattern)
+		if r.Skip {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	hashMap(h, d.TokenSyms)
+	hashMap(h, d.Keywords)
+	hashStr(h, d.IdentRule)
+	h.Write([]byte{byte(d.Method)})
+	flags := byte(0)
+	if d.PreferShift {
+		flags |= 1
+	}
+	if d.NoPrecedence {
+		flags |= 2
+	}
+	h.Write([]byte{flags})
+	return string(h.Sum(nil))
+}
+
+func hashStr(h hash.Hash, s string) {
+	hashInt(h, len(s))
+	h.Write([]byte(s))
+}
+
+func hashInt(h hash.Hash, n int) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(n))
+	h.Write(buf[:])
+}
+
+func hashMap(h hash.Hash, m map[string]string) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	hashInt(h, len(keys))
+	for _, k := range keys {
+		hashStr(h, k)
+		hashStr(h, m[k])
+	}
+}

@@ -4,21 +4,28 @@
 //
 // Usage:
 //
-//	paperbench [-exp all|table1|figure4|figure7|section5|asymptotics|staging] [-scale 1.0]
+//	paperbench [-exp all|table1|figure4|figure7|section5|asymptotics|staging|parallel] [-scale 1.0]
 //
 // -scale shrinks the Table 1 / Figure 4 program sizes for quick runs.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"text/tabwriter"
+	"time"
 
+	incremental "iglr"
+	"iglr/engine"
+	"iglr/internal/corpus"
 	"iglr/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, figure4, figure7, section5, asymptotics, staging, earley, ablation")
+	exp := flag.String("exp", "all", "experiment: all, table1, figure4, figure7, section5, asymptotics, staging, earley, ablation, parallel")
 	scale := flag.Float64("scale", 1.0, "scale factor for program sizes")
 	flag.Parse()
 
@@ -141,6 +148,10 @@ func main() {
 		return nil
 	})
 
+	run("parallel", func() error {
+		return runParallel(*scale)
+	})
+
 	run("staging", func() error {
 		pts, err := experiments.RunFilterStaging([]int{4, 8, 16, 32, 64}, 3)
 		if err != nil {
@@ -151,4 +162,62 @@ func main() {
 		fmt.Println("dynamic-only filtering pays quadratic space per expression before filtering.")
 		return nil
 	})
+}
+
+// runParallel sweeps the engine's worker count over the (scaled) Table 1
+// corpus: C rows drive the shared C-subset language, C++ rows the shared
+// C++-subset language, in one batch each per worker count. The paper's §5
+// numbers are single-stream; this is the multi-core axis on top of them.
+func runParallel(scale float64) error {
+	type group struct {
+		lang   *incremental.Language
+		inputs []engine.Input
+	}
+	groups := map[string]*group{
+		"c":   {lang: incremental.CSubset()},
+		"c++": {lang: incremental.CPPSubset()},
+	}
+	var totalBytes int64
+	files := 0
+	for _, spec := range corpus.Table1Specs() {
+		spec.Lines = int(float64(spec.Lines) * scale / 20)
+		if spec.Lines < 100 {
+			spec.Lines = 100
+		}
+		src, _ := corpus.Generate(spec)
+		g := groups[spec.Lang]
+		g.inputs = append(g.inputs, engine.Input{Name: spec.Name, Source: src})
+		totalBytes += int64(len(src))
+		files++
+	}
+	fmt.Printf("corpus: %d files, %.1f MB (Table 1 line counts at %.1f%%); GOMAXPROCS=%d\n",
+		files, float64(totalBytes)/1e6, 100*scale/20, runtime.GOMAXPROCS(0))
+
+	sweep := []int{1, 2, 4, 8}
+	for w := 16; w <= 2*runtime.NumCPU(); w *= 2 {
+		sweep = append(sweep, w)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "workers\twall\tMB/s\tspeedup\tfiles/s")
+	var base float64
+	for _, workers := range sweep {
+		start := time.Now()
+		for _, g := range groups {
+			batch, err := engine.ParseAll(context.Background(), g.lang, g.inputs, engine.WithWorkers(workers))
+			if err != nil {
+				return err
+			}
+			if batch.Aggregate.Failed != 0 {
+				return fmt.Errorf("%d files failed", batch.Aggregate.Failed)
+			}
+		}
+		wall := time.Since(start)
+		mbs := float64(totalBytes) / 1e6 / wall.Seconds()
+		if base == 0 {
+			base = wall.Seconds()
+		}
+		fmt.Fprintf(w, "%d\t%v\t%.2f\t%.2fx\t%.1f\n",
+			workers, wall.Round(time.Millisecond), mbs, base/wall.Seconds(), float64(files)/wall.Seconds())
+	}
+	return w.Flush()
 }

@@ -1,0 +1,252 @@
+// Package engine is a parallel corpus driver for the incremental analysis
+// pipeline: it lexes, parses, and (optionally) semantically resolves many
+// documents concurrently over one shared compiled language. It is the
+// serving-scale counterpart to the paper's single-stream measurements —
+// compiled languages are immutable (see the root package's concurrency
+// model), so a bounded worker pool can fan a corpus out across cores with
+// no per-worker table construction.
+//
+// Failures are isolated per file: a document that fails to parse — or
+// whose analysis panics — produces a Result carrying the error while the
+// rest of the batch completes normally. Cancelling the context stops the
+// batch promptly (the parsers poll the context inside their main loops)
+// and leaves no goroutines behind.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	incremental "iglr"
+)
+
+// Input is one document to analyze.
+type Input struct {
+	// Name labels the document in its Result (a file name, request id, …).
+	Name string
+	// Source is the document text.
+	Source string
+}
+
+// Result is the outcome for one input.
+type Result struct {
+	// Name and Index identify the input (Index is its position in the
+	// batch; Results are returned in input order).
+	Name  string
+	Index int
+	// Root is the parse dag, nil when Err is non-nil.
+	Root *incremental.Node
+	// Err is nil on success; otherwise a *incremental.ParseError, a
+	// *PanicError (the worker recovered a panic for this file), or the
+	// context's error for inputs abandoned by cancellation.
+	Err error
+	// Stats counts the parser work for this document.
+	Stats incremental.ParseStats
+	// Dag measures the parse dag (AnalyzeAll only).
+	Dag incremental.DagStats
+	// Semantics reports the §4.2 resolution pass (AnalyzeAll over a
+	// language with a semantics configuration).
+	Semantics incremental.SemanticsResult
+	// Bytes is len(Source); Duration is this file's wall time.
+	Bytes    int
+	Duration time.Duration
+}
+
+// PanicError is a panic recovered while analyzing one input.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: analysis panicked: %v", e.Value)
+}
+
+// Aggregate summarizes a batch.
+type Aggregate struct {
+	// Files counts all inputs; Failed counts those with a non-nil Err
+	// (including inputs abandoned by cancellation).
+	Files, Failed int
+	// Bytes is the total source size of successfully analyzed inputs.
+	Bytes int64
+	// Stats sums the per-file parser work; MaxActiveParsers is the
+	// maximum over files.
+	Stats incremental.ParseStats
+	// Dag sums the per-file dag measurements; MaxAlternatives is the
+	// maximum over files (AnalyzeAll only).
+	Dag incremental.DagStats
+	// Semantics sums the per-file resolution results (AnalyzeAll only).
+	Semantics incremental.SemanticsResult
+	// Wall is the batch wall time, including worker startup.
+	Wall time.Duration
+}
+
+// Batch is the outcome of ParseAll/AnalyzeAll: one Result per input, in
+// input order, plus the aggregate.
+type Batch struct {
+	Results   []Result
+	Aggregate Aggregate
+}
+
+// Option configures a batch run.
+type Option func(*config)
+
+type config struct {
+	workers int
+	analyze bool
+}
+
+// WithWorkers bounds the worker pool (default runtime.GOMAXPROCS(0);
+// values < 1 select the default).
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// ParseAll parses every input over the shared language with a bounded
+// worker pool. It returns the per-file results (in input order) and the
+// batch aggregate. The returned error is nil unless the context was
+// cancelled; per-file failures are reported in their Result only.
+func ParseAll(ctx context.Context, lang *incremental.Language, inputs []Input, opts ...Option) (*Batch, error) {
+	return run(ctx, lang, inputs, false, opts)
+}
+
+// AnalyzeAll is ParseAll plus the rest of the pipeline per document:
+// semantic disambiguation (when the language carries a semantics
+// configuration) and dag space measurement.
+func AnalyzeAll(ctx context.Context, lang *incremental.Language, inputs []Input, opts ...Option) (*Batch, error) {
+	return run(ctx, lang, inputs, true, opts)
+}
+
+func run(ctx context.Context, lang *incremental.Language, inputs []Input, analyze bool, opts []Option) (*Batch, error) {
+	cfg := config{analyze: analyze}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.workers < 1 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.workers > len(inputs) && len(inputs) > 0 {
+		cfg.workers = len(inputs)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	start := time.Now()
+	results := make([]Result, len(inputs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = analyzeOne(ctx, lang, inputs[i], i, cfg.analyze)
+			}
+		}()
+	}
+
+	// Feed jobs until done or cancelled; unfed inputs are marked with the
+	// context error below.
+	fed := 0
+feed:
+	for ; fed < len(inputs); fed++ {
+		select {
+		case jobs <- fed:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i := fed; i < len(inputs); i++ {
+		results[i] = Result{Name: inputs[i].Name, Index: i, Err: ctx.Err()}
+	}
+
+	b := &Batch{Results: results}
+	b.Aggregate = aggregate(results)
+	b.Aggregate.Wall = time.Since(start)
+	return b, ctx.Err()
+}
+
+// analyzeOne runs the pipeline for one input, converting panics into a
+// *PanicError so a poisoned file cannot take down the batch.
+func analyzeOne(ctx context.Context, lang *incremental.Language, in Input, idx int, analyze bool) (res Result) {
+	res = Result{Name: in.Name, Index: idx, Bytes: len(in.Source)}
+	start := time.Now()
+	defer func() {
+		res.Duration = time.Since(start)
+		if r := recover(); r != nil {
+			buf := make([]byte, 16<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			res = Result{
+				Name: in.Name, Index: idx, Bytes: len(in.Source),
+				Err: &PanicError{Value: r, Stack: buf}, Duration: time.Since(start),
+			}
+		}
+	}()
+
+	s := incremental.NewSession(lang, in.Source)
+	root, err := s.ParseContext(ctx)
+	res.Stats = s.Stats()
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Root = root
+	if analyze {
+		res.Semantics = s.Resolve()
+		res.Dag = incremental.Measure(root)
+	}
+	return res
+}
+
+func aggregate(results []Result) Aggregate {
+	var a Aggregate
+	a.Files = len(results)
+	for i := range results {
+		r := &results[i]
+		if r.Err != nil {
+			a.Failed++
+			continue
+		}
+		a.Bytes += int64(r.Bytes)
+		addStats(&a.Stats, r.Stats)
+		addDag(&a.Dag, r.Dag)
+		a.Semantics.ResolvedDecl += r.Semantics.ResolvedDecl
+		a.Semantics.ResolvedStmt += r.Semantics.ResolvedStmt
+		a.Semantics.Unresolved += r.Semantics.Unresolved
+		a.Semantics.TypeBindings += r.Semantics.TypeBindings
+		a.Semantics.OrdinaryBindings += r.Semantics.OrdinaryBindings
+	}
+	return a
+}
+
+func addStats(dst *incremental.ParseStats, s incremental.ParseStats) {
+	dst.Shifts += s.Shifts
+	dst.SubtreeShifts += s.SubtreeShifts
+	dst.TerminalShifts += s.TerminalShifts
+	dst.Reductions += s.Reductions
+	dst.Breakdowns += s.Breakdowns
+	dst.Splits += s.Splits
+	dst.Rounds += s.Rounds
+	dst.RetainedNodes += s.RetainedNodes
+	if s.MaxActiveParsers > dst.MaxActiveParsers {
+		dst.MaxActiveParsers = s.MaxActiveParsers
+	}
+}
+
+func addDag(dst *incremental.DagStats, s incremental.DagStats) {
+	dst.DagNodes += s.DagNodes
+	dst.TreeNodes += s.TreeNodes
+	dst.ChoiceNodes += s.ChoiceNodes
+	dst.AmbiguousRegions += s.AmbiguousRegions
+	dst.Terminals += s.Terminals
+	if s.MaxAlternatives > dst.MaxAlternatives {
+		dst.MaxAlternatives = s.MaxAlternatives
+	}
+}

@@ -1,0 +1,89 @@
+package incremental
+
+import (
+	"errors"
+	"fmt"
+
+	"iglr/internal/grammar"
+	"iglr/internal/langs"
+)
+
+// ErrInvalidDefinition is matched by every *DefinitionError via errors.Is,
+// for callers who only care that a definition was rejected, not why.
+var ErrInvalidDefinition = errors.New("incremental: invalid language definition")
+
+// DefinitionError reports a language definition that failed to compile. It
+// wraps the underlying stage error, so errors.As can reach the structured
+// detail (e.g. a *grammar* stage error carries the 1-based source line of
+// the grammar DSL problem).
+type DefinitionError struct {
+	// Language is the definition's Name, when set.
+	Language string
+	// Stage identifies the pipeline stage that rejected the definition:
+	// "grammar", "lexer", "table", "tokens" (token→terminal mapping), or
+	// "internal" (a recovered construction panic).
+	Stage string
+	// Production renders the offending production ("Decl → TYPEDEF Type ID"),
+	// when the failure concerns a specific production.
+	Production string
+	// Line is the 1-based grammar-source line of the problem, 0 if unknown.
+	Line int
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *DefinitionError) Error() string {
+	msg := "incremental: invalid language definition"
+	if e.Language != "" {
+		msg += " " + fmt.Sprintf("%q", e.Language)
+	}
+	if e.Stage != "" {
+		msg += " (" + e.Stage + " stage)"
+	}
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying stage error.
+func (e *DefinitionError) Unwrap() error { return e.Err }
+
+// Is reports a match against ErrInvalidDefinition.
+func (e *DefinitionError) Is(target error) bool { return target == ErrInvalidDefinition }
+
+// newDefinitionError wraps a build failure, lifting the stage and any
+// production/line detail out of the internal error chain.
+func newDefinitionError(langName string, err error) *DefinitionError {
+	de := &DefinitionError{Language: langName, Err: err}
+	var be *langs.BuildError
+	if errors.As(err, &be) {
+		de.Stage = be.Stage
+	}
+	var ge *grammar.Error
+	if errors.As(err, &ge) {
+		de.Production = ge.Production
+		de.Line = ge.Line
+		if de.Stage == "" {
+			de.Stage = "grammar"
+		}
+	}
+	return de
+}
+
+// ParseError wraps a parser error with its text position.
+type ParseError struct {
+	// Line and Col are 1-based; Offset is the byte offset of the
+	// offending token.
+	Line, Col, Offset int
+	// Expected lists acceptable terminals at the error point (IGLR only).
+	Expected []string
+	Inner    error
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("%d:%d: %v", e.Line, e.Col, e.Inner)
+}
+
+// Unwrap exposes the underlying parser error.
+func (e *ParseError) Unwrap() error { return e.Inner }

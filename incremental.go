@@ -22,7 +22,7 @@
 package incremental
 
 import (
-	"fmt"
+	"context"
 
 	"iglr/internal/dag"
 	"iglr/internal/detparse"
@@ -44,6 +44,11 @@ import (
 	"iglr/internal/recovery"
 	"iglr/internal/semantics"
 )
+
+// Concurrency model: a compiled *Language is immutable and safe to share
+// between any number of goroutines; Sessions (and the documents and parse
+// dags they own) are single-goroutine. See DESIGN.md, "Concurrency model",
+// and the engine package for a parallel multi-document driver.
 
 // Core re-exported types. Aliases keep the internal packages' methods and
 // let the pieces interoperate without copying.
@@ -106,7 +111,9 @@ func Prefer(pred func(*Node) bool) Filter { return disambig.Prefer(pred) }
 // dags parsed with a raw ambiguous grammar.
 type Operators = disambig.Operators
 
-// LanguageDef defines a language from sources.
+// LanguageDef defines a language from sources. A def can be filled in
+// directly or assembled with functional Options (see DefineLanguage); both
+// spellings are equivalent.
 type LanguageDef struct {
 	Name string
 	// Grammar is a yacc-like grammar (see internal/grammar.Parse for the
@@ -126,57 +133,54 @@ type LanguageDef struct {
 	PreferShift bool
 	// NoPrecedence disables precedence/associativity resolution.
 	NoPrecedence bool
+	// Semantics, when non-nil, is attached to the compiled language as its
+	// semantic-disambiguation configuration (§4.2).
+	Semantics *SemanticsConfig
+
+	// noCache bypasses the compiled-language cache (set via WithoutCache).
+	noCache bool
 }
 
-// Language is a compiled language definition.
+// Language is a compiled language definition. It is immutable: every
+// method is read-only and WithSemantics returns a new value, so one
+// *Language may be shared by any number of concurrent Sessions (and by
+// the engine package's parallel drivers).
 type Language struct {
 	def *langs.Language
 	sem *SemanticsConfig
 }
 
-// DefineLanguage compiles a language definition.
-func DefineLanguage(d LanguageDef) (*Language, error) {
-	b := &langs.Builder{
-		Name:      d.Name,
-		GramSrc:   d.Grammar,
-		LexRules:  d.Lexer,
-		TokenSyms: d.TokenSyms,
-		Keywords:  d.Keywords,
-		IdentRule: d.IdentRule,
-		Options: lr.Options{
-			Method:       d.Method,
-			PreferShift:  d.PreferShift,
-			NoPrecedence: d.NoPrecedence,
-		},
+// DefineLanguage compiles a language definition, after applying any
+// options to (a copy of) d.
+//
+// Compiled languages are cached by definition content: a second call with
+// an identical definition returns the already-built tables instead of
+// rebuilding them, so high-traffic services may call DefineLanguage per
+// request without paying LR construction each time. WithoutCache opts out;
+// LanguageCacheStats observes the cache.
+func DefineLanguage(d LanguageDef, opts ...Option) (*Language, error) {
+	for _, o := range opts {
+		o(&d)
 	}
-	lang, err := buildSafely(b)
+	def, err := compileDef(d)
 	if err != nil {
 		return nil, err
 	}
-	return &Language{def: lang}, nil
+	l := &Language{def: def}
+	if d.Semantics != nil {
+		cfg := *d.Semantics
+		l.sem = &cfg
+	}
+	return l, nil
 }
 
-func buildSafely(b *langs.Builder) (l *langs.Language, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			if e, ok := r.(error); ok {
-				err = e
-			} else {
-				err = &defError{msg: r}
-			}
-		}
-	}()
-	return b.Lang(), nil
-}
-
-type defError struct{ msg any }
-
-func (e *defError) Error() string { return "incremental: invalid language definition" }
-
-// WithSemantics attaches a semantic-disambiguation configuration.
+// WithSemantics returns a copy of l with the semantic-disambiguation
+// configuration attached. The receiver is not modified — languages are
+// immutable so they can be shared across concurrent sessions.
 func (l *Language) WithSemantics(cfg SemanticsConfig) *Language {
-	l.sem = &cfg
-	return l
+	out := *l
+	out.sem = &cfg
+	return &out
 }
 
 // Name returns the language name.
@@ -244,13 +248,16 @@ func Modula2Subset() *Language { return &Language{def: mod2sub.Lang()} }
 // keyword/identifier prefix problem is carried as GLR non-determinism.
 func ScannerlessLanguage() *Language { return &Language{def: scannerless.Lang()} }
 
-// Session couples a document with an incremental parser.
+// Session couples a document with an incremental parser. A Session (and
+// the document and parse dags it owns) belongs to one goroutine; create
+// one Session per concurrent document over a shared *Language.
 type Session struct {
 	lang     *Language
 	doc      *document.Document
 	parser   *iglr.Parser
 	det      *detparse.Parser // non-nil when UseDeterministic succeeded
 	resolver *semantics.Resolver
+	stats    ParseStats // snapshot of the most recent IGLR parse
 }
 
 // NewSession creates an editing session over source.
@@ -288,28 +295,20 @@ func (s *Session) Edit(offset, removed int, inserted string) {
 	s.doc.Replace(offset, removed, inserted)
 }
 
-// ParseError wraps a parser error with its text position.
-type ParseError struct {
-	// Line and Col are 1-based; Offset is the byte offset of the
-	// offending token.
-	Line, Col, Offset int
-	// Expected lists acceptable terminals at the error point (IGLR only).
-	Expected []string
-	Inner    error
-}
-
-func (e *ParseError) Error() string {
-	return fmt.Sprintf("%d:%d: %v", e.Line, e.Col, e.Inner)
-}
-
-// Unwrap exposes the underlying parser error.
-func (e *ParseError) Unwrap() error { return e.Inner }
-
 // Parse (re)parses the document incrementally, committing on success. The
 // previous tree is retained on failure; the returned error carries the
-// line/column of the offending token.
+// line/column of the offending token (as a *ParseError).
 func (s *Session) Parse() (*Node, error) {
-	root, err := s.parseOnce()
+	return s.ParseContext(nil)
+}
+
+// ParseContext is Parse with cooperative cancellation: the parser polls
+// ctx periodically and abandons the parse with an error satisfying
+// errors.Is(err, ctx.Err()) once the context is done. The document and its
+// committed tree are left exactly as before the call, so a cancelled parse
+// can simply be retried. A nil ctx disables the checks.
+func (s *Session) ParseContext(ctx context.Context) (*Node, error) {
+	root, err := s.parseOnce(ctx)
 	if err != nil {
 		return nil, s.locate(err)
 	}
@@ -328,18 +327,20 @@ func (s *Session) locate(err error) error {
 	return &ParseError{Line: line, Col: col, Offset: off, Expected: se.Expected, Inner: err}
 }
 
-func (s *Session) parseOnce() (*Node, error) {
+func (s *Session) parseOnce(ctx context.Context) (*Node, error) {
 	if s.det != nil {
-		return s.det.Parse(s.doc.Stream())
+		return s.det.ParseContext(ctx, s.doc.Stream())
 	}
-	return s.parser.Parse(s.doc.Stream())
+	root, err := s.parser.ParseContext(ctx, s.doc.Stream())
+	s.stats = s.parser.Stats
+	return root, err
 }
 
 // ParseWithRecovery parses with history-based error recovery (§4.3):
 // failing edits are reverted and reported as unincorporated.
 func (s *Session) ParseWithRecovery() RecoveryOutcome {
 	return recovery.Parse(s.doc, func(d *document.Document) (*Node, error) {
-		return s.parseOnce()
+		return s.parseOnce(nil)
 	})
 }
 
@@ -375,8 +376,10 @@ func (s *Session) UseSites(name string) []*Node {
 	return s.resolver.UseSites(name)
 }
 
-// Stats returns the work counters of the most recent IGLR parse.
-func (s *Session) Stats() ParseStats { return s.parser.Stats }
+// Stats returns the work counters of the most recent IGLR parse. The
+// counters are snapshotted when a parse finishes (successfully or not), so
+// the value is stable even if another parse is later started.
+func (s *Session) Stats() ParseStats { return s.stats }
 
 // LexErrors returns the number of lexically invalid tokens currently in
 // the document.

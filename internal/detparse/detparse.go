@@ -7,6 +7,7 @@
 package detparse
 
 import (
+	"context"
 	"fmt"
 
 	"iglr/internal/dag"
@@ -72,10 +73,31 @@ type entry struct {
 
 // Parse consumes the stream and returns the parse-tree root.
 func (p *Parser) Parse(stream Stream) (*dag.Node, error) {
+	return p.ParseContext(nil, stream)
+}
+
+// checkEvery is the number of main-loop iterations between context polls
+// (matching the IGLR parser's cadence).
+const checkEvery = 64
+
+// ParseContext is Parse with cooperative cancellation: the loop polls ctx
+// every checkEvery iterations and returns ctx.Err() once the context is
+// done. A nil ctx disables the checks.
+func (p *Parser) ParseContext(ctx context.Context, stream Stream) (*dag.Node, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	p.Stats = Stats{}
 	stack := []entry{{state: p.table.StartState()}}
 
-	for {
+	for rounds := 0; ; rounds++ {
+		if ctx != nil && rounds%checkEvery == checkEvery-1 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		la := stream.La()
 		if la == nil {
 			return nil, &SyntaxError{Sym: grammar.EOF, SymName: "$"}

@@ -125,18 +125,9 @@ func editSites(src string, n int) []int {
 	return sites
 }
 
-// buildLang runs a Builder, converting panics into errors.
-func buildLang(b *langs.Builder) (l *langs.Language, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			if e, ok := r.(error); ok {
-				err = e
-			} else {
-				err = fmt.Errorf("language build failed: %v", r)
-			}
-		}
-	}()
-	return b.Lang(), nil
+// buildLang runs a Builder, returning the staged build error on failure.
+func buildLang(b *langs.Builder) (*langs.Language, error) {
+	return b.Build()
 }
 
 // FormatAblation renders the comparison.

@@ -180,11 +180,11 @@ func (b *Builder) Build() (*Grammar, error) {
 		return nil, b.errs[0]
 	}
 	if b.start == "" {
-		return nil, fmt.Errorf("grammar: no start symbol declared")
+		return nil, &Error{Msg: "no start symbol declared"}
 	}
 	start, ok := b.byName[b.start]
 	if !ok {
-		return nil, fmt.Errorf("grammar: start symbol %q not defined", b.start)
+		return nil, &Error{Symbol: b.start, Msg: fmt.Sprintf("start symbol %q not defined", b.start)}
 	}
 	// Classify: anything that appears as a LHS is a nonterminal; everything
 	// else referenced only on RHS must have been declared terminal.
@@ -194,16 +194,24 @@ func (b *Builder) Build() (*Grammar, error) {
 	}
 	for _, p := range b.prods {
 		if b.symbols[p.LHS].Terminal {
-			return nil, fmt.Errorf("grammar: terminal %s used as a production left-hand side", b.symbols[p.LHS].Name)
+			return nil, &Error{
+				Symbol:     b.symbols[p.LHS].Name,
+				Production: b.renderProduction(p),
+				Msg:        fmt.Sprintf("terminal %s used as a production left-hand side", b.symbols[p.LHS].Name),
+			}
 		}
 		for _, s := range p.RHS {
 			if !b.symbols[s].Terminal && !isLHS[s] {
-				return nil, fmt.Errorf("grammar: symbol %s is used but never defined (declare it %%token or give it a production)", b.symbols[s].Name)
+				return nil, &Error{
+					Symbol:     b.symbols[s].Name,
+					Production: b.renderProduction(p),
+					Msg:        fmt.Sprintf("symbol %s is used but never defined (declare it %%token or give it a production)", b.symbols[s].Name),
+				}
 			}
 		}
 	}
 	if b.symbols[start].Terminal {
-		return nil, fmt.Errorf("grammar: start symbol %s is a terminal", b.start)
+		return nil, &Error{Symbol: b.start, Msg: fmt.Sprintf("start symbol %s is a terminal", b.start)}
 	}
 
 	g := &Grammar{
@@ -250,7 +258,7 @@ func (b *Builder) Build() (*Grammar, error) {
 		if s.Terminal {
 			g.numTerminals++
 		} else if len(g.prodsByLHS[i]) == 0 && Sym(i) != AugStart {
-			return nil, fmt.Errorf("grammar: nonterminal %s has no productions", s.Name)
+			return nil, &Error{Symbol: s.Name, Msg: fmt.Sprintf("nonterminal %s has no productions", s.Name)}
 		}
 	}
 	g.computeAnalyses()

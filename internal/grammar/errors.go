@@ -1,0 +1,47 @@
+package grammar
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Error describes a rejected grammar definition. Line is the 1-based
+// source line when the DSL parser detected the problem (0 otherwise);
+// Symbol names the offending symbol and Production renders the offending
+// production when the problem concerns one.
+type Error struct {
+	Line       int
+	Symbol     string
+	Production string
+	Msg        string
+}
+
+func (e *Error) Error() string {
+	var b strings.Builder
+	b.WriteString("grammar")
+	if e.Line > 0 {
+		fmt.Fprintf(&b, ":%d", e.Line)
+	}
+	b.WriteString(": ")
+	b.WriteString(e.Msg)
+	if e.Production != "" {
+		fmt.Fprintf(&b, " (in %s)", e.Production)
+	}
+	return b.String()
+}
+
+// renderProduction renders a production with the builder's symbol table
+// (used in errors raised before the Grammar exists).
+func (b *Builder) renderProduction(p *Production) string {
+	var sb strings.Builder
+	sb.WriteString(b.symbols[p.LHS].Name)
+	sb.WriteString(" →")
+	if len(p.RHS) == 0 {
+		sb.WriteString(" ε")
+	}
+	for _, s := range p.RHS {
+		sb.WriteByte(' ')
+		sb.WriteString(b.symbols[s].Name)
+	}
+	return sb.String()
+}

@@ -61,7 +61,7 @@ func (p *dslParser) unread(cur string) {
 }
 
 func (p *dslParser) errf(format string, args ...any) error {
-	return fmt.Errorf("grammar:%d: %s", p.line, fmt.Sprintf(format, args...))
+	return &Error{Line: p.line, Msg: fmt.Sprintf(format, args...)}
 }
 
 // next advances to the next token. Token kinds: "%token"-style directives,

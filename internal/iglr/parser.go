@@ -1,6 +1,7 @@
 package iglr
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -86,6 +87,7 @@ type Parser struct {
 	// Stats accumulates counters for the most recent parse.
 	Stats Stats
 
+	ctx        context.Context // nil outside ParseContext
 	stream     Stream
 	active     []*gssNode
 	forActor   []*gssNode
@@ -136,6 +138,26 @@ func (p *Parser) tracef(format string, args ...any) {
 // terminal. On error the previous tree (if the stream reuses one) remains
 // intact.
 func (p *Parser) Parse(stream Stream) (*dag.Node, error) {
+	return p.ParseContext(nil, stream)
+}
+
+// checkEvery is how many parse rounds pass between context checks: frequent
+// enough that cancellation latency stays far below any human-visible delay,
+// sparse enough that the check never shows up in a profile.
+const checkEvery = 64
+
+// ParseContext is Parse with cooperative cancellation: the main loop polls
+// ctx every checkEvery rounds and abandons the parse with ctx.Err() once
+// the context is done. The parser is left reusable; the document's
+// committed tree is untouched (only Commit publishes a root). A nil ctx
+// disables the checks.
+func (p *Parser) ParseContext(ctx context.Context, stream Stream) (*dag.Node, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	p.ctx = ctx
 	p.stream = stream
 	p.Stats = Stats{}
 	p.sh = newShare()
@@ -179,6 +201,11 @@ func (p *Parser) acceptedRoot() *dag.Node {
 // parseNextSymbol performs one reduce/shift round (Appendix A).
 func (p *Parser) parseNextSymbol() error {
 	p.Stats.Rounds++
+	if p.ctx != nil && p.Stats.Rounds%checkEvery == 0 {
+		if err := p.ctx.Err(); err != nil {
+			return err
+		}
+	}
 	p.forActor = append(p.forActor[:0], p.active...)
 	p.forShifter = p.forShifter[:0]
 	for _, a := range p.active {

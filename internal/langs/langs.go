@@ -7,6 +7,7 @@
 package langs
 
 import (
+	"fmt"
 	"sync"
 
 	"iglr/internal/document"
@@ -15,7 +16,12 @@ import (
 	"iglr/internal/lr"
 )
 
-// Language is a complete language definition.
+// Language is a complete language definition. All fields are populated by
+// the Builder and immutable afterwards: the grammar's analyses are
+// precomputed, the parse table is never written after construction, the
+// lexer DFA is read-only, and Map is a closure over frozen lookup tables.
+// A *Language is therefore safe to share between any number of concurrent
+// sessions/documents.
 type Language struct {
 	Name    string
 	Grammar *grammar.Grammar
@@ -39,6 +45,26 @@ func (l *Language) Sym(name string) grammar.Sym {
 	return s
 }
 
+// BuildError reports which pipeline stage rejected a language definition:
+// "grammar" (DSL parse or grammar analysis), "lexer" (token rule
+// compilation), "table" (LR construction), or "tokens" (the token→terminal
+// mapping).
+type BuildError struct {
+	Stage string
+	Err   error
+}
+
+func (e *BuildError) Error() string {
+	return fmt.Sprintf("langs: %s: %v", e.Stage, e.Err)
+}
+
+// Unwrap exposes the stage's underlying error.
+func (e *BuildError) Unwrap() error { return e.Err }
+
+func stageErr(stage, format string, args ...any) *BuildError {
+	return &BuildError{Stage: stage, Err: fmt.Errorf(format, args...)}
+}
+
 // Builder assembles a Language from sources, caching the result.
 type Builder struct {
 	Name     string
@@ -56,35 +82,44 @@ type Builder struct {
 	err  error
 }
 
-// Lang builds (once) and returns the language.
+// Lang builds (once) and returns the language, panicking on error;
+// intended for the static bundled-language definitions.
 func (b *Builder) Lang() *Language {
-	b.once.Do(func() { b.lang, b.err = b.build() })
-	if b.err != nil {
-		panic(b.err)
+	l, err := b.Build()
+	if err != nil {
+		panic(err)
 	}
-	return b.lang
+	return l
+}
+
+// Build builds (once) and returns the language. Concurrent calls are safe;
+// all callers observe the same *Language or the same error (each is
+// wrapped in a *BuildError identifying the failing stage).
+func (b *Builder) Build() (*Language, error) {
+	b.once.Do(func() { b.lang, b.err = b.build() })
+	return b.lang, b.err
 }
 
 func (b *Builder) build() (*Language, error) {
 	g, err := grammar.Parse(b.GramSrc)
 	if err != nil {
-		return nil, err
+		return nil, &BuildError{Stage: "grammar", Err: err}
 	}
 	spec, err := lexer.NewSpec(b.LexRules)
 	if err != nil {
-		return nil, err
+		return nil, &BuildError{Stage: "lexer", Err: err}
 	}
 	tbl, err := lr.Build(g, b.Options)
 	if err != nil {
-		return nil, err
+		return nil, &BuildError{Stage: "table", Err: err}
 	}
 	// Precompute rule→symbol mapping.
-	bySymName := func(name string) grammar.Sym {
+	bySymName := func(name string) (grammar.Sym, error) {
 		s := g.Lookup(name)
 		if s == grammar.InvalidSym {
-			panic("langs: token mapping references unknown symbol " + name)
+			return s, stageErr("tokens", "token mapping references unknown symbol %s", name)
 		}
-		return s
+		return s, nil
 	}
 	ruleSyms := make([]grammar.Sym, spec.NumRules())
 	for i := range ruleSyms {
@@ -93,19 +128,27 @@ func (b *Builder) build() (*Language, error) {
 	for ruleName, symName := range b.TokenSyms {
 		idx := spec.RuleIndex(ruleName)
 		if idx < 0 {
-			panic("langs: token mapping references unknown lexer rule " + ruleName)
+			return nil, stageErr("tokens", "token mapping references unknown lexer rule %s", ruleName)
 		}
-		ruleSyms[idx] = bySymName(symName)
+		s, err := bySymName(symName)
+		if err != nil {
+			return nil, err
+		}
+		ruleSyms[idx] = s
 	}
 	kw := map[string]grammar.Sym{}
 	for text, symName := range b.Keywords {
-		kw[text] = bySymName(symName)
+		s, err := bySymName(symName)
+		if err != nil {
+			return nil, err
+		}
+		kw[text] = s
 	}
 	identIdx := -1
 	if b.IdentRule != "" {
 		identIdx = spec.RuleIndex(b.IdentRule)
 		if identIdx < 0 {
-			panic("langs: IdentRule " + b.IdentRule + " not in lexer spec")
+			return nil, stageErr("tokens", "IdentRule %s not in lexer spec", b.IdentRule)
 		}
 	}
 	mapper := func(rule int, text string) grammar.Sym {

@@ -1,0 +1,67 @@
+package incremental
+
+// Option is a functional configuration knob for DefineLanguage and
+// DefineGrammar. Options are applied to a copy of the LanguageDef, so a
+// def value can be reused with different option sets.
+type Option func(*LanguageDef)
+
+// WithName sets the language name used in diagnostics.
+func WithName(name string) Option {
+	return func(d *LanguageDef) { d.Name = name }
+}
+
+// WithLexer sets the token rules; earlier rules win ties.
+func WithLexer(rules ...LexRule) Option {
+	return func(d *LanguageDef) { d.Lexer = rules }
+}
+
+// WithTokenSyms maps lexer rule names to grammar terminal names.
+func WithTokenSyms(m map[string]string) Option {
+	return func(d *LanguageDef) { d.TokenSyms = m }
+}
+
+// WithKeywords maps identifier lexemes (recognized under identRule) to
+// keyword terminal names.
+func WithKeywords(identRule string, m map[string]string) Option {
+	return func(d *LanguageDef) { d.IdentRule, d.Keywords = identRule, m }
+}
+
+// WithMethod selects the LR table-construction algorithm (default LALR).
+func WithMethod(m TableMethod) Option {
+	return func(d *LanguageDef) { d.Method = m }
+}
+
+// WithPreferShift statically resolves remaining shift/reduce conflicts in
+// favor of shifting (§4.1 static filter).
+func WithPreferShift() Option {
+	return func(d *LanguageDef) { d.PreferShift = true }
+}
+
+// WithNoPrecedence disables yacc-style precedence/associativity resolution.
+func WithNoPrecedence() Option {
+	return func(d *LanguageDef) { d.NoPrecedence = true }
+}
+
+// WithSemantics attaches a semantic-disambiguation configuration (§4.2) to
+// the compiled language.
+func WithSemantics(cfg SemanticsConfig) Option {
+	return func(d *LanguageDef) { d.Semantics = &cfg }
+}
+
+// WithoutCache bypasses the compiled-language cache for this definition:
+// the language is rebuilt even if an identical definition was compiled
+// before, and the result is not retained.
+func WithoutCache() Option {
+	return func(d *LanguageDef) { d.noCache = true }
+}
+
+// DefineGrammar compiles a language from a grammar source plus options —
+// the option-first spelling of DefineLanguage:
+//
+//	lang, err := incremental.DefineGrammar(grammarSrc,
+//		incremental.WithLexer(rules...),
+//		incremental.WithTokenSyms(syms),
+//		incremental.WithMethod(incremental.LR1))
+func DefineGrammar(grammarSrc string, opts ...Option) (*Language, error) {
+	return DefineLanguage(LanguageDef{Grammar: grammarSrc}, opts...)
+}

@@ -128,7 +128,9 @@ func TestWithSemanticsOverride(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lang.WithSemantics(incremental.SemanticsConfig{
+	// WithSemantics returns a new immutable *Language; the receiver is
+	// unchanged.
+	lang = lang.WithSemantics(incremental.SemanticsConfig{
 		IsScope:              func(n *incremental.Node) bool { return false },
 		TypedefName:          func(n *incremental.Node) (string, bool) { return "", false },
 		DeclaredName:         func(n *incremental.Node) (string, bool) { return "", false },
