@@ -1,0 +1,100 @@
+// Allocation guards for the flattened hot path: the arenas, epoch scratch
+// tables, and persistent parser/document buffers are all reused across
+// incremental rounds, so a steady-state reparse must not allocate beyond
+// the structure it actually rebuilds. These tests pin that property so a
+// regression shows up as a test failure, not a benchmark drift.
+package incremental_test
+
+import (
+	"strings"
+	"testing"
+
+	incremental "iglr"
+)
+
+// TestDeterministicReparseAllocFree pins the strongest form: a clean
+// reparse on the deterministic path (no pending edits — the committed root
+// is offered, state-matched, and shifted whole) allocates nothing. Every
+// structure it touches is persistent: the document's terminal buffer and
+// stream, the parser's stack, and the committed tree itself.
+func TestDeterministicReparseAllocFree(t *testing.T) {
+	s := incremental.NewSession(incremental.Modula2Subset(),
+		"MODULE M;\nVAR x : INTEGER;\nBEGIN\n  x := 1\nEND M.\n")
+	if err := s.UseDeterministic(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Parse(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := s.Parse(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("clean deterministic reparse allocated %.1f objects/run, want 0", allocs)
+	}
+}
+
+// TestDeterministicEditReparseAllocsBounded pins the edit case on the
+// deterministic path: a one-token edit rebuilds only the damaged spine, so
+// a reparse allocates O(damage) — fresh terminals, the handful of
+// productions above them, and at most an arena chunk — never O(tree).
+func TestDeterministicEditReparseAllocsBounded(t *testing.T) {
+	src := "MODULE M;\nVAR x : INTEGER;\nBEGIN\n  x := 1\nEND M.\n"
+	s := incremental.NewSession(incremental.Modula2Subset(), src)
+	if err := s.UseDeterministic(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Parse(); err != nil {
+		t.Fatal(err)
+	}
+	off := strings.Index(src, "1")
+	flip := false
+	allocs := testing.AllocsPerRun(100, func() {
+		flip = !flip
+		repl := "1"
+		if flip {
+			repl = "2"
+		}
+		s.Edit(off, 1, repl)
+		if _, err := s.Parse(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("deterministic one-token reparse: %.1f allocs/run", allocs)
+	const maxAllocs = 40
+	if allocs > maxAllocs {
+		t.Fatalf("one-token deterministic reparse allocated %.1f objects/run, want ≤ %d", allocs, maxAllocs)
+	}
+}
+
+// TestIGLRReparseAllocsBounded pins the GLR path: the GSS arenas, sharer
+// maps, and reduction scratch persist inside the parser, so a one-token
+// incremental reparse is bounded by the damage region even though the
+// parser must run its full fork/merge machinery.
+func TestIGLRReparseAllocsBounded(t *testing.T) {
+	src := "int x; int y; T * a; x = y + 1; a = x * y;"
+	s := incremental.NewSession(incremental.CSubset(), src)
+	if _, err := s.Parse(); err != nil {
+		t.Fatal(err)
+	}
+	off := strings.Index(src, "y")
+	flip := false
+	allocs := testing.AllocsPerRun(100, func() {
+		flip = !flip
+		repl := "y"
+		if flip {
+			repl = "z"
+		}
+		s.Edit(off, 1, repl)
+		if _, err := s.Parse(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("IGLR one-token reparse: %.1f allocs/run", allocs)
+	const maxAllocs = 120
+	if allocs > maxAllocs {
+		t.Fatalf("one-token IGLR reparse allocated %.1f objects/run, want ≤ %d", allocs, maxAllocs)
+	}
+}

@@ -159,6 +159,7 @@ func BenchmarkSection33TableAblation(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(r.LR1Cells)/float64(r.LALRCells), "lr1/lalr-table-size")
+		b.ReportMetric(float64(r.LR1Bytes)/float64(r.LALRBytes), "lr1/lalr-bytes")
 		b.ReportMetric(r.LALRIncShifts, "lalr-shifts/reparse")
 		b.ReportMetric(r.LR1IncShifts, "lr1-shifts/reparse")
 	}

@@ -5,8 +5,12 @@
 // Usage:
 //
 //	paperbench [-exp all|table1|figure4|figure7|section5|asymptotics|staging|parallel] [-scale 1.0]
+//	           [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -scale shrinks the Table 1 / Figure 4 program sizes for quick runs.
+// -cpuprofile and -memprofile write pprof profiles covering the selected
+// experiments (the memory profile is a heap snapshot taken after they
+// finish), for inspecting the hot path outside the go test harness.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"text/tabwriter"
 	"time"
 
@@ -27,7 +32,38 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment: all, table1, figure4, figure7, section5, asymptotics, staging, earley, ablation, parallel")
 	scale := flag.Float64("scale", 1.0, "scale factor for program sizes")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {

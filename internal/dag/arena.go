@@ -1,0 +1,92 @@
+package dag
+
+import "iglr/internal/grammar"
+
+// Arena is the per-document node allocator. Nodes are bump-allocated from
+// chunks, which batches what used to be one heap allocation per node into
+// one per arenaChunk nodes, and every node receives a dense int32 ID at
+// creation. The IDs are what make Scratch possible: traversals index
+// slice-backed scratch tables by ID instead of hashing pointers.
+//
+// An arena only grows — nodes escape into the committed tree, so memory is
+// never recycled; the GC reclaims whole chunks once no node in them is
+// reachable. All nodes reachable from one dag must come from a single arena
+// (IDs from different arenas collide in Scratch), which is why every
+// operation that creates nodes takes the arena owning its input.
+//
+// An Arena is not safe for concurrent use; documents are single-writer.
+type Arena struct {
+	cur []Node
+	n   int32
+}
+
+// arenaChunk is the nodes-per-chunk batch size: large enough to amortize
+// allocation to noise, small enough that a nearly-empty tail chunk wastes
+// little memory (~28KB at current Node size).
+const arenaChunk = 256
+
+// NewArena creates an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// NumNodes returns the number of nodes ever allocated — also the exclusive
+// upper bound of the IDs in use, which Scratch uses to size its tables.
+func (a *Arena) NumNodes() int { return int(a.n) }
+
+func (a *Arena) alloc() *Node {
+	if len(a.cur) == cap(a.cur) {
+		a.cur = make([]Node, 0, arenaChunk)
+	}
+	a.cur = append(a.cur, Node{})
+	n := &a.cur[len(a.cur)-1]
+	n.ID = a.n
+	a.n++
+	return n
+}
+
+// Terminal creates a token leaf.
+func (a *Arena) Terminal(sym grammar.Sym, text string) *Node {
+	n := a.alloc()
+	n.Kind, n.Sym, n.Prod, n.State, n.Text = KindTerminal, sym, -1, NoState, text
+	n.LeftmostTerm, n.RightmostTerm, n.TermCount = n, n, 1
+	return n
+}
+
+// Production creates a production-instance node. The node takes ownership
+// of kids.
+func (a *Arena) Production(sym grammar.Sym, prod int, state int, kids []*Node) *Node {
+	n := a.alloc()
+	n.Kind, n.Sym, n.Prod, n.State, n.Kids = KindProduction, sym, prod, state, kids
+	n.computeCover()
+	return n
+}
+
+// Choice creates a symbol node whose interpretations are alts. Choice nodes
+// are multi-state by definition (§3.3).
+func (a *Arena) Choice(sym grammar.Sym, alts ...*Node) *Node {
+	n := a.alloc()
+	n.Kind, n.Sym, n.Prod, n.State, n.Kids = KindChoice, sym, -1, MultiState, alts
+	n.computeCover()
+	return n
+}
+
+// Seq creates a balanced-sequence internal node (§3.4).
+func (a *Arena) Seq(sym grammar.Sym, kids []*Node) *Node {
+	n := a.alloc()
+	n.Kind, n.Sym, n.Prod, n.State, n.Kids = KindSeq, sym, -1, NoState, kids
+	n.computeCover()
+	for _, k := range kids {
+		n.SeqCount += seqCountOf(k)
+	}
+	return n
+}
+
+// Clone allocates a shallow copy of n with a fresh identity (new ID). The
+// Kids slice is shared with the original; callers that rewire children must
+// replace it.
+func (a *Arena) Clone(n *Node) *Node {
+	c := a.alloc()
+	id := c.ID
+	*c = *n
+	c.ID = id
+	return c
+}

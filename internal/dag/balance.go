@@ -66,27 +66,27 @@ func SeqElements(g *grammar.Grammar, n *Node) []*Node {
 	return out
 }
 
-// BuildSeq constructs a balanced sequence for sym over elems. For zero
-// elements it returns an empty KindSeq node.
-func BuildSeq(sym grammar.Sym, elems []*Node) *Node {
-	n := buildSeq(sym, elems)
+// BuildSeq constructs a balanced sequence for sym over elems, allocating
+// from a. For zero elements it returns an empty KindSeq node.
+func BuildSeq(a *Arena, sym grammar.Sym, elems []*Node) *Node {
+	n := buildSeq(a, sym, elems)
 	if n == nil {
-		return NewSeq(sym, nil)
+		return a.Seq(sym, nil)
 	}
 	return n
 }
 
-func buildSeq(sym grammar.Sym, elems []*Node) *Node {
+func buildSeq(a *Arena, sym grammar.Sym, elems []*Node) *Node {
 	switch {
 	case len(elems) == 0:
 		return nil
 	case len(elems) <= seqLeafLimit:
 		kids := make([]*Node, len(elems))
 		copy(kids, elems)
-		return NewSeq(sym, kids)
+		return a.Seq(sym, kids)
 	default:
 		mid := len(elems) / 2
-		return NewSeq(sym, []*Node{buildSeq(sym, elems[:mid]), buildSeq(sym, elems[mid:])})
+		return a.Seq(sym, []*Node{buildSeq(a, sym, elems[:mid]), buildSeq(a, sym, elems[mid:])})
 	}
 }
 
@@ -95,28 +95,29 @@ func buildSeq(sym grammar.Sym, elems []*Node) *Node {
 // sequence nonterminal and that heads a left-recursive chain is replaced by
 // a KindSeq tree over the chain's elements. It returns the new root (the
 // root itself may be replaced when it is sequence structure).
-func Rebalance(g *grammar.Grammar, root *Node) *Node {
-	seen := map[*Node]*Node{}
+func Rebalance(a *Arena, g *grammar.Grammar, root *Node) *Node {
+	seen := AcquireScratch()
+	defer ReleaseScratch(seen)
 	var rb func(n *Node) *Node
 	rb = func(n *Node) *Node {
-		if r, ok := seen[n]; ok {
+		if r, ok := seen.Ref(n); ok {
 			return r
 		}
-		seen[n] = n // provisional, protects against cycles
+		seen.SetRef(n, n) // provisional, protects against cycles
 		var out *Node
 		if n.Kind == KindProduction && g.Symbol(n.Sym).IsSequence() {
 			elems := SeqElements(g, n)
 			for i, e := range elems {
 				elems[i] = rb(e)
 			}
-			out = BuildSeq(n.Sym, elems)
+			out = BuildSeq(a, n.Sym, elems)
 		} else {
 			for i, k := range n.Kids {
 				n.Kids[i] = rb(k)
 			}
 			out = n
 		}
-		seen[n] = out
+		seen.SetRef(n, out)
 		return out
 	}
 	return rb(root)
@@ -154,12 +155,14 @@ func SeqDepth(n *Node) int {
 // Element counts are carried in the nodes (SeqCount), so indexing costs
 // O(1) per level with no auxiliary state.
 type SeqEditor struct {
+	a   *Arena
 	sym grammar.Sym
 }
 
-// NewSeqEditor creates an editor for sequences of the given nonterminal.
-func NewSeqEditor(sym grammar.Sym) *SeqEditor {
-	return &SeqEditor{sym: sym}
+// NewSeqEditor creates an editor for sequences of the given nonterminal;
+// path-copied spine nodes are allocated from a.
+func NewSeqEditor(a *Arena, sym grammar.Sym) *SeqEditor {
+	return &SeqEditor{a: a, sym: sym}
 }
 
 func (ed *SeqEditor) size(n *Node) int { return int(seqCountOf(n)) }
@@ -206,7 +209,7 @@ func (ed *SeqEditor) splice(root *Node, i, removed int, repl []*Node) *Node {
 		// Single element (or chain head): flatten trivially.
 		elems := []*Node{root}
 		elems = spliceSlice(elems, i, removed, repl)
-		return BuildSeq(ed.sym, elems)
+		return BuildSeq(ed.a, ed.sym, elems)
 	}
 	total := ed.size(root)
 	if i < 0 || i+removed > total {
@@ -214,7 +217,7 @@ func (ed *SeqEditor) splice(root *Node, i, removed int, repl []*Node) *Node {
 	}
 	out := ed.spliceNode(root, i, removed, repl)
 	if out == nil {
-		return NewSeq(ed.sym, nil)
+		return ed.a.Seq(ed.sym, nil)
 	}
 	return out
 }
@@ -232,7 +235,7 @@ func (ed *SeqEditor) spliceNode(n *Node, i, removed int, repl []*Node) *Node {
 		} else {
 			elems = repl
 		}
-		return buildSeq(ed.sym, elems)
+		return buildSeq(ed.a, ed.sym, elems)
 	}
 	// Small subtrees are rebuilt wholesale; this bounds constant factors
 	// without affecting the logarithmic spine length.
@@ -240,7 +243,7 @@ func (ed *SeqEditor) spliceNode(n *Node, i, removed int, repl []*Node) *Node {
 	if sz <= 2*seqLeafLimit {
 		elems := SeqElementsFlat(n)
 		elems = spliceSlice(elems, i, removed, repl)
-		return buildSeq(ed.sym, elems)
+		return buildSeq(ed.a, ed.sym, elems)
 	}
 	kids := make([]*Node, 0, len(n.Kids))
 	pos := 0
@@ -280,7 +283,7 @@ func (ed *SeqEditor) spliceNode(n *Node, i, removed int, repl []*Node) *Node {
 	if len(kids) == 0 {
 		return nil
 	}
-	out := NewSeq(ed.sym, kids)
+	out := ed.a.Seq(ed.sym, kids)
 	return ed.maybeRebuild(out)
 }
 
@@ -289,11 +292,11 @@ func (ed *SeqEditor) maybeRebuild(n *Node) *Node {
 	if len(n.Kids) == 2 {
 		a, b := ed.size(n.Kids[0]), ed.size(n.Kids[1])
 		if a > maxImbalance*b+seqLeafLimit || b > maxImbalance*a+seqLeafLimit {
-			return buildSeq(ed.sym, SeqElementsFlat(n))
+			return buildSeq(ed.a, ed.sym, SeqElementsFlat(n))
 		}
 	}
 	if len(n.Kids) > seqLeafLimit {
-		return buildSeq(ed.sym, SeqElementsFlat(n))
+		return buildSeq(ed.a, ed.sym, SeqElementsFlat(n))
 	}
 	return n
 }

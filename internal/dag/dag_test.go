@@ -9,12 +9,16 @@ import (
 	"iglr/internal/grammar"
 )
 
-func term(text string) *Node { return NewTerminal(5, text) }
+// testArena allocates every test's nodes; one arena keeps IDs unique
+// across helpers without threading it through each call.
+var testArena = NewArena()
+
+func term(text string) *Node { return testArena.Terminal(5, text) }
 
 func TestChoiceBasics(t *testing.T) {
-	a := NewProduction(2, 1, 7, []*Node{term("x")})
-	b := NewProduction(2, 2, 7, []*Node{term("x")})
-	c := NewChoice(2, a)
+	a := testArena.Production(2, 1, 7, []*Node{term("x")})
+	b := testArena.Production(2, 2, 7, []*Node{term("x")})
+	c := testArena.Choice(2, a)
 	c.AddChoice(b)
 	if !c.IsChoice() || c.Arity() != 2 {
 		t.Fatalf("choice node malformed: %v", c)
@@ -40,12 +44,12 @@ func TestChoiceBasics(t *testing.T) {
 
 func TestYieldAndTerminals(t *testing.T) {
 	x, y := term("foo"), term("bar")
-	p := NewProduction(3, 1, NoState, []*Node{x, y})
+	p := testArena.Production(3, 1, NoState, []*Node{x, y})
 	if p.Yield() != "foobar" {
 		t.Fatalf("yield = %q", p.Yield())
 	}
-	alt := NewProduction(3, 2, NoState, []*Node{x, y})
-	ch := NewChoice(3, p, alt)
+	alt := testArena.Production(3, 2, NoState, []*Node{x, y})
+	ch := testArena.Choice(3, p, alt)
 	if ch.Yield() != "foobar" {
 		t.Fatalf("choice yield = %q", ch.Yield())
 	}
@@ -59,10 +63,10 @@ func TestMeasure(t *testing.T) {
 	// Two interpretations sharing their terminals (the paper's Figure 3
 	// shape): dag = choice + 2 productions + shared terminals.
 	x, y := term("a"), term("b")
-	declInterp := NewProduction(2, 1, NoState, []*Node{x, y})
-	callInterp := NewProduction(2, 2, NoState, []*Node{x, y})
-	ch := NewChoice(2, declInterp, callInterp)
-	root := NewProduction(1, 0, NoState, []*Node{ch})
+	declInterp := testArena.Production(2, 1, NoState, []*Node{x, y})
+	callInterp := testArena.Production(2, 2, NoState, []*Node{x, y})
+	ch := testArena.Choice(2, declInterp, callInterp)
+	root := testArena.Production(1, 0, NoState, []*Node{ch})
 
 	s := Measure(root)
 	// Unique nodes: root, choice, 2 interps, 2 terminals = 6.
@@ -86,16 +90,16 @@ func TestMeasure(t *testing.T) {
 
 func TestUnshareEpsilon(t *testing.T) {
 	// A shared null-yield subtree under two parents must be duplicated.
-	eps := NewProduction(4, 9, NoState, nil) // ε production instance
-	p1 := NewProduction(2, 1, NoState, []*Node{term("a"), eps})
-	p2 := NewProduction(2, 2, NoState, []*Node{term("b"), eps})
-	root := NewProduction(1, 0, NoState, []*Node{p1, p2})
+	eps := testArena.Production(4, 9, NoState, nil) // ε production instance
+	p1 := testArena.Production(2, 1, NoState, []*Node{term("a"), eps})
+	p2 := testArena.Production(2, 2, NoState, []*Node{term("b"), eps})
+	root := testArena.Production(1, 0, NoState, []*Node{p1, p2})
 
 	shared := SharedNullYields(root)
 	if len(shared) != 1 || shared[0] != eps {
 		t.Fatalf("SharedNullYields = %v, want [eps]", shared)
 	}
-	dups := UnshareEpsilon(root)
+	dups := UnshareEpsilon(testArena, root)
 	if dups != 1 {
 		t.Fatalf("dups = %d, want 1", dups)
 	}
@@ -107,10 +111,10 @@ func TestUnshareEpsilon(t *testing.T) {
 	}
 	// Non-null sharing must be left intact.
 	sharedTerm := term("x")
-	q1 := NewProduction(2, 1, NoState, []*Node{sharedTerm})
-	q2 := NewProduction(2, 2, NoState, []*Node{sharedTerm})
-	root2 := NewChoice(2, q1, q2)
-	UnshareEpsilon(root2)
+	q1 := testArena.Production(2, 1, NoState, []*Node{sharedTerm})
+	q2 := testArena.Production(2, 2, NoState, []*Node{sharedTerm})
+	root2 := testArena.Choice(2, q1, q2)
+	UnshareEpsilon(testArena, root2)
 	if q1.Kids[0] != q2.Kids[0] {
 		t.Fatalf("non-null sharing should be preserved")
 	}
@@ -146,12 +150,12 @@ func chainOf(t testing.TB, g *grammar.Grammar, n int) *Node {
 		single, rec = rec, single
 	}
 	stmt := func(i int) *Node {
-		return NewProduction(stmtSym, g.ProductionsFor(stmtSym)[0].ID, NoState,
-			[]*Node{NewTerminal(g.Lookup("x"), fmt.Sprintf("x%d", i)), NewTerminal(g.Lookup("';'"), ";")})
+		return testArena.Production(stmtSym, g.ProductionsFor(stmtSym)[0].ID, NoState,
+			[]*Node{testArena.Terminal(g.Lookup("x"), fmt.Sprintf("x%d", i)), testArena.Terminal(g.Lookup("';'"), ";")})
 	}
-	root := NewProduction(plus, single.ID, NoState, []*Node{stmt(0)})
+	root := testArena.Production(plus, single.ID, NoState, []*Node{stmt(0)})
 	for i := 1; i < n; i++ {
-		root = NewProduction(plus, rec.ID, NoState, []*Node{root, stmt(i)})
+		root = testArena.Production(plus, rec.ID, NoState, []*Node{root, stmt(i)})
 	}
 	return root
 }
@@ -160,7 +164,7 @@ func TestRebalance(t *testing.T) {
 	g := seqGrammar(t)
 	n := 1000
 	chain := chainOf(t, g, n)
-	bal := Rebalance(g, chain)
+	bal := Rebalance(testArena, g, chain)
 	if got := SeqLen(bal); got != n {
 		t.Fatalf("SeqLen = %d, want %d", got, n)
 	}
@@ -183,8 +187,8 @@ func TestRebalance(t *testing.T) {
 func TestSeqEditorOps(t *testing.T) {
 	g := seqGrammar(t)
 	sym := g.Lookup("Stmt+")
-	ed := NewSeqEditor(sym)
-	root := Rebalance(g, chainOf(t, g, 50))
+	ed := NewSeqEditor(testArena, sym)
+	root := Rebalance(testArena, g, chainOf(t, g, 50))
 
 	// Replace.
 	repl := term("REPL")
@@ -220,11 +224,11 @@ func TestSeqEditorOps(t *testing.T) {
 func TestSeqEditorRandomAgainstSlice(t *testing.T) {
 	g := seqGrammar(t)
 	sym := g.Lookup("Stmt+")
-	ed := NewSeqEditor(sym)
+	ed := NewSeqEditor(testArena, sym)
 	rng := rand.New(rand.NewSource(7))
 
 	var model []string
-	root := NewSeq(sym, nil)
+	root := testArena.Seq(sym, nil)
 	for i := 0; i < 20; i++ {
 		e := term(fmt.Sprintf("e%d", i))
 		model = append(model, e.Text)
@@ -279,7 +283,7 @@ func TestSeqDepthLogarithmicProperty(t *testing.T) {
 	g := seqGrammar(t)
 	f := func(k uint8) bool {
 		n := int(k)%2000 + 1
-		bal := Rebalance(g, chainOf(t, g, n))
+		bal := Rebalance(testArena, g, chainOf(t, g, n))
 		return SeqDepth(bal) <= 2*log2(n)+4 && SeqLen(bal) == n
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
@@ -289,7 +293,7 @@ func TestSeqDepthLogarithmicProperty(t *testing.T) {
 
 func TestFormat(t *testing.T) {
 	g := seqGrammar(t)
-	root := Rebalance(g, chainOf(t, g, 3))
+	root := Rebalance(testArena, g, chainOf(t, g, 3))
 	s := Format(g, root)
 	if s == "" {
 		t.Fatal("empty format")
@@ -298,9 +302,9 @@ func TestFormat(t *testing.T) {
 
 func TestWalkVisitsSharedOnce(t *testing.T) {
 	shared := term("s")
-	p1 := NewProduction(2, 1, NoState, []*Node{shared})
-	p2 := NewProduction(2, 2, NoState, []*Node{shared})
-	root := NewChoice(2, p1, p2)
+	p1 := testArena.Production(2, 1, NoState, []*Node{shared})
+	p2 := testArena.Production(2, 2, NoState, []*Node{shared})
+	root := testArena.Choice(2, p1, p2)
 	count := 0
 	root.Walk(func(n *Node) { count++ })
 	if count != 4 {

@@ -48,8 +48,13 @@ const (
 
 // Node is one abstract-parse-dag node. Nodes are compared by pointer
 // identity; structural sharing is what makes the representation a dag.
+// Nodes are created through an Arena, which assigns the ID.
 type Node struct {
 	Kind Kind
+	// ID is the dense per-arena node number, assigned at allocation. It
+	// never changes and is unique within the node's arena; Scratch tables
+	// index by it.
+	ID int32
 	// Sym is the symbol this node represents: the terminal for leaves, the
 	// production LHS for production nodes, the phylum for choice nodes.
 	Sym grammar.Sym
@@ -129,38 +134,6 @@ func (n *Node) PropagateChange() {
 	}
 }
 
-// NewTerminal creates a token leaf.
-func NewTerminal(sym grammar.Sym, text string) *Node {
-	n := &Node{Kind: KindTerminal, Sym: sym, Prod: -1, State: NoState, Text: text}
-	n.LeftmostTerm, n.RightmostTerm, n.TermCount = n, n, 1
-	return n
-}
-
-// NewProduction creates a production-instance node.
-func NewProduction(sym grammar.Sym, prod int, state int, kids []*Node) *Node {
-	n := &Node{Kind: KindProduction, Sym: sym, Prod: prod, State: state, Kids: kids}
-	n.computeCover()
-	return n
-}
-
-// NewChoice creates a symbol node whose interpretations are alts. Choice
-// nodes are multi-state by definition (§3.3).
-func NewChoice(sym grammar.Sym, alts ...*Node) *Node {
-	n := &Node{Kind: KindChoice, Sym: sym, Prod: -1, State: MultiState, Kids: alts}
-	n.computeCover()
-	return n
-}
-
-// NewSeq creates a balanced-sequence internal node.
-func NewSeq(sym grammar.Sym, kids []*Node) *Node {
-	n := &Node{Kind: KindSeq, Sym: sym, Prod: -1, State: NoState, Kids: kids}
-	n.computeCover()
-	for _, k := range kids {
-		n.SeqCount += seqCountOf(k)
-	}
-	return n
-}
-
 func seqCountOf(n *Node) int32 {
 	if n.Kind == KindSeq {
 		return n.SeqCount
@@ -208,8 +181,10 @@ func (n *Node) Selected() *Node {
 // Ambiguous reports whether the subtree rooted at n contains a choice node
 // with more than one unfiltered interpretation.
 func (n *Node) Ambiguous() bool {
+	s := AcquireScratch()
+	defer ReleaseScratch(s)
 	found := false
-	n.walk(map[*Node]bool{}, func(m *Node) bool {
+	n.walk(s, func(m *Node) bool {
 		if m.Kind == KindChoice {
 			alive := 0
 			for _, k := range m.Kids {
@@ -229,11 +204,10 @@ func (n *Node) Ambiguous() bool {
 
 // walk visits every node reachable from n once (it is a dag), aborting when
 // f returns false.
-func (n *Node) walk(seen map[*Node]bool, f func(*Node) bool) bool {
-	if seen[n] {
+func (n *Node) walk(seen *Scratch, f func(*Node) bool) bool {
+	if !seen.Visit(n) {
 		return true
 	}
-	seen[n] = true
 	if !f(n) {
 		return false
 	}
@@ -247,7 +221,9 @@ func (n *Node) walk(seen map[*Node]bool, f func(*Node) bool) bool {
 
 // Walk visits every node reachable from n exactly once, in preorder.
 func (n *Node) Walk(f func(*Node)) {
-	n.walk(map[*Node]bool{}, func(m *Node) bool { f(m); return true })
+	s := AcquireScratch()
+	defer ReleaseScratch(s)
+	n.walk(s, func(m *Node) bool { f(m); return true })
 }
 
 // Yield returns the concatenated terminal text of the subtree, following

@@ -1,0 +1,131 @@
+package dag
+
+import "sync"
+
+// Scratch is the per-traversal scratch table that replaces map[*Node]
+// bookkeeping on hot paths: visited sets, integer memos and node maps are
+// all slices indexed by the arena-assigned node ID, with validity decided
+// by an epoch stamp. Acquiring a scratch bumps the epoch, which invalidates
+// every previous entry in O(1) — no clearing, no rehashing, and the backing
+// slices are recycled through a pool across traversals.
+//
+// A Scratch provides one logical table: the stamp array is shared between
+// Visit, SetValue and SetRef, so an algorithm needing two independent
+// tables (say a visited set and a reference count) acquires two scratches.
+//
+// All nodes passed to one Scratch must come from the same Arena; IDs from
+// different arenas alias.
+type Scratch struct {
+	epoch  uint32
+	stamps []uint32
+	vals   []int
+	refs   []*Node
+}
+
+var scratchPool = sync.Pool{New: func() any { return &Scratch{} }}
+
+// AcquireScratch returns a scratch table with every entry invalid. Pair
+// with ReleaseScratch.
+func AcquireScratch() *Scratch {
+	s := scratchPool.Get().(*Scratch)
+	s.epoch++
+	if s.epoch == 0 {
+		// Epoch wrapped: stale stamps from 2^32 traversals ago could alias.
+		for i := range s.stamps {
+			s.stamps[i] = 0
+		}
+		s.epoch = 1
+	}
+	return s
+}
+
+// ReleaseScratch recycles s. The caller must not use s afterwards.
+func ReleaseScratch(s *Scratch) {
+	// Entries referencing nodes would pin arbitrary dags in the pool; only
+	// the refs array holds pointers, and only stamped slots were written.
+	// Dropping them individually would defeat the O(1) clear, so release
+	// the whole array when it was used at all.
+	if s.refs != nil {
+		s.refs = nil
+	}
+	scratchPool.Put(s)
+}
+
+// slot returns the table index for n, growing the backing arrays on demand
+// (fresh slots carry stamp 0, which is never a live epoch).
+func (s *Scratch) slot(n *Node) int {
+	id := int(n.ID)
+	if id >= len(s.stamps) {
+		s.grow(id)
+	}
+	return id
+}
+
+func (s *Scratch) grow(id int) {
+	size := id + 1
+	if size < 2*len(s.stamps) {
+		size = 2 * len(s.stamps)
+	}
+	stamps := make([]uint32, size)
+	copy(stamps, s.stamps)
+	s.stamps = stamps
+	vals := make([]int, size)
+	copy(vals, s.vals)
+	s.vals = vals
+	if s.refs != nil {
+		refs := make([]*Node, size)
+		copy(refs, s.refs)
+		s.refs = refs
+	}
+}
+
+// Visit marks n visited; it reports true the first time n is seen.
+func (s *Scratch) Visit(n *Node) bool {
+	i := s.slot(n)
+	if s.stamps[i] == s.epoch {
+		return false
+	}
+	s.stamps[i] = s.epoch
+	return true
+}
+
+// Seen reports whether n was marked (by Visit, SetValue or SetRef).
+func (s *Scratch) Seen(n *Node) bool {
+	id := int(n.ID)
+	return id < len(s.stamps) && s.stamps[id] == s.epoch
+}
+
+// Value returns the integer stored for n, if any.
+func (s *Scratch) Value(n *Node) (int, bool) {
+	id := int(n.ID)
+	if id >= len(s.stamps) || s.stamps[id] != s.epoch {
+		return 0, false
+	}
+	return s.vals[id], true
+}
+
+// SetValue stores an integer for n (marking it seen).
+func (s *Scratch) SetValue(n *Node, v int) {
+	i := s.slot(n)
+	s.stamps[i] = s.epoch
+	s.vals[i] = v
+}
+
+// Ref returns the node stored for n, if any.
+func (s *Scratch) Ref(n *Node) (*Node, bool) {
+	id := int(n.ID)
+	if id >= len(s.stamps) || s.stamps[id] != s.epoch || s.refs == nil {
+		return nil, false
+	}
+	return s.refs[id], true
+}
+
+// SetRef stores a node for n (marking it seen).
+func (s *Scratch) SetRef(n *Node, m *Node) {
+	i := s.slot(n)
+	if s.refs == nil {
+		s.refs = make([]*Node, len(s.stamps))
+	}
+	s.stamps[i] = s.epoch
+	s.refs[i] = m
+}

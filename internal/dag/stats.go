@@ -63,7 +63,9 @@ func Measure(root *Node) Stats {
 			}
 		}
 	})
-	s.TreeNodes = treeSize(root, map[*Node]int{})
+	memo := AcquireScratch()
+	s.TreeNodes = treeSize(root, memo)
+	ReleaseScratch(memo)
 	return s
 }
 
@@ -72,8 +74,8 @@ func Measure(root *Node) Stats {
 // (it is "logically identified with its single remaining child", §4.2).
 // Shared subtrees are counted each time they appear, as they would in a
 // real tree.
-func treeSize(n *Node, memo map[*Node]int) int {
-	if sz, ok := memo[n]; ok {
+func treeSize(n *Node, memo *Scratch) int {
+	if sz, ok := memo.Value(n); ok {
 		return sz
 	}
 	var sz int
@@ -93,6 +95,6 @@ func treeSize(n *Node, memo map[*Node]int) int {
 			sz += treeSize(k, memo)
 		}
 	}
-	memo[n] = sz
+	memo.SetValue(n, sz)
 	return sz
 }

@@ -15,11 +15,14 @@ import (
 	"iglr/internal/lr"
 )
 
-// Stream is the parser input; document.Stream satisfies it.
+// Stream is the parser input; document.Stream satisfies it. Arena returns
+// the arena owning the stream's nodes; the parser allocates the structure
+// it builds from it.
 type Stream interface {
 	La() *dag.Node
 	Pop()
 	Breakdown()
+	Arena() *dag.Arena
 }
 
 // Stats counts parser work for the §5 comparisons.
@@ -31,11 +34,17 @@ type Stats struct {
 	Breakdowns     int
 }
 
-// Parser is a deterministic incremental LR parser.
+// Parser is a deterministic incremental LR parser. It may be reused across
+// parses — the parse stack persists and is rewound, so a steady-state
+// incremental reparse allocates nothing — but is not safe for concurrent
+// use.
 type Parser struct {
 	table *lr.Table
 	g     *grammar.Grammar
 	Stats Stats
+
+	arena *dag.Arena
+	stack []entry
 }
 
 // New creates a parser; the table must be deterministic.
@@ -90,7 +99,8 @@ func (p *Parser) ParseContext(ctx context.Context, stream Stream) (*dag.Node, er
 		}
 	}
 	p.Stats = Stats{}
-	stack := []entry{{state: p.table.StartState()}}
+	p.arena = stream.Arena()
+	p.stack = append(p.stack[:0], entry{state: p.table.StartState()})
 
 	for rounds := 0; ; rounds++ {
 		if ctx != nil && rounds%checkEvery == checkEvery-1 {
@@ -102,21 +112,21 @@ func (p *Parser) ParseContext(ctx context.Context, stream Stream) (*dag.Node, er
 		if la == nil {
 			return nil, &SyntaxError{Sym: grammar.EOF, SymName: "$"}
 		}
-		top := stack[len(stack)-1].state
+		top := p.stack[len(p.stack)-1].state
 
 		if !la.IsTerminal() {
 			// Subtree lookahead: state-matching reuse, precomputed
 			// nonterminal reductions, or breakdown (§3.2).
 			if !la.Changed && !la.IsChoice() && la.State >= 0 {
 				if gt := p.table.Goto(top, la.Sym); gt >= 0 && gt == la.State {
-					stack = append(stack, entry{state: gt, node: la})
+					p.stack = append(p.stack, entry{state: gt, node: la})
 					p.Stats.Shifts++
 					p.Stats.SubtreeShifts++
 					stream.Pop()
 					continue
 				}
-				if acts := p.table.NontermActions(top, la.Sym); len(acts) == 1 && acts[0].Kind == lr.Reduce {
-					stack = p.reduce(stack, int(acts[0].Target))
+				if act, n := p.table.OneNontermAction(top, la.Sym); n == 1 && act.Kind == lr.Reduce {
+					p.reduce(int(act.Target))
 					continue
 				}
 			}
@@ -125,42 +135,42 @@ func (p *Parser) ParseContext(ctx context.Context, stream Stream) (*dag.Node, er
 			continue
 		}
 
-		acts := p.table.Actions(top, la.Sym)
-		if len(acts) == 0 {
+		act, n := p.table.OneAction(top, la.Sym)
+		if n == 0 {
 			return nil, &SyntaxError{Sym: la.Sym, SymName: p.g.Name(la.Sym), Text: la.Text}
 		}
-		switch a := acts[0]; a.Kind {
+		switch act.Kind {
 		case lr.Shift:
-			la.State = int(a.Target)
+			la.State = int(act.Target)
 			la.Changed = false
-			stack = append(stack, entry{state: int(a.Target), node: la})
+			p.stack = append(p.stack, entry{state: int(act.Target), node: la})
 			p.Stats.Shifts++
 			p.Stats.TerminalShifts++
 			stream.Pop()
 		case lr.Reduce:
-			stack = p.reduce(stack, int(a.Target))
+			p.reduce(int(act.Target))
 		case lr.Accept:
 			if la.Sym != grammar.EOF {
 				return nil, &SyntaxError{Sym: la.Sym, SymName: p.g.Name(la.Sym), Text: la.Text}
 			}
-			return stack[len(stack)-1].node, nil
+			return p.stack[len(p.stack)-1].node, nil
 		}
 	}
 }
 
 // reduce pops the handle and pushes the new nonterminal node, recording the
 // goto state in it for future state-matching reuse.
-func (p *Parser) reduce(stack []entry, rule int) []entry {
+func (p *Parser) reduce(rule int) {
 	p.Stats.Reductions++
 	prod := p.g.Production(rule)
 	n := prod.Arity()
 	kids := make([]*dag.Node, n)
 	for i := 0; i < n; i++ {
-		kids[i] = stack[len(stack)-n+i].node
+		kids[i] = p.stack[len(p.stack)-n+i].node
 	}
-	stack = stack[:len(stack)-n]
-	top := stack[len(stack)-1].state
+	p.stack = p.stack[:len(p.stack)-n]
+	top := p.stack[len(p.stack)-1].state
 	gt := p.table.Goto(top, prod.LHS)
-	node := dag.NewProduction(prod.LHS, rule, gt, kids)
-	return append(stack, entry{state: gt, node: node})
+	node := p.arena.Production(prod.LHS, rule, gt, kids)
+	p.stack = append(p.stack, entry{state: gt, node: node})
 }

@@ -22,13 +22,14 @@ type Filter func(choice *dag.Node) []*dag.Node
 // discarded.
 func Apply(root *dag.Node, f Filter) (*dag.Node, int) {
 	discarded := 0
-	memo := map[*dag.Node]*dag.Node{}
+	memo := dag.AcquireScratch()
+	defer dag.ReleaseScratch(memo)
 	var rewrite func(n *dag.Node) *dag.Node
 	rewrite = func(n *dag.Node) *dag.Node {
-		if r, ok := memo[n]; ok {
+		if r, ok := memo.Ref(n); ok {
 			return r
 		}
-		memo[n] = n // provisional
+		memo.SetRef(n, n) // provisional
 		out := n
 		if n.Kind == dag.KindChoice {
 			survivors := f(n)
@@ -47,7 +48,7 @@ func Apply(root *dag.Node, f Filter) (*dag.Node, int) {
 				n.Kids[i] = rewrite(k)
 			}
 		}
-		memo[n] = out
+		memo.SetRef(n, out)
 		return out
 	}
 	return rewrite(root), discarded

@@ -32,6 +32,22 @@ type Document struct {
 
 	root *dag.Node // last committed parse root; nil before first parse
 
+	// arena allocates every dag node of this document — terminals, parser
+	// structure, rebalanced sequences. One arena per document keeps node
+	// IDs unique across the whole tree, which the slice-backed traversal
+	// scratch tables depend on.
+	arena *dag.Arena
+
+	// Persistent parse-input state, reused across reparses so a keystroke
+	// edit allocates O(damage): the one EOF terminal, the significant-
+	// terminal buffer behind Terminals, the Stream object itself, and the
+	// spare node buffer replace() ping-pongs with.
+	eof        *dag.Node
+	terms      []*dag.Node
+	termsValid bool
+	stream     Stream
+	spareNodes []*dag.Node
+
 	// marked collects nodes whose change bits must be cleared at commit.
 	marked []*dag.Node
 
@@ -48,7 +64,17 @@ type Document struct {
 
 // New creates a document over the initial text, lexing it in full.
 func New(spec *lexer.Spec, g *grammar.Grammar, mapTok TokenMapper, initial string) *Document {
-	d := &Document{spec: spec, g: g, mapTok: mapTok, buf: text.NewBuffer(initial)}
+	return NewInArena(dag.NewArena(), spec, g, mapTok, initial)
+}
+
+// NewInArena is New but allocates the document's nodes from an existing
+// arena. Several documents may share one arena when their trees are
+// composed into a single dag (e.g. statements reparsed in scratch
+// documents and spliced into a host sequence) — node IDs stay unique
+// across the combined structure.
+func NewInArena(a *dag.Arena, spec *lexer.Spec, g *grammar.Grammar, mapTok TokenMapper, initial string) *Document {
+	d := &Document{spec: spec, g: g, mapTok: mapTok, buf: text.NewBuffer(initial), arena: a}
+	d.eof = d.arena.Terminal(grammar.EOF, "")
 	d.toks = spec.Scan(initial)
 	d.nodes = make([]*dag.Node, len(d.toks))
 	for i, t := range d.toks {
@@ -70,10 +96,15 @@ func (d *Document) newTerminal(tok lexer.Token) *dag.Node {
 	} else {
 		sym = d.mapTok(tok.Type, tok.Text)
 	}
-	n := dag.NewTerminal(sym, tok.Text)
+	n := d.arena.Terminal(sym, tok.Text)
 	n.Changed = true
 	return n
 }
+
+// Arena returns the arena owning every node of this document's dag. Passes
+// that create nodes over the tree (rebalancing, sequence edits) must
+// allocate from it.
+func (d *Document) Arena() *dag.Arena { return d.arena }
 
 // Text returns the current text.
 func (d *Document) Text() string { return d.buf.String() }
@@ -93,15 +124,20 @@ func (d *Document) Grammar() *grammar.Grammar { return d.g }
 // Tokens returns the current full token stream (including skip tokens).
 func (d *Document) Tokens() []lexer.Token { return d.toks }
 
-// Terminals returns the significant terminal nodes in order.
+// Terminals returns the significant terminal nodes in order. The slice is
+// owned by the document and valid until the next edit; callers that need
+// it across edits must copy.
 func (d *Document) Terminals() []*dag.Node {
-	out := make([]*dag.Node, 0, len(d.nodes))
-	for _, n := range d.nodes {
-		if n != nil {
-			out = append(out, n)
+	if !d.termsValid {
+		d.terms = d.terms[:0]
+		for _, n := range d.nodes {
+			if n != nil {
+				d.terms = append(d.terms, n)
+			}
 		}
+		d.termsValid = true
 	}
-	return out
+	return d.terms
 }
 
 func (d *Document) recountErrors() {
@@ -189,14 +225,17 @@ func (d *Document) replace(offset, removed int, inserted string, record bool) {
 	relexed = newLen - p - s
 	oldResync -= s
 
-	// Splice the node array in step with the token array.
-	nodes := make([]*dag.Node, 0, len(newToks))
+	// Splice the node array in step with the token array, building into the
+	// spare buffer (the buffers ping-pong between edits, so a steady-state
+	// edit reallocates neither).
+	nodes := d.spareNodes[:0]
 	nodes = append(nodes, oldNodes[:first]...)
 	for i := first; i < first+relexed; i++ {
 		nodes = append(nodes, d.newTerminal(newToks[i]))
 	}
 	nodes = append(nodes, oldNodes[oldResync:oldResync+s]...)
 	nodes = append(nodes, oldNodes[oldResync+s:]...)
+	d.spareNodes = oldNodes
 
 	// Pure-whitespace/comment edits change no terminal: the previous tree
 	// is untouched and fully reusable.
@@ -258,6 +297,7 @@ func (d *Document) replace(offset, removed int, inserted string, record bool) {
 
 	d.toks = newToks
 	d.nodes = nodes
+	d.termsValid = false
 	d.recountErrors()
 }
 
@@ -308,9 +348,12 @@ func commitWalk(n *dag.Node) {
 
 // Stream returns the incremental parser input for the current document
 // state: fresh terminals at modification sites and maximal reusable
-// subtrees of the previous tree elsewhere.
+// subtrees of the previous tree elsewhere. The Stream object is owned by
+// the document and rewound on every call — at most one may be in use at a
+// time (documents are single-writer anyway).
 func (d *Document) Stream() *Stream {
-	return &Stream{d: d, eof: dag.NewTerminal(grammar.EOF, "")}
+	d.stream.reset(d)
+	return &d.stream
 }
 
 // SignificantTokenOffset returns the byte offset of the i-th significant

@@ -33,6 +33,23 @@ type Stream struct {
 	SubtreeOffers int
 }
 
+// reset rewinds the stream for a fresh traversal of d's current state.
+// The pending stack keeps its capacity, the document's terminal buffer and
+// EOF node are shared, so rewinding allocates nothing.
+func (s *Stream) reset(d *Document) {
+	s.d = d
+	s.terms = nil
+	s.k = 0
+	s.pending = s.pending[:0]
+	s.eof = d.eof
+	s.eofSent = false
+	s.SubtreeOffers = 0
+}
+
+// Arena returns the document's node arena (the iglr / detparse Stream
+// interfaces' arena hook).
+func (s *Stream) Arena() *dag.Arena { return s.d.arena }
+
 // La returns the current lookahead subtree (computing it lazily).
 func (s *Stream) La() *dag.Node {
 	if len(s.pending) > 0 {

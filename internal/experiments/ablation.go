@@ -22,6 +22,7 @@ import (
 type AblationResult struct {
 	LALRStates, LR1States       int
 	LALRCells, LR1Cells         int // occupied action+goto entries
+	LALRBytes, LR1Bytes         int // dense encoding's resident footprint
 	LALRBatchNs, LR1BatchNs     float64
 	LALRIncShifts, LR1IncShifts float64 // avg shifts per incremental reparse
 	LALRIncNs, LR1IncNs         float64
@@ -58,6 +59,8 @@ func RunAblation(lines, nEdits int) (AblationResult, error) {
 	res.LALRCells = a + g
 	a, g = lr1.Table.TableSize()
 	res.LR1Cells = a + g
+	res.LALRBytes = lalr.Table.Footprint()
+	res.LR1Bytes = lr1.Table.Footprint()
 
 	// Workload: a C++-subset program with ambiguous regions to exercise
 	// the non-deterministic paths under both tables.
@@ -136,6 +139,7 @@ func FormatAblation(r AblationResult) string {
 	fmt.Fprintf(&b, "%-22s %12s %12s\n", "", "LALR(1)", "LR(1)")
 	fmt.Fprintf(&b, "%-22s %12d %12d\n", "states", r.LALRStates, r.LR1States)
 	fmt.Fprintf(&b, "%-22s %12d %12d\n", "table cells", r.LALRCells, r.LR1Cells)
+	fmt.Fprintf(&b, "%-22s %12d %12d\n", "resident bytes", r.LALRBytes, r.LR1Bytes)
 	fmt.Fprintf(&b, "%-22s %12.2f %12.2f\n", "batch parse (ms)", r.LALRBatchNs/1e6, r.LR1BatchNs/1e6)
 	fmt.Fprintf(&b, "%-22s %12.0f %12.0f\n", "incremental (µs/re)", r.LALRIncNs/1e3, r.LR1IncNs/1e3)
 	fmt.Fprintf(&b, "%-22s %12.1f %12.1f\n", "shifts per reparse", r.LALRIncShifts, r.LR1IncShifts)

@@ -89,6 +89,7 @@ func seqProgram(n int) string {
 // by path copying — the document-level realization of §3.4's balanced
 // sequence representation.
 type BalancedSeq struct {
+	arena   *dag.Arena // shared by the sequence and all element reparses
 	seqSym  grammar.Sym
 	ed      *dag.SeqEditor
 	root    *dag.Node // the balanced sequence
@@ -106,7 +107,7 @@ func NewBalancedSeq(src string) (*BalancedSeq, error) {
 		return nil, err
 	}
 	g := ul.Grammar
-	bal := dag.Rebalance(g, root)
+	bal := dag.Rebalance(d.Arena(), g, root)
 	// Locate the balanced sequence node (child of Prog).
 	var seq *dag.Node
 	bal.Walk(func(n *dag.Node) {
@@ -119,8 +120,9 @@ func NewBalancedSeq(src string) (*BalancedSeq, error) {
 	}
 	sl := stmtLang.Lang()
 	return &BalancedSeq{
+		arena:   d.Arena(),
 		seqSym:  seq.Sym,
-		ed:      dag.NewSeqEditor(seq.Sym),
+		ed:      dag.NewSeqEditor(d.Arena(), seq.Sym),
 		root:    seq,
 		stmtP:   iglr.New(sl.Table),
 		stmtDef: sl,
@@ -139,7 +141,9 @@ func (s *BalancedSeq) Element(i int) *dag.Node { return s.ed.Get(s.root, i) }
 // ReplaceElement reparses newText as a single statement and splices it in
 // place of element i. Cost: O(|newText| + lg N).
 func (s *BalancedSeq) ReplaceElement(i int, newText string) error {
-	d := s.stmtDef.NewDocument(newText)
+	// The element tree is spliced into the host sequence, so it must come
+	// from the host arena — node IDs index shared scratch tables.
+	d := s.stmtDef.NewDocumentInArena(s.arena, newText)
 	node, err := s.stmtP.Parse(d.Stream())
 	if err != nil {
 		return err

@@ -9,7 +9,8 @@ import (
 // behavior of a conventional GLR parser (§3.1). The input must not include
 // EOF; it is appended automatically.
 func (p *Parser) ParseTerminals(input []TerminalInput) (*dag.Node, error) {
-	return p.Parse(NewStream(TerminalNodes(input)))
+	a := dag.NewArena()
+	return p.Parse(NewStream(a, TerminalNodes(a, input)))
 }
 
 // ParseSyms batch-parses a bare symbol sequence, using symbol names as
@@ -27,15 +28,16 @@ func (p *Parser) ParseSyms(syms []grammar.Sym) (*dag.Node, error) {
 // skipped. Shared subtrees are counted through, so the result can be
 // exponential in dag size; counts are capped at Cap to avoid overflow.
 func CountParses(root *dag.Node) int {
-	memo := map[*dag.Node]int{}
+	memo := dag.AcquireScratch()
+	defer dag.ReleaseScratch(memo)
 	return countParses(root, memo)
 }
 
 // Cap bounds CountParses results.
 const Cap = 1 << 30
 
-func countParses(n *dag.Node, memo map[*dag.Node]int) int {
-	if v, ok := memo[n]; ok {
+func countParses(n *dag.Node, memo *dag.Scratch) int {
+	if v, ok := memo.Value(n); ok {
 		return v
 	}
 	var total int
@@ -68,6 +70,6 @@ func countParses(n *dag.Node, memo map[*dag.Node]int) int {
 			}
 		}
 	}
-	memo[n] = total
+	memo.SetValue(n, total)
 	return total
 }

@@ -271,7 +271,7 @@ Stmt : x ';' ;
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	bal := dag.Rebalance(g, root)
+	bal := dag.Rebalance(p.arena, g, root)
 	var seqRoot *dag.Node
 	bal.Walk(func(n *dag.Node) {
 		if n.Kind == dag.KindSeq && seqRoot == nil {

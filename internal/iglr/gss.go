@@ -24,29 +24,6 @@ type gssLink struct {
 	node *dag.Node
 }
 
-func (n *gssNode) addLink(l *gssLink) {
-	if n.nlinks == 0 {
-		n.link0 = *l
-	} else {
-		n.extra = append(n.extra, l)
-	}
-	n.nlinks++
-}
-
-// addLinkInline is addLink for freshly built links, avoiding the
-// allocation when the inline slot is free.
-func (n *gssNode) addLinkInline(head *gssNode, node *dag.Node) *gssLink {
-	if n.nlinks == 0 {
-		n.link0 = gssLink{head: head, node: node}
-		n.nlinks = 1
-		return &n.link0
-	}
-	l := &gssLink{head: head, node: node}
-	n.extra = append(n.extra, l)
-	n.nlinks++
-	return l
-}
-
 func (n *gssNode) numLinks() int { return n.nlinks }
 
 func (n *gssNode) linkAt(i int) *gssLink {
@@ -64,6 +41,59 @@ func (n *gssNode) directLink(head *gssNode) *gssLink {
 		}
 	}
 	return nil
+}
+
+// gssChunk is the nodes (or links) per arena chunk.
+const gssChunk = 256
+
+// gssNodeArena recycles gssNode storage across parses: chunks are allocated
+// once and reset() rewinds the cursor, so a steady-state incremental round
+// creates no garbage. Chunks are never moved, so node pointers stay stable
+// for the lifetime of one parse — paths() and directLink compare them.
+// Recycled nodes keep their extra slice's capacity.
+type gssNodeArena struct {
+	chunks [][]gssNode
+	ci, ni int
+}
+
+func (a *gssNodeArena) reset() { a.ci, a.ni = 0, 0 }
+
+func (a *gssNodeArena) get(state int) *gssNode {
+	if a.ci == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]gssNode, gssChunk))
+	}
+	n := &a.chunks[a.ci][a.ni]
+	a.ni++
+	if a.ni == gssChunk {
+		a.ci++
+		a.ni = 0
+	}
+	*n = gssNode{state: state, extra: n.extra[:0]}
+	return n
+}
+
+// gssLinkArena recycles the non-inline gssLink allocations the same way.
+// Link pointer identity matters within a parse (the `via` restriction of
+// do_limited_reductions), never across parses.
+type gssLinkArena struct {
+	chunks [][]gssLink
+	ci, ni int
+}
+
+func (a *gssLinkArena) reset() { a.ci, a.ni = 0, 0 }
+
+func (a *gssLinkArena) get(head *gssNode, node *dag.Node) *gssLink {
+	if a.ci == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]gssLink, gssChunk))
+	}
+	l := &a.chunks[a.ci][a.ni]
+	a.ni++
+	if a.ni == gssChunk {
+		a.ci++
+		a.ni = 0
+	}
+	*l = gssLink{head: head, node: node}
+	return l
 }
 
 // gssPath is a reduction path: the traversed links, ordered from the top of

@@ -89,6 +89,7 @@ type Parser struct {
 
 	ctx        context.Context // nil outside ParseContext
 	stream     Stream
+	arena      *dag.Arena // the current stream's arena
 	active     []*gssNode
 	forActor   []*gssNode
 	forShifter []shiftPair
@@ -98,17 +99,30 @@ type Parser struct {
 	sh         *share
 	tokens     int
 
-	// Chunked arenas cut allocation counts for the per-shift GSS
-	// structures; chunks are dropped wholesale at the next Parse.
-	nodeArena []gssNode
+	// Recycled storage: the GSS node/link arenas rewind at each Parse and
+	// the reduction-kids buffer is reused across rounds, so a steady-state
+	// incremental round allocates nothing.
+	gssNodes gssNodeArena
+	gssLinks gssLinkArena
+	kidsBuf  []*dag.Node
 }
 
 func (p *Parser) newGSSNode(state int) *gssNode {
-	if len(p.nodeArena) == cap(p.nodeArena) {
-		p.nodeArena = make([]gssNode, 0, 512)
+	return p.gssNodes.get(state)
+}
+
+// addLink appends a link from n back to head, spanning node. The first
+// link sits inline in n; overflow links come from the recycled link arena.
+func (p *Parser) addLink(n, head *gssNode, node *dag.Node) *gssLink {
+	if n.nlinks == 0 {
+		n.link0 = gssLink{head: head, node: node}
+		n.nlinks = 1
+		return &n.link0
 	}
-	p.nodeArena = append(p.nodeArena, gssNode{state: state})
-	return &p.nodeArena[len(p.nodeArena)-1]
+	l := p.gssLinks.get(head, node)
+	n.extra = append(n.extra, l)
+	n.nlinks++
+	return l
 }
 
 type shiftPair struct {
@@ -118,7 +132,7 @@ type shiftPair struct {
 
 // New creates a parser over the given table.
 func New(table *lr.Table) *Parser {
-	return &Parser{table: table, g: table.Grammar()}
+	return &Parser{table: table, g: table.Grammar(), sh: newShare()}
 }
 
 // Grammar returns the parser's grammar.
@@ -159,9 +173,11 @@ func (p *Parser) ParseContext(ctx context.Context, stream Stream) (*dag.Node, er
 	}
 	p.ctx = ctx
 	p.stream = stream
+	p.arena = stream.Arena()
 	p.Stats = Stats{}
-	p.sh = newShare()
-	p.nodeArena = nil
+	p.sh.reset()
+	p.gssNodes.reset()
+	p.gssLinks.reset()
 	p.active = append(p.active[:0], p.newGSSNode(p.table.StartState()))
 	p.accepting = nil
 	p.multiple = false
@@ -181,7 +197,7 @@ func (p *Parser) ParseContext(ctx context.Context, stream Stream) (*dag.Node, er
 	// Epsilon over-sharing can only arise from the sharing tables, which
 	// deterministic rounds bypass entirely (§3.5).
 	if p.anyNondet {
-		dag.UnshareEpsilon(root)
+		dag.UnshareEpsilon(p.arena, root)
 	}
 	return root, nil
 }
@@ -193,7 +209,7 @@ func (p *Parser) acceptedRoot() *dag.Node {
 	// Multiple top-level interpretations that never converged in the GSS
 	// are merged explicitly.
 	for i := 1; i < acc.numLinks(); i++ {
-		root = addInterpretation(root, acc.linkAt(i).node)
+		root = addInterpretation(p.arena, root, acc.linkAt(i).node)
 	}
 	return root
 }
@@ -299,10 +315,13 @@ func (p *Parser) actor(a *gssNode) {
 				}
 				// Precomputed nonterminal reductions (§3.2): act without
 				// locating the next terminal when every terminal in
-				// FIRST(la) agrees on a single reduction.
-				if acts := p.table.NontermActions(a.state, la.Sym); len(acts) == 1 && acts[0].Kind == lr.Reduce {
-					p.tracef("R: %s (via FIRST(%s))", p.prodName(int(acts[0].Target)), p.g.Name(la.Sym))
-					p.doReductions(a, int(acts[0].Target))
+				// FIRST(la) agrees on a single reduction. The single-word
+				// fast path reads one dense table cell.
+				if act, n := p.table.OneNontermAction(a.state, la.Sym); n == 1 && act.Kind == lr.Reduce {
+					if p.Trace != nil {
+						p.tracef("R: %s (via FIRST(%s))", p.prodName(int(act.Target)), p.g.Name(la.Sym))
+					}
+					p.doReductions(a, int(act.Target))
 					return
 				}
 			}
@@ -313,27 +332,37 @@ func (p *Parser) actor(a *gssNode) {
 			continue
 		}
 
-		acts := p.table.Actions(a.state, la.Sym)
-		if len(acts) > 1 {
-			p.multiple = true
+		// Deterministic fast path: the packed cell resolves a unique action
+		// in a single table word.
+		if act, n := p.table.OneAction(a.state, la.Sym); n == 1 {
+			p.applyAction(a, act, la)
+			return
+		} else if n == 0 {
+			return
 		}
-		for _, act := range acts {
-			switch act.Kind {
-			case lr.Accept:
-				if la.Sym == grammar.EOF {
-					p.tracef("A: accept")
-					p.accepting = a
-				}
-			case lr.Reduce:
-				if p.Trace != nil {
-					p.tracef("R: %s", p.prodName(int(act.Target)))
-				}
-				p.doReductions(a, int(act.Target))
-			case lr.Shift:
-				p.forShifter = append(p.forShifter, shiftPair{from: a, target: int(act.Target)})
-			}
+		p.multiple = true
+		for _, act := range p.table.Actions(a.state, la.Sym) {
+			p.applyAction(a, act, la)
 		}
 		return
+	}
+}
+
+// applyAction executes one table action for parser a on lookahead la.
+func (p *Parser) applyAction(a *gssNode, act lr.Action, la *dag.Node) {
+	switch act.Kind {
+	case lr.Accept:
+		if la.Sym == grammar.EOF {
+			p.tracef("A: accept")
+			p.accepting = a
+		}
+	case lr.Reduce:
+		if p.Trace != nil {
+			p.tracef("R: %s", p.prodName(int(act.Target)))
+		}
+		p.doReductions(a, int(act.Target))
+	case lr.Shift:
+		p.forShifter = append(p.forShifter, shiftPair{from: a, target: int(act.Target)})
 	}
 }
 
@@ -366,7 +395,14 @@ func countTerms(n *dag.Node) int { return int(n.TermCount) }
 func (p *Parser) doReductions(a *gssNode, rule int) {
 	arity := p.g.Production(rule).Arity()
 	cur := a
-	kids := make([]*dag.Node, arity)
+	// kids is a reusable buffer: reducer only reads it, copying into a
+	// fresh slice iff it builds a new node. No other doReductions frame can
+	// be live here (reducer re-enters only through doLimitedReductions,
+	// whose paths carry their own slices).
+	if cap(p.kidsBuf) < arity {
+		p.kidsBuf = make([]*dag.Node, arity)
+	}
+	kids := p.kidsBuf[:arity]
 	for i := arity - 1; i >= 0; i-- {
 		if cur.numLinks() != 1 {
 			paths(a, arity, nil, func(path gssPath) {
@@ -414,13 +450,16 @@ func (p *Parser) reducer(q *gssNode, rule int, kids []*dag.Node) {
 	var node *dag.Node
 	if p.multiple {
 		p.anyNondet = true
-		node = p.sh.getNode(p.g, rule, kids, state, true)
+		node = p.sh.getNode(p.arena, p.g, rule, kids, state, true)
 	} else if old := retained(rule, kids); old != nil {
 		old.State = state
 		node = old
 		p.Stats.RetainedNodes++
 	} else {
-		node = dag.NewProduction(p.g.Production(rule).LHS, rule, state, kids)
+		// kids may be the shared reduction buffer; the node needs its own.
+		owned := make([]*dag.Node, len(kids))
+		copy(owned, kids)
+		node = p.arena.Production(p.g.Production(rule).LHS, rule, state, owned)
 	}
 
 	if existing := p.findActive(state); existing != nil {
@@ -430,14 +469,14 @@ func (p *Parser) reducer(q *gssNode, rule int, kids []*dag.Node) {
 			if p.Trace != nil {
 				p.tracef("M: merge interpretation for %s", p.g.Name(lhs))
 			}
-			l.node = addInterpretation(l.node, node)
+			l.node = addInterpretation(p.arena, l.node, node)
 			return
 		}
 		n := node
 		if p.multiple {
-			n = p.sh.mergeInterpretation(node)
+			n = p.sh.mergeInterpretation(p.arena, node)
 		}
-		l := existing.addLinkInline(q, n)
+		l := p.addLink(existing, q, n)
 		// Parsers already processed this round may now have new reduction
 		// paths through l.
 		for _, m := range p.active {
@@ -453,10 +492,10 @@ func (p *Parser) reducer(q *gssNode, rule int, kids []*dag.Node) {
 
 	n := node
 	if p.multiple {
-		n = p.sh.mergeInterpretation(node)
+		n = p.sh.mergeInterpretation(p.arena, node)
 	}
 	np := p.newGSSNode(state)
-	np.addLinkInline(q, n)
+	p.addLink(np, q, n)
 	p.active = append(p.active, np)
 	p.forActor = append(p.forActor, np)
 }
@@ -517,10 +556,10 @@ func (p *Parser) shifter() {
 
 	for _, sp := range p.forShifter {
 		if q := p.findActive(sp.target); q != nil {
-			q.addLinkInline(sp.from, la)
+			p.addLink(q, sp.from, la)
 		} else {
 			n := p.newGSSNode(sp.target)
-			n.addLinkInline(sp.from, la)
+			p.addLink(n, sp.from, la)
 			p.active = append(p.active, n)
 		}
 	}

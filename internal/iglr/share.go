@@ -13,28 +13,37 @@ import (
 // in Appendix A: all reductions between two shifts occur at a single input
 // position, so covers are comparable.
 
-// nodeKey identifies a production instance: the rule plus child identities
-// (interned per-parse, since pointers are not directly hashable to bytes).
+// nodeKey identifies a production instance: the rule plus the arena IDs of
+// the children. Node IDs are stable and dense, so no per-parse interning
+// table is needed.
 type nodeKey struct {
-	rule int
-	kids string // concatenated interned child ids
+	rule int32
+	kids string // concatenated child IDs, 4 bytes little-endian each
 }
 
-// coverKey identifies a yield region by its first and last terminal
-// instances (cover, Appendix A). Null-yield nodes have nil extremes; within
-// one shift round they all sit at the same input position, so merging them
-// by symbol alone is sound.
+// coverKey identifies a yield region by the IDs of its first and last
+// terminal instances (cover, Appendix A). Null-yield nodes have no
+// extremes (-1); within one shift round they all sit at the same input
+// position, so merging them by symbol alone is sound.
 type coverKey struct {
 	sym    grammar.Sym
-	lo, hi *dag.Node
+	lo, hi int32
 }
 
-// share holds the per-round sharing state.
+func coverID(n *dag.Node) int32 {
+	if n == nil {
+		return -1
+	}
+	return n.ID
+}
+
+// share holds the per-round sharing state. The maps persist across rounds
+// and across parses (only their entries are cleared, keeping the buckets
+// warm); deterministic rounds never touch them at all.
 type share struct {
 	nodes   map[nodeKey]*dag.Node
 	symbols map[coverKey]*dag.Node
-	ids     map[*dag.Node]uint64
-	nextID  uint64
+	keyBuf  []byte
 	dirty   bool
 }
 
@@ -42,7 +51,6 @@ func newShare() *share {
 	return &share{
 		nodes:   map[nodeKey]*dag.Node{},
 		symbols: map[coverKey]*dag.Node{},
-		ids:     map[*dag.Node]uint64{},
 	}
 }
 
@@ -51,33 +59,19 @@ func (s *share) reset() {
 	if !s.dirty {
 		return
 	}
-	clearMap(s.nodes)
-	clearMap(s.symbols)
+	clear(s.nodes)
+	clear(s.symbols)
 	s.dirty = false
-}
-
-func clearMap[K comparable, V any](m map[K]V) {
-	for k := range m {
-		delete(m, k)
-	}
-}
-
-func (s *share) id(n *dag.Node) uint64 {
-	if v, ok := s.ids[n]; ok {
-		return v
-	}
-	s.nextID++
-	s.ids[n] = s.nextID
-	return s.nextID
 }
 
 // getNode returns the (shared) production-instance node for rule over kids
 // (Appendix A get_node). state is the goto target the creating parser will
 // enter; nodes built while several parsers are active are stamped with the
-// MultiState equivalence class instead (§3.3).
-func (s *share) getNode(g *grammar.Grammar, rule int, kids []*dag.Node, state int, multi bool) *dag.Node {
+// MultiState equivalence class instead (§3.3). kids may be a transient
+// buffer — it is copied only when a new node is built.
+func (s *share) getNode(a *dag.Arena, g *grammar.Grammar, rule int, kids []*dag.Node, state int, multi bool) *dag.Node {
 	s.dirty = true
-	key := nodeKey{rule: rule, kids: s.kidsKey(kids)}
+	key := nodeKey{rule: int32(rule), kids: s.kidsKey(kids)}
 	if n, ok := s.nodes[key]; ok {
 		if multi || n.State != state {
 			n.State = dag.MultiState
@@ -88,18 +82,20 @@ func (s *share) getNode(g *grammar.Grammar, rule int, kids []*dag.Node, state in
 	if multi {
 		st = dag.MultiState
 	}
-	n := dag.NewProduction(g.Production(rule).LHS, rule, st, kids)
+	owned := make([]*dag.Node, len(kids))
+	copy(owned, kids)
+	n := a.Production(g.Production(rule).LHS, rule, st, owned)
 	s.nodes[key] = n
 	return n
 }
 
 func (s *share) kidsKey(kids []*dag.Node) string {
-	b := make([]byte, 0, len(kids)*8)
+	b := s.keyBuf[:0]
 	for _, k := range kids {
-		p := s.id(k)
-		b = append(b, byte(p), byte(p>>8), byte(p>>16), byte(p>>24),
-			byte(p>>32), byte(p>>40), byte(p>>48), byte(p>>56))
+		id := uint32(k.ID)
+		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
 	}
+	s.keyBuf = b
 	return string(b)
 }
 
@@ -108,9 +104,9 @@ func (s *share) kidsKey(kids []*dag.Node) string {
 // is merged into a choice node (created lazily by promoting the existing
 // node in place, preserving every outstanding reference to it — the paper's
 // proxy-replacement, footnote 10). It returns the node to link into the GSS.
-func (s *share) mergeInterpretation(n *dag.Node) *dag.Node {
+func (s *share) mergeInterpretation(a *dag.Arena, n *dag.Node) *dag.Node {
 	s.dirty = true
-	key := coverKey{sym: n.Sym, lo: n.LeftmostTerm, hi: n.RightmostTerm}
+	key := coverKey{sym: n.Sym, lo: coverID(n.LeftmostTerm), hi: coverID(n.RightmostTerm)}
 	existing, ok := s.symbols[key]
 	if !ok {
 		s.symbols[key] = n
@@ -119,14 +115,14 @@ func (s *share) mergeInterpretation(n *dag.Node) *dag.Node {
 	if existing == n {
 		return existing
 	}
-	merged := addInterpretation(existing, n)
+	merged := addInterpretation(a, existing, n)
 	s.symbols[key] = merged
 	return merged
 }
 
 // addInterpretation merges alt into target, promoting target to a choice
 // node in place if necessary. Returns the choice node (== target).
-func addInterpretation(target, alt *dag.Node) *dag.Node {
+func addInterpretation(a *dag.Arena, target, alt *dag.Node) *dag.Node {
 	if target == alt {
 		return target
 	}
@@ -142,8 +138,7 @@ func addInterpretation(target, alt *dag.Node) *dag.Node {
 	// Promote in place: copy the current contents to a fresh node, then
 	// rewrite target as a choice over {copy, alt}. References held by GSS
 	// links or already-built parents stay valid — they now see the choice.
-	cp := *target
-	first := &cp
+	first := a.Clone(target)
 	target.Kind = dag.KindChoice
 	target.Prod = -1
 	target.State = dag.MultiState

@@ -30,24 +30,31 @@ type Stream interface {
 	// terminal yield is shared by every interpretation). Breakdown of a
 	// terminal panics.
 	Breakdown()
+	// Arena returns the arena owning the stream's nodes; the parser
+	// allocates every node it builds from it, keeping the whole dag under
+	// one ID space.
+	Arena() *dag.Arena
 }
 
 // sliceStream is a Stream over an explicit node sequence with a breakdown
 // stack. It serves batch parsing (all terminals) and tests; the incremental
 // document stream lives in the document package.
 type sliceStream struct {
+	arena   *dag.Arena
 	pending []*dag.Node // reversed: next lookahead at the end
 }
 
-// NewStream builds a Stream over the given subtrees. The caller must
-// include a trailing EOF terminal.
-func NewStream(nodes []*dag.Node) Stream {
-	s := &sliceStream{pending: make([]*dag.Node, 0, len(nodes))}
+// NewStream builds a Stream over the given subtrees, which must all be
+// allocated from a. The caller must include a trailing EOF terminal.
+func NewStream(a *dag.Arena, nodes []*dag.Node) Stream {
+	s := &sliceStream{arena: a, pending: make([]*dag.Node, 0, len(nodes))}
 	for i := len(nodes) - 1; i >= 0; i-- {
 		s.pending = append(s.pending, nodes[i])
 	}
 	return s
 }
+
+func (s *sliceStream) Arena() *dag.Arena { return s.arena }
 
 func (s *sliceStream) La() *dag.Node {
 	if len(s.pending) == 0 {
@@ -90,13 +97,13 @@ func (s *sliceStream) Breakdown() {
 }
 
 // TerminalNodes converts (sym, text) pairs plus a trailing EOF into
-// terminal dag nodes, the batch parser's input.
-func TerminalNodes(pairs []TerminalInput) []*dag.Node {
+// terminal dag nodes allocated from a, the batch parser's input.
+func TerminalNodes(a *dag.Arena, pairs []TerminalInput) []*dag.Node {
 	out := make([]*dag.Node, 0, len(pairs)+1)
 	for _, p := range pairs {
-		out = append(out, dag.NewTerminal(p.Sym, p.Text))
+		out = append(out, a.Terminal(p.Sym, p.Text))
 	}
-	out = append(out, dag.NewTerminal(grammar.EOF, ""))
+	out = append(out, a.Terminal(grammar.EOF, ""))
 	return out
 }
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync"
 
+	"iglr/internal/dag"
 	"iglr/internal/document"
 	"iglr/internal/grammar"
 	"iglr/internal/lexer"
@@ -33,6 +34,12 @@ type Language struct {
 // NewDocument creates a document over src for this language.
 func (l *Language) NewDocument(src string) *document.Document {
 	return document.New(l.Spec, l.Grammar, l.Map, src)
+}
+
+// NewDocumentInArena is NewDocument with the caller's node arena — for
+// scratch documents whose trees get spliced into another document's dag.
+func (l *Language) NewDocumentInArena(a *dag.Arena, src string) *document.Document {
+	return document.NewInArena(a, l.Spec, l.Grammar, l.Map, src)
 }
 
 // Sym resolves a grammar symbol by name, panicking if missing (languages

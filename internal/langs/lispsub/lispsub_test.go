@@ -87,7 +87,7 @@ func TestLongListIncrementalEdit(t *testing.T) {
 	}
 
 	// The element sequence is associative: rebalancing gives log depth.
-	bal := dag.Rebalance(l.Grammar, root2)
+	bal := dag.Rebalance(d.Arena(), l.Grammar, root2)
 	var maxLen int
 	bal.Walk(func(n *dag.Node) {
 		if n.Kind == dag.KindSeq {

@@ -111,7 +111,7 @@ func TestCharacterSequencesAreAssociative(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Ident uses Letter+: the dag can rebalance the character chain.
-	bal := dag.Rebalance(l.Grammar, root)
+	bal := dag.Rebalance(d.Arena(), l.Grammar, root)
 	found := false
 	bal.Walk(func(n *dag.Node) {
 		if n.Kind == dag.KindSeq && dag.SeqLen(n) == 10 {

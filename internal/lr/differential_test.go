@@ -1,0 +1,173 @@
+package lr_test
+
+import (
+	"fmt"
+	"testing"
+
+	"iglr/internal/grammar"
+	"iglr/internal/langs"
+	"iglr/internal/langs/cppsub"
+	"iglr/internal/langs/csub"
+	"iglr/internal/langs/expr"
+	"iglr/internal/langs/javasub"
+	"iglr/internal/langs/lispsub"
+	"iglr/internal/langs/lr2"
+	"iglr/internal/langs/mod2sub"
+	"iglr/internal/langs/scannerless"
+	"iglr/internal/lr"
+)
+
+// bundledGrammars returns every bundled language's grammar (the languages
+// the public API ships), named for subtest labels.
+func bundledGrammars() map[string]*grammar.Grammar {
+	out := map[string]*grammar.Grammar{}
+	for name, l := range map[string]*langs.Language{
+		"expr":           expr.Lang(),
+		"expr-ambiguous": expr.AmbiguousLang(),
+		"csub":           csub.Lang(),
+		"cppsub":         cppsub.Lang(),
+		"javasub":        javasub.Lang(),
+		"lispsub":        lispsub.Lang(),
+		"mod2sub":        mod2sub.Lang(),
+		"lr2":            lr2.Lang(),
+		"scannerless":    scannerless.Lang(),
+	} {
+		out[name] = l.Grammar
+	}
+	return out
+}
+
+// TestDenseEncodingDifferential proves the dense packed table is
+// action-for-action identical to the legacy sparse encoding: for every
+// bundled language and every table method, it captures the pre-pack
+// [][]Action layout and compares each (state, symbol) cell — actions,
+// gotos, and the precomputed nonterminal reductions (recomputed here from
+// the raw encoding, independently of the packed implementation).
+func TestDenseEncodingDifferential(t *testing.T) {
+	methods := []lr.Method{lr.SLR, lr.LALR, lr.LR1}
+	for name, g := range bundledGrammars() {
+		for _, m := range methods {
+			t.Run(fmt.Sprintf("%s/%v", name, m), func(t *testing.T) {
+				var raw [][]Action
+				lr.SetTestRawCapture(func(r [][]Action) {
+					raw = make([][]Action, len(r))
+					for i, acts := range r {
+						raw[i] = append([]Action(nil), acts...)
+					}
+				})
+				defer lr.SetTestRawCapture(nil)
+				table, err := lr.Build(g, lr.Options{Method: m})
+				if err != nil {
+					t.Fatalf("Build(%v): %v", m, err)
+				}
+				if raw == nil {
+					t.Fatal("capture hook never ran")
+				}
+				nSyms := g.NumSymbols()
+				if len(raw) != table.NumStates()*nSyms {
+					t.Fatalf("raw has %d cells, want %d", len(raw), table.NumStates()*nSyms)
+				}
+				refNT := referenceNontermActions(g, table.NumStates(), raw)
+				conflicts := 0
+				for state := 0; state < table.NumStates(); state++ {
+					for s := 0; s < nSyms; s++ {
+						sym := grammar.Sym(s)
+						want := raw[state*nSyms+s]
+						got := table.Actions(state, sym)
+						if !equalActions(want, got) {
+							t.Fatalf("cell (%d,%s): dense %v, legacy %v",
+								state, g.Name(sym), got, want)
+						}
+						if len(want) > 1 {
+							conflicts++
+						}
+						// The single-word fast path agrees with the slice
+						// view in count and, when unique, in content.
+						one, n := table.OneAction(state, sym)
+						if n != len(want) {
+							t.Fatalf("OneAction count at (%d,%s): %d vs %d",
+								state, g.Name(sym), n, len(want))
+						}
+						if n == 1 && one != want[0] {
+							t.Fatalf("OneAction at (%d,%s): %v vs %v",
+								state, g.Name(sym), one, want[0])
+						}
+						if !g.IsTerminal(sym) {
+							wantNT := refNT[state*nSyms+s]
+							gotNT := table.NontermActions(state, sym)
+							if !equalActions(wantNT, gotNT) {
+								t.Fatalf("nonterm cell (%d,%s): dense %v, reference %v",
+									state, g.Name(sym), gotNT, wantNT)
+							}
+							oneNT, nNT := table.OneNontermAction(state, sym)
+							if nNT != len(wantNT) || (nNT == 1 && oneNT != wantNT[0]) {
+								t.Fatalf("OneNontermAction mismatch at (%d,%s)", state, g.Name(sym))
+							}
+						}
+					}
+				}
+				if conflicts != len(table.Conflicts()) {
+					t.Fatalf("conflicts: dense %d, legacy %d", len(table.Conflicts()), conflicts)
+				}
+				// TableSize's action count equals the legacy total.
+				wantActs := 0
+				for _, acts := range raw {
+					wantActs += len(acts)
+				}
+				gotActs, _ := table.TableSize()
+				if gotActs != wantActs {
+					t.Fatalf("TableSize actions: dense %d, legacy %d", gotActs, wantActs)
+				}
+			})
+		}
+	}
+}
+
+// Action aliases keep the capture callback signature readable.
+type Action = lr.Action
+
+// referenceNontermActions recomputes the §3.2 nonterminal-reduction
+// precomputation directly from the raw sparse encoding — an independent
+// oracle for the packed ntCells.
+func referenceNontermActions(g *grammar.Grammar, numStates int, raw [][]Action) [][]Action {
+	nSyms := g.NumSymbols()
+	out := make([][]Action, numStates*nSyms)
+	for state := 0; state < numStates; state++ {
+		for _, nt := range g.Nonterminals() {
+			if g.Nullable(nt) {
+				continue
+			}
+			var common []Action
+			ok, firstIter := true, true
+			g.First(nt).ForEach(func(term grammar.Sym) {
+				if !ok {
+					return
+				}
+				acts := raw[state*nSyms+int(term)]
+				if firstIter {
+					common, firstIter = acts, false
+					return
+				}
+				if !equalActions(common, acts) {
+					ok = false
+				}
+			})
+			if ok && !firstIter && len(common) > 0 {
+				out[state*nSyms+int(nt)] = common
+			}
+		}
+	}
+	return out
+}
+
+func equalActions(a, b []Action) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -25,21 +25,24 @@ func (t *Table) Encode(w io.Writer) error {
 	buf = binary.AppendUvarint(buf, uint64(t.numStates))
 	buf = binary.AppendUvarint(buf, uint64(t.nSyms))
 
-	// Actions: sparse cells.
+	// Actions: sparse cells (decoded from the dense encoding; the wire
+	// format is layout-independent).
 	occupied := 0
-	for _, acts := range t.actions {
-		if len(acts) > 0 {
+	for _, cell := range t.actCells {
+		if cell&cellCountMask != 0 {
 			occupied++
 		}
 	}
 	buf = binary.AppendUvarint(buf, uint64(occupied))
-	for idx, acts := range t.actions {
-		if len(acts) == 0 {
+	for idx, cell := range t.actCells {
+		n := cell & cellCountMask
+		if n == 0 {
 			continue
 		}
+		off := cell >> cellOffShift & cellOffMask
 		buf = binary.AppendUvarint(buf, uint64(idx))
-		buf = binary.AppendUvarint(buf, uint64(len(acts)))
-		for _, a := range acts {
+		buf = binary.AppendUvarint(buf, n)
+		for _, a := range t.actSpill[off : off+n] {
 			buf = append(buf, byte(a.Kind))
 			buf = binary.AppendVarint(buf, int64(a.Target))
 		}
@@ -109,14 +112,14 @@ func Decode(data []byte) (*Table, error) {
 	for i := 0; i < occ; i++ {
 		idx := int(d.uvarint())
 		cnt := int(d.uvarint())
-		if idx < 0 || idx >= len(t.actions) {
+		if idx < 0 || idx >= len(tb.actions) {
 			return nil, fmt.Errorf("lr: action index out of range")
 		}
 		acts := make([]Action, cnt)
 		for j := range acts {
 			acts[j] = Action{Kind: Kind(d.byte()), Target: int32(d.varint())}
 		}
-		t.actions[idx] = acts
+		tb.actions[idx] = acts
 	}
 	occ = int(d.uvarint())
 	for i := 0; i < occ; i++ {
@@ -145,20 +148,10 @@ func Decode(data []byte) (*Table, error) {
 		return nil, fmt.Errorf("lr: truncated table: %w", d.err)
 	}
 
-	// Rebuild conflicts and the nonterminal-action precomputation.
-	for state := 0; state < numStates; state++ {
-		for term := 0; term < nSyms; term++ {
-			acts := t.actions[state*nSyms+term]
-			if len(acts) > 1 {
-				t.conflicts = append(t.conflicts, Conflict{
-					State: state, Term: grammar.Sym(term), Actions: acts,
-				})
-				t.conflictState[state] = true
-			}
-		}
-	}
-	tb.precomputeNontermActions()
-	return t, nil
+	// Pack into the dense encoding; seal also rebuilds the conflicts and
+	// the nonterminal-action precomputation. Static filters were applied
+	// before serialization, so no resolve pass runs here.
+	return tb.seal(), nil
 }
 
 type decoder struct {

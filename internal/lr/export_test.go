@@ -1,0 +1,6 @@
+package lr
+
+// SetTestRawCapture installs (or, with nil, removes) the hook that receives
+// the legacy sparse action encoding just before it is packed into the dense
+// layout. Only the differential test uses it.
+func SetTestRawCapture(f func([][]Action)) { testRawCapture = f }

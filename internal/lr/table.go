@@ -96,15 +96,54 @@ type Options struct {
 	PreferEarlierRule bool
 }
 
-// Table is an LR parse table with possibly multiply-defined entries.
+// Dense cell encoding. Each (state, symbol) action cell is a single 64-bit
+// word:
+//
+//	bits  0..7   count — number of actions in the cell (0 = empty)
+//	bits  8..39  offset — index of the cell's first action in the
+//	             row-major spill array actSpill
+//	bits 40..41  kind   — inline copy of the action (valid iff count == 1)
+//	bits 42..63  target
+//
+// The spill array holds every cell's actions contiguously in row order, so
+// Actions is a subslice (no per-lookup allocation), while the deterministic
+// fast path (count == 1, the overwhelmingly common case) decodes the action
+// from the cell word alone without touching a second cache line.
+const (
+	cellCountBits = 8
+	cellOffBits   = 32
+	cellOffShift  = cellCountBits
+	cellKindShift = cellCountBits + cellOffBits
+	cellTargShift = cellKindShift + 2
+
+	cellCountMask = 1<<cellCountBits - 1
+	cellOffMask   = 1<<cellOffBits - 1
+)
+
+func packCell(off, count int, inline Action) uint64 {
+	cell := uint64(count)&cellCountMask | uint64(off)<<cellOffShift
+	if count == 1 {
+		cell |= uint64(inline.Kind)<<cellKindShift | uint64(inline.Target)<<cellTargShift
+	}
+	return cell
+}
+
+func cellInline(cell uint64) Action {
+	return Action{Kind: Kind(cell >> cellKindShift & 0x3), Target: int32(cell >> cellTargShift)}
+}
+
+// Table is an LR parse table with possibly multiply-defined entries, stored
+// in the dense packed encoding described above.
 type Table struct {
 	g         *grammar.Grammar
 	method    Method
 	numStates int
 	nSyms     int
 
-	// actions[state*nSyms+term]: nil, or 1+ actions.
-	actions [][]Action
+	// actCells[state*nSyms+term] is the packed action cell.
+	actCells []uint64
+	// actSpill holds all actions, contiguous in (state, term) row order.
+	actSpill []Action
 	// gotos[state*nSyms+sym]: successor state or -1. Defined for both
 	// nonterminals (GOTO) and terminals (shift target, duplicated for
 	// convenience of subtree shifting).
@@ -113,10 +152,11 @@ type Table struct {
 	conflicts   []Conflict
 	resolutions []Resolution
 
-	// ntReduce caches the paper's precomputed nonterminal reductions
-	// (§3.2): ntReduce[state*nSyms+nonterm] is the unique action valid for
-	// every terminal in FIRST(nonterm), or nil.
-	ntReduce [][]Action
+	// ntCells caches the paper's precomputed nonterminal reductions (§3.2)
+	// in the same packed encoding: ntCells[state*nSyms+nonterm] is the cell
+	// of a terminal in FIRST(nonterm) when every such terminal agrees on
+	// the same actions, or 0 when the structure must be traversed instead.
+	ntCells []uint64
 	// conflictState[state] reports whether any cell of the state is
 	// multiply defined (used to track the non-deterministic state
 	// equivalence class during incremental parsing).
@@ -157,9 +197,25 @@ func (t *Table) NumStates() int { return t.numStates }
 func (t *Table) StartState() int { return 0 }
 
 // Actions returns the parse actions for (state, terminal). Multiple actions
-// indicate a conflict (GLR fork point). The returned slice is shared.
+// indicate a conflict (GLR fork point). The returned slice aliases the
+// table's spill storage and must not be modified.
 func (t *Table) Actions(state int, term grammar.Sym) []Action {
-	return t.actions[state*t.nSyms+int(term)]
+	cell := t.actCells[state*t.nSyms+int(term)]
+	n := cell & cellCountMask
+	if n == 0 {
+		return nil
+	}
+	off := cell >> cellOffShift & cellOffMask
+	return t.actSpill[off : off+n]
+}
+
+// OneAction is the deterministic fast path: it decodes the (state, term)
+// cell in a single word, returning its action count and — when the count is
+// exactly 1 — the action itself. Callers fall back to Actions for
+// multiply-defined cells.
+func (t *Table) OneAction(state int, term grammar.Sym) (Action, int) {
+	cell := t.actCells[state*t.nSyms+int(term)]
+	return cellInline(cell), int(cell & cellCountMask)
 }
 
 // Goto returns the successor state on symbol s (terminal or nonterminal),
@@ -186,23 +242,44 @@ func (t *Table) HasConflict(state int) bool { return t.conflictState[state] }
 // in FIRST(nt) yields the same action in this state and nt does not derive
 // ε. Returns nil when the structure must be traversed instead.
 func (t *Table) NontermActions(state int, nt grammar.Sym) []Action {
-	return t.ntReduce[state*t.nSyms+int(nt)]
+	cell := t.ntCells[state*t.nSyms+int(nt)]
+	n := cell & cellCountMask
+	if n == 0 {
+		return nil
+	}
+	off := cell >> cellOffShift & cellOffMask
+	return t.actSpill[off : off+n]
 }
 
-// TableSize returns the number of occupied action and goto cells, a proxy
-// for the table-size comparisons in the paper (LALR vs LR(1)).
+// OneNontermAction is the single-word fast path over NontermActions,
+// mirroring OneAction.
+func (t *Table) OneNontermAction(state int, nt grammar.Sym) (Action, int) {
+	cell := t.ntCells[state*t.nSyms+int(nt)]
+	return cellInline(cell), int(cell & cellCountMask)
+}
+
+// TableSize returns the number of occupied action and goto cells of the
+// dense encoding: actionCells is the spill length (every stored action,
+// conflicts included — exactly what ships in memory), gotoCells the number
+// of defined goto entries.
 func (t *Table) TableSize() (actionCells, gotoCells int) {
-	for _, a := range t.actions {
-		if len(a) > 0 {
-			actionCells += len(a)
-		}
-	}
+	actionCells = len(t.actSpill)
 	for _, gt := range t.gotos {
 		if gt >= 0 {
 			gotoCells++
 		}
 	}
 	return
+}
+
+// Footprint returns the dense encoding's resident size in bytes: packed
+// action cells, spill storage, goto array, and the nonterminal-reduction
+// cache. This is the number the §3.3 table-size ablation should compare,
+// since it is what a loaded language actually costs.
+func (t *Table) Footprint() int {
+	const actionBytes = 8 // struct{uint8; int32} rounds to 8
+	return len(t.actCells)*8 + len(t.actSpill)*actionBytes +
+		len(t.gotos)*4 + len(t.ntCells)*8 + len(t.conflictState)
 }
 
 // String renders a compact summary.
@@ -226,12 +303,21 @@ func (t *Table) DescribeConflicts() string {
 	return b.String()
 }
 
-// tableBuilder accumulates actions during construction.
+// testRawCapture, when non-nil, receives the sparse pre-pack encoding at
+// seal time. The differential test uses it to prove the dense encoding is
+// cell-for-cell identical to the legacy layout.
+var testRawCapture func(raw [][]Action)
+
+// tableBuilder accumulates actions during construction in the legacy
+// sparse encoding (a slice per cell); seal packs it into the dense form.
 type tableBuilder struct {
 	g     *grammar.Grammar
 	nSyms int
 	t     *Table
 	opts  Options
+
+	// actions[state*nSyms+term]: nil, or 1+ actions (pre-pack).
+	actions [][]Action
 }
 
 func newTableBuilder(g *grammar.Grammar, numStates int, method Method, opts Options) *tableBuilder {
@@ -241,15 +327,16 @@ func newTableBuilder(g *grammar.Grammar, numStates int, method Method, opts Opti
 		method:        method,
 		numStates:     numStates,
 		nSyms:         n,
-		actions:       make([][]Action, numStates*n),
 		gotos:         make([]int32, numStates*n),
-		ntReduce:      make([][]Action, numStates*n),
 		conflictState: make([]bool, numStates),
 	}
 	for i := range t.gotos {
 		t.gotos[i] = -1
 	}
-	return &tableBuilder{g: g, nSyms: n, t: t, opts: opts}
+	return &tableBuilder{
+		g: g, nSyms: n, t: t, opts: opts,
+		actions: make([][]Action, numStates*n),
+	}
 }
 
 func (tb *tableBuilder) setGoto(state int, s grammar.Sym, to int) {
@@ -258,39 +345,66 @@ func (tb *tableBuilder) setGoto(state int, s grammar.Sym, to int) {
 
 func (tb *tableBuilder) addAction(state int, term grammar.Sym, a Action) {
 	idx := state*tb.nSyms + int(term)
-	for _, old := range tb.t.actions[idx] {
+	for _, old := range tb.actions[idx] {
 		if old == a {
 			return
 		}
 	}
-	tb.t.actions[idx] = append(tb.t.actions[idx], a)
+	tb.actions[idx] = append(tb.actions[idx], a)
 }
 
-// finish applies static filters, collects conflicts, and precomputes
-// nonterminal reductions.
+// finish applies static filters, then packs and finalizes the table.
 func (tb *tableBuilder) finish() *Table {
-	t := tb.t
 	g := tb.g
-	for state := 0; state < t.numStates; state++ {
+	for state := 0; state < tb.t.numStates; state++ {
 		for term := 0; term < tb.nSyms; term++ {
 			if !g.IsTerminal(grammar.Sym(term)) {
 				continue
 			}
 			idx := state*tb.nSyms + term
-			acts := t.actions[idx]
-			if len(acts) <= 1 {
+			if acts := tb.actions[idx]; len(acts) > 1 {
+				tb.actions[idx] = tb.resolve(state, grammar.Sym(term), acts)
+			}
+		}
+	}
+	return tb.seal()
+}
+
+// seal packs the sparse action encoding into the dense cell/spill layout,
+// collects the surviving conflicts, and precomputes the nonterminal
+// reductions. Decode calls it directly (its filters were applied before
+// serialization).
+func (tb *tableBuilder) seal() *Table {
+	if testRawCapture != nil {
+		testRawCapture(tb.actions)
+	}
+	t := tb.t
+	total := 0
+	for _, acts := range tb.actions {
+		total += len(acts)
+	}
+	t.actCells = make([]uint64, t.numStates*tb.nSyms)
+	t.actSpill = make([]Action, 0, total)
+	for state := 0; state < t.numStates; state++ {
+		row := state * tb.nSyms
+		for sym := 0; sym < tb.nSyms; sym++ {
+			acts := tb.actions[row+sym]
+			if len(acts) == 0 {
 				continue
 			}
-			acts = tb.resolve(state, grammar.Sym(term), acts)
-			t.actions[idx] = acts
+			off := len(t.actSpill)
+			t.actSpill = append(t.actSpill, acts...)
+			t.actCells[row+sym] = packCell(off, len(acts), acts[0])
 			if len(acts) > 1 {
 				t.conflicts = append(t.conflicts, Conflict{
-					State: state, Term: grammar.Sym(term), Actions: acts,
+					State: state, Term: grammar.Sym(sym),
+					Actions: t.actSpill[off : off+len(acts)],
 				})
 				t.conflictState[state] = true
 			}
 		}
 	}
+	tb.actions = nil
 	tb.precomputeNontermActions()
 	return t
 }
@@ -418,17 +532,23 @@ func (tb *tableBuilder) resolve(state int, term grammar.Sym, acts []Action) []Ac
 	return acts
 }
 
-// precomputeNontermActions fills ntReduce per the paper's optimization.
+// precomputeNontermActions fills ntCells per the paper's optimization: when
+// every terminal in FIRST(nt) has the identical cell in a state, that cell
+// word (offset, count, inline action) is copied verbatim — the nonterminal
+// lookup then shares the spill storage of its witnessing terminal.
 func (tb *tableBuilder) precomputeNontermActions() {
 	t := tb.t
 	g := tb.g
+	t.ntCells = make([]uint64, t.numStates*tb.nSyms)
 	for state := 0; state < t.numStates; state++ {
+		row := state * tb.nSyms
 		for _, nt := range g.Nonterminals() {
 			if g.Nullable(nt) {
 				continue // ε-deriving nonterminals are excluded (§3.2)
 			}
 			first := g.First(nt)
 			var common []Action
+			var commonCell uint64
 			ok := true
 			firstIter := true
 			first.ForEach(func(term grammar.Sym) {
@@ -438,6 +558,7 @@ func (tb *tableBuilder) precomputeNontermActions() {
 				acts := t.Actions(state, term)
 				if firstIter {
 					common = acts
+					commonCell = t.actCells[row+int(term)]
 					firstIter = false
 					return
 				}
@@ -446,7 +567,7 @@ func (tb *tableBuilder) precomputeNontermActions() {
 				}
 			})
 			if ok && !firstIter && len(common) > 0 {
-				t.ntReduce[state*tb.nSyms+int(nt)] = common
+				t.ntCells[row+int(nt)] = commonCell
 			}
 		}
 	}
