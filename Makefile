@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench paperbench
+.PHONY: all build test race vet check fuzz-smoke bench paperbench
 
 all: check
 
@@ -17,8 +17,15 @@ race:
 	$(GO) test -race ./...
 
 # The CI gate: static analysis plus the full suite under the race
-# detector (includes the concurrent-session stress tests).
+# detector (includes the concurrent-session stress tests, the budget
+# suites, and the fault-injection convergence suite).
 check: vet race
+
+# Short coverage-guided runs of the fuzz targets: the batch-vs-incremental
+# parse oracle and the recovery convergence invariant.
+fuzz-smoke:
+	$(GO) test -run FuzzParseOracle -fuzz FuzzParseOracle -fuzztime 30s ./internal/earley/
+	$(GO) test -run FuzzRecoveryConverges -fuzz FuzzRecoveryConverges -fuzztime 30s ./internal/recovery/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

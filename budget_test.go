@@ -1,0 +1,242 @@
+package incremental_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	incremental "iglr"
+)
+
+// pathologicalExpr returns the committed fixture: a 60-term expression
+// over the raw ambiguous grammar, whose full forest is astronomically
+// large (Catalan growth in the number of operators).
+func pathologicalExpr(t *testing.T) string {
+	t.Helper()
+	b, err := os.ReadFile("testdata/pathological_expr.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimSpace(string(b))
+}
+
+// The headline degradation test: with an alternatives budget, the
+// pathological input completes, the dag is marked BudgetPruned, and the
+// forest collapses to a bounded parse count.
+func TestPathologicalInputCompletesUnderAlternativesBudget(t *testing.T) {
+	lang := incremental.AmbiguousExprLanguage()
+	src := pathologicalExpr(t)
+
+	s := incremental.NewSession(lang, src,
+		incremental.WithBudget(incremental.Budget{MaxAlternatives: 2}))
+	root, err := s.Parse()
+	if err != nil {
+		t.Fatalf("budgeted parse of the pathological fixture failed: %v", err)
+	}
+	if s.Stats().BudgetPruned == 0 {
+		t.Fatal("the fixture must force ambiguity pruning")
+	}
+	ds := incremental.Measure(root)
+	if ds.BudgetPruned == 0 {
+		t.Fatal("pruned choice nodes must be marked BudgetPruned in the dag")
+	}
+	if ds.MaxAlternatives > 2 {
+		t.Fatalf("widest choice node has %d alternatives, budget was 2", ds.MaxAlternatives)
+	}
+	// Pruning bounds the per-region fan-out, which collapses the forest
+	// from the saturated cap (the unbudgeted count overflows 2^30) to
+	// something enumerable.
+	if got := incremental.CountParses(root); got >= 1<<30 {
+		t.Fatalf("parse count %d not reduced by the budget", got)
+	}
+	if root.Yield() != src {
+		t.Fatal("degraded tree must still yield the full input")
+	}
+
+	// The same input under MaxAlternatives=1 embeds a single parse.
+	s1 := incremental.NewSession(lang, src,
+		incremental.WithBudget(incremental.Budget{MaxAlternatives: 1}))
+	root1, err := s1.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := incremental.CountParses(root1); got != 1 {
+		t.Fatalf("MaxAlternatives=1 should leave exactly one parse, got %d", got)
+	}
+}
+
+func TestGSSBudgetAbortsPathologicalInput(t *testing.T) {
+	lang := incremental.AmbiguousExprLanguage()
+	src := pathologicalExpr(t)
+
+	for _, tc := range []struct {
+		name   string
+		budget incremental.Budget
+	}{
+		{"nodes", incremental.Budget{MaxGSSNodes: 16}},
+		{"links", incremental.Budget{MaxGSSLinks: 16}},
+		{"arena", incremental.Budget{MaxArenaNodes: 8}},
+		{"deadline", incremental.Budget{MaxDuration: time.Nanosecond}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := incremental.NewSession(lang, src, incremental.WithBudget(tc.budget))
+			_, err := s.Parse()
+			if err == nil {
+				t.Fatal("tiny budget must abort the pathological parse")
+			}
+			var be *incremental.BudgetError
+			if !errors.As(err, &be) {
+				t.Fatalf("err = %v (%T), want *BudgetError", err, err)
+			}
+			if !errors.Is(err, incremental.ErrBudget) {
+				t.Fatal("budget errors must match ErrBudget")
+			}
+			if s.Tree() != nil {
+				t.Fatal("an aborted first parse must not commit a tree")
+			}
+		})
+	}
+}
+
+// An aborted reparse must leave the previously committed tree (and the
+// ability to retry) intact: budgets bound work, they do not corrupt state.
+func TestBudgetAbortLeavesCommittedTreeIntact(t *testing.T) {
+	lang := incremental.AmbiguousExprLanguage()
+	s := incremental.NewSession(lang, "1+2")
+	root, err := s.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Grow the document into the pathological shape, under a budget too
+	// small for it.
+	s.SetBudget(incremental.Budget{MaxGSSLinks: 16})
+	src := pathologicalExpr(t)
+	s.Edit(s.Len(), 0, "+"+src)
+	if _, err := s.Parse(); !errors.Is(err, incremental.ErrBudget) {
+		t.Fatalf("err = %v, want a budget trip", err)
+	}
+	if s.Tree() != root {
+		t.Fatal("failed reparse must keep the last committed tree")
+	}
+
+	// Lifting the budget makes the same pending edit parse fine.
+	s.SetBudget(incremental.Budget{})
+	root2, err := s.Parse()
+	if err != nil {
+		t.Fatalf("retry without budget failed: %v", err)
+	}
+	if root2.Yield() != "1+2+"+src {
+		t.Fatal("retried parse must incorporate the pending edit")
+	}
+}
+
+func TestDeterministicParserHonorsBudget(t *testing.T) {
+	lang := incremental.ExprLanguage()
+	src := strings.Repeat("1+", 400) + "1"
+
+	s := incremental.NewSession(lang, src,
+		incremental.WithBudget(incremental.Budget{MaxArenaNodes: 4}))
+	if err := s.UseDeterministic(); err != nil {
+		t.Fatal(err)
+	}
+	var be *incremental.BudgetError
+	if _, err := s.Parse(); !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BudgetError", err)
+	}
+
+	s.SetBudget(incremental.Budget{MaxDuration: time.Nanosecond})
+	if _, err := s.Parse(); !errors.Is(err, incremental.ErrBudget) {
+		t.Fatalf("err = %v, want a deadline trip", err)
+	}
+
+	s.SetBudget(incremental.Budget{})
+	if _, err := s.Parse(); err != nil {
+		t.Fatalf("unbudgeted parse failed: %v", err)
+	}
+}
+
+// Ample budgets must be invisible: same tree, same stats, no prunes.
+func TestAmpleBudgetDoesNotChangeResults(t *testing.T) {
+	lang := incremental.AmbiguousExprLanguage()
+	src := "1+2*3-4"
+
+	plain := incremental.NewSession(lang, src)
+	want, err := plain.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted := incremental.NewSession(lang, src, incremental.WithBudget(incremental.Budget{
+		MaxGSSNodes: 1 << 20, MaxGSSLinks: 1 << 20, MaxArenaNodes: 1 << 20,
+		MaxAlternatives: 64, MaxDuration: time.Minute,
+	}))
+	got, err := budgeted.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budgeted.Stats().BudgetPruned != 0 {
+		t.Fatal("ample budget must not prune")
+	}
+	if incremental.FormatDag(lang, got) != incremental.FormatDag(lang, want) {
+		t.Fatal("ample budget changed the parse result")
+	}
+}
+
+// Cancellation latency: even mid-round — deep in the reducer worklist of a
+// pathologically ambiguous region — the parser notices a dead context.
+func TestCancellationLatencyInsidePathologicalRound(t *testing.T) {
+	lang := incremental.AmbiguousExprLanguage()
+	// Much larger than the fixture so one parse takes long enough to
+	// observe a mid-flight deadline.
+	src := strings.Repeat(pathologicalExpr(t)+"+", 8) + "1"
+	s := incremental.NewSession(lang, src,
+		incremental.WithBudget(incremental.Budget{MaxDuration: 2 * time.Millisecond}))
+
+	start := time.Now()
+	_, err := s.Parse()
+	elapsed := time.Since(start)
+	if !errors.Is(err, incremental.ErrBudget) {
+		t.Fatalf("err = %v, want a deadline trip", err)
+	}
+	// The worklist poll (checkEvery=64 steps) must notice the deadline
+	// long before the parse would finish; allow generous scheduler slack.
+	if elapsed > 2*time.Second {
+		t.Fatalf("deadline noticed only after %v", elapsed)
+	}
+	if s.Tree() != nil {
+		t.Fatal("cancelled parse must not commit")
+	}
+}
+
+// The same latency bound for external cancellation: a context deadline is
+// noticed inside the reducer's worklist loop, so one token with massive
+// local ambiguity cannot stall cancellation until the next round.
+func TestContextDeadlineInsidePathologicalRound(t *testing.T) {
+	lang := incremental.AmbiguousExprLanguage()
+	src := strings.Repeat(pathologicalExpr(t)+"+", 8) + "1"
+	s := incremental.NewSession(lang, src)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := s.ParseContext(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancellation noticed only after %v", elapsed)
+	}
+	if s.Tree() != nil {
+		t.Fatal("cancelled parse must not commit")
+	}
+	// The session is reusable: shrink the document to something tractable
+	// and an un-cancelled retry succeeds.
+	s.Edit(0, s.Len()-1, "")
+	if _, err := s.ParseContext(context.Background()); err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+}

@@ -5,9 +5,13 @@
 // Usage:
 //
 //	paperbench [-exp all|table1|figure4|figure7|section5|asymptotics|staging|parallel] [-scale 1.0]
-//	           [-cpuprofile cpu.out] [-memprofile mem.out]
+//	           [-budget] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -scale shrinks the Table 1 / Figure 4 program sizes for quick runs.
+// -budget runs the resource-governance sweep instead: a corpus salted
+// with pathologically ambiguous files is driven through the engine under
+// per-file budgets of decreasing strictness, reporting budget trips,
+// degraded (pruned) completions, and failures at each level.
 // -cpuprofile and -memprofile write pprof profiles covering the selected
 // experiments (the memory profile is a heap snapshot taken after they
 // finish), for inspecting the hot path outside the go test harness.
@@ -32,6 +36,7 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment: all, table1, figure4, figure7, section5, asymptotics, staging, earley, ablation, parallel")
 	scale := flag.Float64("scale", 1.0, "scale factor for program sizes")
+	budget := flag.Bool("budget", false, "run the resource-budget sweep (trips/degradations under per-file policies)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -63,6 +68,14 @@ func main() {
 				os.Exit(1)
 			}
 		}()
+	}
+
+	if *budget {
+		if err := runBudget(*scale); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: -budget: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	run := func(name string, f func() error) {
@@ -198,6 +211,75 @@ func main() {
 		fmt.Println("dynamic-only filtering pays quadratic space per expression before filtering.")
 		return nil
 	})
+}
+
+// runBudget drives a corpus salted with pathologically ambiguous files
+// through the engine under per-file budgets of decreasing strictness. Each
+// row reports how the fleet fared: outright failures, files completed at
+// reduced fidelity by the degraded retry (ambiguity pruned to the
+// statically preferred reading), and the number of budget trips absorbed.
+func runBudget(scale float64) error {
+	lang := incremental.AmbiguousExprLanguage()
+
+	// Healthy files: short expressions. Hostile files: long undisambiguated
+	// operator chains whose forests grow like Catalan numbers.
+	var inputs []engine.Input
+	healthy, hostile := 24, 8
+	if scale < 1 {
+		healthy, hostile = 12, 4
+	}
+	for i := 0; i < healthy; i++ {
+		inputs = append(inputs, engine.Input{
+			Name: fmt.Sprintf("ok%d.expr", i), Source: mkExpr(6 + i%4),
+		})
+	}
+	for i := 0; i < hostile; i++ {
+		inputs = append(inputs, engine.Input{
+			Name: fmt.Sprintf("hostile%d.expr", i), Source: mkExpr(40 + 10*i),
+		})
+	}
+
+	degraded := incremental.Budget{MaxAlternatives: 2}
+	w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "gss-link budget\tfailed\tdegraded\ttrips\twall")
+	for _, links := range []int{64, 256, 1024, 8192, 0} {
+		batch, err := engine.ParseAll(context.Background(), lang, inputs,
+			engine.WithPolicy(engine.Policy{
+				Budget:         incremental.Budget{MaxGSSLinks: links},
+				Retries:        1,
+				DegradedBudget: &degraded,
+			}))
+		if err != nil {
+			return err
+		}
+		a := batch.Aggregate
+		limit := "unlimited"
+		if links > 0 {
+			limit = fmt.Sprint(links)
+		}
+		fmt.Fprintf(w, "%s\t%d/%d\t%d\t%d\t%v\n",
+			limit, a.Failed, a.Files, a.Degraded, a.BudgetTrips, a.Wall.Round(time.Millisecond))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("degraded files completed under MaxAlternatives=2 after the strict-budget attempt tripped;")
+	fmt.Println("their dags are marked BudgetPruned where the forest was cut (see DESIGN.md, failure model).")
+	return nil
+}
+
+// mkExpr builds an n-term expression over cycling operators with no
+// precedence information — every operator is a fork for the raw grammar.
+func mkExpr(n int) string {
+	ops := []byte{'+', '*', '-', '/'}
+	buf := make([]byte, 0, 2*n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			buf = append(buf, ops[i%len(ops)])
+		}
+		buf = append(buf, byte('1'+i%9))
+	}
+	return string(buf)
 }
 
 // runParallel sweeps the engine's worker count over the (scaled) Table 1

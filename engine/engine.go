@@ -15,6 +15,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -50,9 +51,20 @@ type Result struct {
 	// Semantics reports the §4.2 resolution pass (AnalyzeAll over a
 	// language with a semantics configuration).
 	Semantics incremental.SemanticsResult
-	// Bytes is len(Source); Duration is this file's wall time.
+	// Bytes is len(Source); Duration is this file's wall time (summed
+	// over attempts, excluding backoff sleeps).
 	Bytes    int
 	Duration time.Duration
+	// Attempts is how many times the file was tried (1 unless a Policy
+	// with Retries was set and an attempt failed retryably).
+	Attempts int
+	// Degraded reports that the result was produced under reduced
+	// fidelity: the parse ran with the policy's DegradedBudget, and/or
+	// the dag had ambiguous regions pruned by the alternatives budget.
+	Degraded bool
+	// BudgetTrips counts attempts of this file that ended in a
+	// *incremental.BudgetError.
+	BudgetTrips int
 }
 
 // PanicError is a panic recovered while analyzing one input.
@@ -80,6 +92,10 @@ type Aggregate struct {
 	Dag incremental.DagStats
 	// Semantics sums the per-file resolution results (AnalyzeAll only).
 	Semantics incremental.SemanticsResult
+	// Degraded counts files whose result was produced at reduced
+	// fidelity (see Result.Degraded); BudgetTrips sums the budget
+	// errors hit across all attempts of all files.
+	Degraded, BudgetTrips int
 	// Wall is the batch wall time, including worker startup.
 	Wall time.Duration
 }
@@ -97,12 +113,43 @@ type Option func(*config)
 type config struct {
 	workers int
 	analyze bool
+	policy  Policy
 }
 
 // WithWorkers bounds the worker pool (default runtime.GOMAXPROCS(0);
 // values < 1 select the default).
 func WithWorkers(n int) Option {
 	return func(c *config) { c.workers = n }
+}
+
+// Policy governs per-file resource use and failure handling. The zero
+// Policy is the permissive default: no budget, no timeout, one attempt.
+type Policy struct {
+	// Budget bounds every parse attempt's resources (see
+	// incremental.Budget; the zero value is unlimited).
+	Budget incremental.Budget
+	// FileTimeout bounds each attempt's wall time via a per-file context
+	// deadline (0 = none). It composes with Budget.MaxDuration: the
+	// timeout covers the whole attempt, the budget just the parse.
+	FileTimeout time.Duration
+	// Retries is how many extra attempts a file gets after a retryable
+	// failure — a budget trip, a FileTimeout expiry, or a recovered
+	// panic. Batch-context cancellation is never retried.
+	Retries int
+	// Backoff is slept between attempts (cancellable by the batch
+	// context).
+	Backoff time.Duration
+	// DegradedBudget, when non-nil, replaces Budget on retry attempts.
+	// The intended shape trades fidelity for completion — e.g. a small
+	// MaxAlternatives so ambiguous regions are pruned to their preferred
+	// interpretation instead of exhausting the forest budget. Results
+	// produced under it are marked Degraded.
+	DegradedBudget *incremental.Budget
+}
+
+// WithPolicy sets the batch's per-file policy.
+func WithPolicy(p Policy) Option {
+	return func(c *config) { c.policy = p }
 }
 
 // ParseAll parses every input over the shared language with a bounded
@@ -144,7 +191,7 @@ func run(ctx context.Context, lang *incremental.Language, inputs []Input, analyz
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = analyzeOne(ctx, lang, inputs[i], i, cfg.analyze)
+				results[i] = analyzeOne(ctx, lang, inputs[i], i, &cfg)
 			}
 		}()
 	}
@@ -173,9 +220,63 @@ feed:
 	return b, ctx.Err()
 }
 
-// analyzeOne runs the pipeline for one input, converting panics into a
-// *PanicError so a poisoned file cannot take down the batch.
-func analyzeOne(ctx context.Context, lang *incremental.Language, in Input, idx int, analyze bool) (res Result) {
+// analyzeOne runs the pipeline for one input under the batch policy:
+// each attempt is panic-isolated, retryable failures (budget trips,
+// per-file timeouts, recovered panics) are retried up to Retries times —
+// under DegradedBudget when one is configured — and batch cancellation
+// stops the attempt loop immediately.
+func analyzeOne(ctx context.Context, lang *incremental.Language, in Input, idx int, cfg *config) Result {
+	var (
+		res      Result
+		trips    int
+		duration time.Duration
+	)
+	for attempt := 0; ; attempt++ {
+		budget, degraded := cfg.policy.Budget, false
+		if attempt > 0 && cfg.policy.DegradedBudget != nil {
+			budget, degraded = *cfg.policy.DegradedBudget, true
+		}
+		res = attemptOne(ctx, lang, in, idx, cfg.analyze, budget, cfg.policy.FileTimeout)
+		res.Attempts = attempt + 1
+		res.Degraded = res.Degraded || degraded
+		duration += res.Duration
+		if errors.Is(res.Err, incremental.ErrBudget) {
+			trips++
+		}
+		if res.Err == nil || attempt >= cfg.policy.Retries ||
+			ctx.Err() != nil || !retryable(res.Err) {
+			break
+		}
+		if cfg.policy.Backoff > 0 {
+			t := time.NewTimer(cfg.policy.Backoff)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+			}
+		}
+	}
+	res.Duration = duration
+	res.BudgetTrips = trips
+	return res
+}
+
+// retryable reports whether a failed attempt is worth repeating: resource
+// exhaustion (budget, per-file deadline) and recovered panics are; syntax
+// errors and batch cancellation are not.
+func retryable(err error) bool {
+	if errors.Is(err, incremental.ErrBudget) || errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var pe *PanicError
+	return errors.As(err, &pe)
+}
+
+// attemptOne runs the pipeline once for one input, converting panics into
+// a *PanicError so a poisoned file cannot take down the batch (or its own
+// later attempts).
+func attemptOne(ctx context.Context, lang *incremental.Language, in Input, idx int,
+	analyze bool, budget incremental.Budget, timeout time.Duration) (res Result) {
 	res = Result{Name: in.Name, Index: idx, Bytes: len(in.Source)}
 	start := time.Now()
 	defer func() {
@@ -189,10 +290,16 @@ func analyzeOne(ctx context.Context, lang *incremental.Language, in Input, idx i
 			}
 		}
 	}()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 
-	s := incremental.NewSession(lang, in.Source)
+	s := incremental.NewSession(lang, in.Source, incremental.WithBudget(budget))
 	root, err := s.ParseContext(ctx)
 	res.Stats = s.Stats()
+	res.Degraded = res.Stats.BudgetPruned > 0
 	if err != nil {
 		res.Err = err
 		return res
@@ -210,9 +317,13 @@ func aggregate(results []Result) Aggregate {
 	a.Files = len(results)
 	for i := range results {
 		r := &results[i]
+		a.BudgetTrips += r.BudgetTrips
 		if r.Err != nil {
 			a.Failed++
 			continue
+		}
+		if r.Degraded {
+			a.Degraded++
 		}
 		a.Bytes += int64(r.Bytes)
 		addStats(&a.Stats, r.Stats)
@@ -235,6 +346,7 @@ func addStats(dst *incremental.ParseStats, s incremental.ParseStats) {
 	dst.Splits += s.Splits
 	dst.Rounds += s.Rounds
 	dst.RetainedNodes += s.RetainedNodes
+	dst.BudgetPruned += s.BudgetPruned
 	if s.MaxActiveParsers > dst.MaxActiveParsers {
 		dst.MaxActiveParsers = s.MaxActiveParsers
 	}
@@ -246,6 +358,7 @@ func addDag(dst *incremental.DagStats, s incremental.DagStats) {
 	dst.ChoiceNodes += s.ChoiceNodes
 	dst.AmbiguousRegions += s.AmbiguousRegions
 	dst.Terminals += s.Terminals
+	dst.BudgetPruned += s.BudgetPruned
 	if s.MaxAlternatives > dst.MaxAlternatives {
 		dst.MaxAlternatives = s.MaxAlternatives
 	}

@@ -29,6 +29,7 @@ import (
 	"iglr/internal/disambig"
 	"iglr/internal/document"
 	"iglr/internal/grammar"
+	"iglr/internal/guard"
 	"iglr/internal/iglr"
 	"iglr/internal/langs"
 	"iglr/internal/langs/cppsub"
@@ -80,7 +81,21 @@ type (
 	AppliedEdit = document.AppliedEdit
 	// TableMethod selects the LR table construction algorithm.
 	TableMethod = lr.Method
+	// Budget bounds the resources a single parse may consume (GSS nodes
+	// and links, dag arena nodes, interpretations per ambiguous region,
+	// wall-clock time). The zero value is unlimited. Configure it per
+	// session with WithBudget; see DESIGN.md, "Failure model & resource
+	// budgets".
+	Budget = guard.Budget
+	// BudgetError reports the resource whose budget a parse exceeded. The
+	// failed parse leaves the session's committed tree intact. Every
+	// BudgetError matches ErrBudget via errors.Is.
+	BudgetError = guard.BudgetError
 )
+
+// ErrBudget is matched by every *BudgetError via errors.Is, for callers
+// who only care that a resource budget tripped, not which one.
+var ErrBudget = guard.ErrBudget
 
 // Table construction methods.
 const (
@@ -258,16 +273,46 @@ type Session struct {
 	det      *detparse.Parser // non-nil when UseDeterministic succeeded
 	resolver *semantics.Resolver
 	stats    ParseStats // snapshot of the most recent IGLR parse
+	budget   Budget
+}
+
+// SessionOption configures a Session at creation time.
+type SessionOption func(*Session)
+
+// WithBudget bounds every parse the session runs (see Budget). A tripped
+// budget aborts that parse with a *BudgetError — except the ambiguity
+// budget, which degrades: the region is pruned to its statically preferred
+// interpretation and the parse continues (BudgetPruned in Stats counts
+// prunes; DagStats.BudgetPruned locates them).
+func WithBudget(b Budget) SessionOption {
+	return func(s *Session) { s.SetBudget(b) }
 }
 
 // NewSession creates an editing session over source.
-func NewSession(lang *Language, source string) *Session {
-	return &Session{
+func NewSession(lang *Language, source string, opts ...SessionOption) *Session {
+	s := &Session{
 		lang:   lang,
 		doc:    lang.def.NewDocument(source),
 		parser: iglr.New(lang.def.Table),
 	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
+
+// SetBudget replaces the session's resource budget. It applies from the
+// next parse; the zero Budget removes all limits.
+func (s *Session) SetBudget(b Budget) {
+	s.budget = b
+	s.parser.Budget = b
+	if s.det != nil {
+		s.det.Budget = b
+	}
+}
+
+// BudgetLimits returns the session's current resource budget.
+func (s *Session) BudgetLimits() Budget { return s.budget }
 
 // UseDeterministic switches the session to the deterministic incremental
 // parser (§3.2 baseline). It fails if the language's table has conflicts.
@@ -276,6 +321,7 @@ func (s *Session) UseDeterministic() error {
 	if err != nil {
 		return err
 	}
+	p.Budget = s.budget
 	s.det = p
 	return nil
 }

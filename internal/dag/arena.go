@@ -1,6 +1,10 @@
 package dag
 
-import "iglr/internal/grammar"
+import (
+	"iglr/internal/faultinject"
+	"iglr/internal/grammar"
+	"iglr/internal/guard"
+)
 
 // Arena is the per-document node allocator. Nodes are bump-allocated from
 // chunks, which batches what used to be one heap allocation per node into
@@ -18,6 +22,11 @@ import "iglr/internal/grammar"
 type Arena struct {
 	cur []Node
 	n   int32
+	// limit, when positive, is the exclusive allocation cap: alloc panics
+	// with a *guard.BudgetError once n reaches it. The parsers arm it for
+	// the duration of one parse (start count + budget) and disarm it on
+	// exit, so document maintenance outside a parse is never capped.
+	limit int32
 }
 
 // arenaChunk is the nodes-per-chunk batch size: large enough to amortize
@@ -32,7 +41,23 @@ func NewArena() *Arena { return &Arena{} }
 // upper bound of the IDs in use, which Scratch uses to size its tables.
 func (a *Arena) NumNodes() int { return int(a.n) }
 
+// SetLimit arms (or, with max <= 0, disarms) the allocation cap. The cap
+// is absolute: callers arm it as NumNodes() + perParseBudget.
+func (a *Arena) SetLimit(max int) {
+	if max <= 0 {
+		a.limit = 0
+		return
+	}
+	a.limit = int32(max)
+}
+
 func (a *Arena) alloc() *Node {
+	if a.limit > 0 && a.n >= a.limit {
+		panic(&guard.BudgetError{Resource: guard.ResArenaNodes, Limit: int64(a.limit), Used: int64(a.n) + 1})
+	}
+	if faultinject.Enabled() && faultinject.Fire(faultinject.ArenaAlloc, "") == faultinject.ActBudget {
+		panic(&guard.BudgetError{Resource: guard.ResArenaNodes, Limit: int64(a.n), Used: int64(a.n) + 1})
+	}
 	if len(a.cur) == cap(a.cur) {
 		a.cur = make([]Node, 0, arenaChunk)
 	}

@@ -105,6 +105,13 @@ type Node struct {
 	// Committed marks nodes that belong to a committed (parsed) tree;
 	// used to distinguish reused structure from freshly built structure.
 	Committed bool
+	// BudgetPruned marks a choice node whose interpretations were cut to
+	// the statically preferred one because the region exceeded the
+	// ambiguity budget (guard.Budget.MaxAlternatives). The tree is usable
+	// but no longer encodes the full forest for this region — analyses
+	// that rely on the §5 bounded-ambiguity claims should treat the region
+	// as disambiguated by policy, not by evidence.
+	BudgetPruned bool
 }
 
 // computeCover fills the terminal-yield bookkeeping from the children.

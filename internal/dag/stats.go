@@ -22,6 +22,10 @@ type Stats struct {
 	MaxAlternatives int
 	// Terminals counts token leaves.
 	Terminals int
+	// BudgetPruned counts choice nodes whose alternatives were pruned by
+	// the ambiguity budget — regions where the dag no longer encodes the
+	// full forest (see dag.Node.BudgetPruned).
+	BudgetPruned int
 }
 
 // SpaceOverheadPercent returns the percentage increase of the dag over the
@@ -61,6 +65,9 @@ func Measure(root *Node) Stats {
 			if len(n.Kids) > s.MaxAlternatives {
 				s.MaxAlternatives = len(n.Kids)
 			}
+		}
+		if n.BudgetPruned {
+			s.BudgetPruned++
 		}
 	})
 	memo := AcquireScratch()

@@ -12,6 +12,7 @@ import (
 
 	"iglr/internal/dag"
 	"iglr/internal/grammar"
+	"iglr/internal/guard"
 	"iglr/internal/lr"
 )
 
@@ -43,8 +44,15 @@ type Parser struct {
 	g     *grammar.Grammar
 	Stats Stats
 
+	// Budget bounds one parse's resources (see guard.Budget). Only the
+	// arena and deadline budgets apply — a deterministic parser has no
+	// GSS and produces no ambiguity. Tripping one aborts the parse with a
+	// *guard.BudgetError; the committed tree is untouched.
+	Budget guard.Budget
+
 	arena *dag.Arena
 	stack []entry
+	gauge guard.Gauge
 }
 
 // New creates a parser; the table must be deterministic.
@@ -92,7 +100,7 @@ const checkEvery = 64
 // ParseContext is Parse with cooperative cancellation: the loop polls ctx
 // every checkEvery iterations and returns ctx.Err() once the context is
 // done. A nil ctx disables the checks.
-func (p *Parser) ParseContext(ctx context.Context, stream Stream) (*dag.Node, error) {
+func (p *Parser) ParseContext(ctx context.Context, stream Stream) (root *dag.Node, err error) {
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -100,13 +108,26 @@ func (p *Parser) ParseContext(ctx context.Context, stream Stream) (*dag.Node, er
 	}
 	p.Stats = Stats{}
 	p.arena = stream.Arena()
+	p.gauge.Reset(p.Budget)
+	if p.Budget.MaxArenaNodes > 0 {
+		p.arena.SetLimit(p.arena.NumNodes() + p.Budget.MaxArenaNodes)
+	}
+	defer func() {
+		p.arena.SetLimit(0)
+		if r := recover(); r != nil {
+			root, err = nil, guard.Recovered(r)
+		}
+	}()
 	p.stack = append(p.stack[:0], entry{state: p.table.StartState()})
 
 	for rounds := 0; ; rounds++ {
-		if ctx != nil && rounds%checkEvery == checkEvery-1 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
+		if rounds%checkEvery == checkEvery-1 {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 			}
+			p.gauge.CheckDeadline()
 		}
 		la := stream.La()
 		if la == nil {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"iglr/internal/dag"
+	"iglr/internal/faultinject"
 	"iglr/internal/grammar"
 	"iglr/internal/lexer"
 	"iglr/internal/text"
@@ -95,6 +96,16 @@ func (d *Document) newTerminal(tok lexer.Token) *dag.Node {
 		sym = grammar.ErrorSym
 	} else {
 		sym = d.mapTok(tok.Type, tok.Text)
+	}
+	if faultinject.Enabled() {
+		switch faultinject.Fire(faultinject.LexTerminal, tok.Text) {
+		case faultinject.ActError:
+			// Injected lexical fault: the token comes out as an error
+			// terminal, exactly as if the DFA had rejected it.
+			sym = grammar.ErrorSym
+		case faultinject.ActPanic:
+			panic(&faultinject.Panic{Point: faultinject.LexTerminal, Detail: tok.Text})
+		}
 	}
 	n := d.arena.Terminal(sym, tok.Text)
 	n.Changed = true

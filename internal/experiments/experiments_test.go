@@ -80,18 +80,25 @@ func TestFigure4Small(t *testing.T) {
 }
 
 func TestSection5BatchShape(t *testing.T) {
-	r, err := RunSection5Batch(2500, 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if r.Tokens == 0 || r.DetNsPerTok <= 0 || r.IGLRNsPerTok <= 0 {
-		t.Fatalf("result = %+v", r)
-	}
 	// The paper's shape: IGLR batch cost is close to deterministic (1.25x
-	// in their system) — allow generous slack for a noisy test machine.
-	if r.Ratio > 3.5 || r.Ratio < 0.4 {
-		t.Fatalf("IGLR/det ratio %.2f wildly off", r.Ratio)
+	// in their system) — allow generous slack for a noisy test machine,
+	// and take the best of a few samples: the suite runs packages in
+	// parallel, and a single scheduler stall skews one wall-clock ratio.
+	var last float64
+	for attempt := 0; attempt < 3; attempt++ {
+		r, err := RunSection5Batch(2500, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Tokens == 0 || r.DetNsPerTok <= 0 || r.IGLRNsPerTok <= 0 {
+			t.Fatalf("result = %+v", r)
+		}
+		if r.Ratio <= 3.5 && r.Ratio >= 0.4 {
+			return
+		}
+		last = r.Ratio
 	}
+	t.Fatalf("IGLR/det ratio %.2f wildly off in every sample", last)
 }
 
 func TestSection5IncrementalShape(t *testing.T) {

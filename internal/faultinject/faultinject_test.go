@@ -1,0 +1,148 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDisabledByDefault(t *testing.T) {
+	Deactivate()
+	if Enabled() {
+		t.Fatal("no plan active, Enabled must be false")
+	}
+	if act := Fire(LexTerminal, "anything"); act != ActNone {
+		t.Fatalf("Fire with no plan = %v, want ActNone", act)
+	}
+	if Fired(LexTerminal) != 0 {
+		t.Fatal("no plan, Fired must be 0")
+	}
+}
+
+func TestContentMatchedTrigger(t *testing.T) {
+	Activate(NewPlan(Trigger{Point: LexTerminal, Match: "BOOM", Do: ActError}))
+	defer Deactivate()
+
+	if act := Fire(LexTerminal, "harmless"); act != ActNone {
+		t.Fatalf("non-matching detail fired: %v", act)
+	}
+	if act := Fire(LexTerminal, "xxBOOMxx"); act != ActError {
+		t.Fatalf("substring match should fire ActError, got %v", act)
+	}
+	// Fire-once: the same trigger does not fire again.
+	if act := Fire(LexTerminal, "BOOM"); act != ActNone {
+		t.Fatalf("single-shot trigger re-fired: %v", act)
+	}
+	if Fired(LexTerminal) != 1 {
+		t.Fatalf("Fired = %d, want 1", Fired(LexTerminal))
+	}
+}
+
+func TestAfterSkipsHits(t *testing.T) {
+	Activate(NewPlan(Trigger{Point: Reduce, After: 2, Do: ActPanic}))
+	defer Deactivate()
+
+	if Fire(Reduce, "") != ActNone || Fire(Reduce, "") != ActNone {
+		t.Fatal("the first two hits must be skipped with After=2")
+	}
+	if Fire(Reduce, "") != ActPanic {
+		t.Fatal("the third hit must fire")
+	}
+	if Fire(Reduce, "") != ActNone {
+		t.Fatal("single-shot trigger must not re-fire")
+	}
+}
+
+func TestEveryRefires(t *testing.T) {
+	Activate(NewPlan(Trigger{Point: ArenaAlloc, After: 1, Every: 3, Do: ActBudget}))
+	defer Deactivate()
+
+	var got []Action
+	for i := 0; i < 8; i++ {
+		got = append(got, Fire(ArenaAlloc, ""))
+	}
+	want := []Action{ActNone, ActBudget, ActNone, ActNone, ActBudget, ActNone, ActNone, ActBudget}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d = %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if Fired(ArenaAlloc) != 3 {
+		t.Fatalf("Fired = %d, want 3", Fired(ArenaAlloc))
+	}
+}
+
+func TestPointsAreIndependent(t *testing.T) {
+	Activate(NewPlan(
+		Trigger{Point: LexTerminal, Do: ActError},
+		Trigger{Point: Resolve, Do: ActPanic},
+	))
+	defer Deactivate()
+
+	if Fire(Resolve, "") != ActPanic {
+		t.Fatal("Resolve trigger should fire")
+	}
+	if Fire(LexTerminal, "") != ActError {
+		t.Fatal("LexTerminal trigger should fire independently")
+	}
+}
+
+func TestRandomPlanIsDeterministic(t *testing.T) {
+	countdown := func(seed int64) int {
+		Activate(NewRandomPlan(seed, ParseRound, ActCancel, 50))
+		defer Deactivate()
+		for i := 0; ; i++ {
+			if Fire(ParseRound, "") == ActCancel {
+				return i
+			}
+			if i > 100 {
+				t.Fatalf("seed %d never fired within maxAfter", seed)
+			}
+		}
+	}
+	a, b := countdown(42), countdown(42)
+	if a != b {
+		t.Fatalf("same seed fired at hit %d then %d", a, b)
+	}
+}
+
+func TestConcurrentFireIsRaceFree(t *testing.T) {
+	// Exercised under -race by `make check`: many goroutines hammer one
+	// armed point; exactly one Fire observes the single-shot action.
+	Activate(NewPlan(Trigger{Point: Reduce, After: 100, Do: ActPanic}))
+	defer Deactivate()
+
+	var wg sync.WaitGroup
+	fired := make([]int, 8)
+	for w := 0; w < len(fired); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if Fire(Reduce, "") == ActPanic {
+					fired[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range fired {
+		total += n
+	}
+	if total != 1 {
+		t.Fatalf("single-shot trigger fired %d times across goroutines", total)
+	}
+}
+
+func TestPanicErrorText(t *testing.T) {
+	p := &Panic{Point: Reduce, Detail: "tok"}
+	if p.Error() != "faultinject: injected panic at reduce tok" {
+		t.Fatalf("got %q", p.Error())
+	}
+	if numPoints != 5 {
+		t.Fatalf("update Point.String when adding points (have %d)", numPoints)
+	}
+	if (Point(99)).String() != "unknown" {
+		t.Fatal("out-of-range points should stringify as unknown")
+	}
+}

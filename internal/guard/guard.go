@@ -1,0 +1,163 @@
+// Package guard defines the resource budgets that bound every parse. The
+// paper's empirical claim (§5) is that ambiguity in real programs is local
+// and bounded; guard is what *enforces* a bound when the input is hostile
+// or broken — a GLR-family parser degrades super-linearly on pathological
+// input, so a production service must be able to cap the graph-structured
+// stack, the dag arena, the per-region interpretation count, and wall-clock
+// time, and abort (or degrade) a round that exceeds them.
+//
+// The mechanism is deliberately cheap: a Gauge is a handful of integer
+// counters bumped on the allocation paths that already exist. Exceeding a
+// budget panics with a typed *BudgetError; the parse entry points recover
+// it and surface it as an ordinary error, leaving the last committed tree
+// intact (only Commit publishes a root, so an aborted round is invisible).
+// The ambiguity budget is the exception: the IGLR parser degrades instead
+// of aborting, pruning the offending region to its statically preferred
+// interpretation (see dag.Node.BudgetPruned).
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Budget bounds the resources one parse may consume. The zero value is
+// unlimited; each field is independent and a zero field disables that
+// check.
+type Budget struct {
+	// MaxGSSNodes caps graph-structured-stack nodes per parse. The GSS
+	// grows with non-determinism, not input size, so this bounds fork
+	// explosion from conflicted tables on adversarial input.
+	MaxGSSNodes int
+	// MaxGSSLinks caps GSS links (edges) per parse — the quantity that
+	// actually grows super-linearly in pathological GLR regions.
+	MaxGSSLinks int
+	// MaxArenaNodes caps dag-arena node allocations per parse (measured as
+	// growth over the arena's size when the parse began, so a long editing
+	// session is not charged for its committed history).
+	MaxArenaNodes int
+	// MaxAlternatives caps the interpretations retained per ambiguous
+	// region (choice node). Because parse counts multiply through nested
+	// regions, bounding the per-region fan-out bounds the forest. Unlike
+	// the other budgets this one does not abort: the IGLR parser prunes
+	// the region to its statically preferred alternative, marks the node
+	// BudgetPruned, and continues.
+	MaxAlternatives int
+	// MaxDuration caps a single parse's wall-clock time. Unlike context
+	// cancellation (which is external), the deadline travels with the
+	// budget so per-file policies need no timer plumbing.
+	MaxDuration time.Duration
+}
+
+// Unlimited reports whether every check is disabled (the zero Budget).
+func (b Budget) Unlimited() bool {
+	return b.MaxGSSNodes <= 0 && b.MaxGSSLinks <= 0 && b.MaxArenaNodes <= 0 &&
+		b.MaxAlternatives <= 0 && b.MaxDuration <= 0
+}
+
+// Resource names the budget dimension that tripped.
+type Resource string
+
+// Budgeted resources.
+const (
+	ResGSSNodes     Resource = "gss-nodes"
+	ResGSSLinks     Resource = "gss-links"
+	ResArenaNodes   Resource = "dag-nodes"
+	ResAlternatives Resource = "alternatives"
+	ResDeadline     Resource = "deadline"
+)
+
+// ErrBudget is matched by every *BudgetError via errors.Is, for callers
+// who only care that a resource budget tripped, not which one.
+var ErrBudget = errors.New("guard: resource budget exceeded")
+
+// BudgetError reports which resource tripped and by how much. The parse
+// that trips aborts; the document's last committed tree is untouched.
+type BudgetError struct {
+	// Resource is the dimension that tripped.
+	Resource Resource
+	// Limit is the configured bound; Used is the consumption that tripped
+	// it. For ResDeadline both are nanoseconds.
+	Limit, Used int64
+}
+
+func (e *BudgetError) Error() string {
+	if e.Resource == ResDeadline {
+		return fmt.Sprintf("guard: parse exceeded deadline %v (ran %v)",
+			time.Duration(e.Limit), time.Duration(e.Used))
+	}
+	return fmt.Sprintf("guard: parse exceeded %s budget %d (used %d)", e.Resource, e.Limit, e.Used)
+}
+
+// Is reports a match against ErrBudget.
+func (e *BudgetError) Is(target error) bool { return target == ErrBudget }
+
+// Gauge tracks one parse's consumption against a Budget. It is embedded in
+// a parser and Reset at every parse; the Add/Check methods are integer
+// bumps and compares, cheap enough for the per-allocation paths. Methods
+// panic with *BudgetError on a trip — the parser's entry point recovers it
+// (see Recovered) and returns it as the parse error.
+type Gauge struct {
+	b        Budget
+	gssNodes int
+	gssLinks int
+	deadline time.Time // zero when no MaxDuration is set
+	started  time.Time
+}
+
+// Reset arms the gauge for a new parse under b.
+func (g *Gauge) Reset(b Budget) {
+	g.b = b
+	g.gssNodes, g.gssLinks = 0, 0
+	g.deadline = time.Time{}
+	if b.MaxDuration > 0 {
+		g.started = time.Now()
+		g.deadline = g.started.Add(b.MaxDuration)
+	}
+}
+
+// Budget returns the budget the gauge was armed with.
+func (g *Gauge) Budget() Budget { return g.b }
+
+// AddGSSNode charges one GSS node.
+func (g *Gauge) AddGSSNode() {
+	g.gssNodes++
+	if g.b.MaxGSSNodes > 0 && g.gssNodes > g.b.MaxGSSNodes {
+		panic(&BudgetError{Resource: ResGSSNodes, Limit: int64(g.b.MaxGSSNodes), Used: int64(g.gssNodes)})
+	}
+}
+
+// AddGSSLink charges one GSS link.
+func (g *Gauge) AddGSSLink() {
+	g.gssLinks++
+	if g.b.MaxGSSLinks > 0 && g.gssLinks > g.b.MaxGSSLinks {
+		panic(&BudgetError{Resource: ResGSSLinks, Limit: int64(g.b.MaxGSSLinks), Used: int64(g.gssLinks)})
+	}
+}
+
+// CheckDeadline trips when the parse has run past MaxDuration. Call it
+// sparsely (it reads the clock): the parsers poll it on the same cadence
+// as context cancellation.
+func (g *Gauge) CheckDeadline() {
+	if g.deadline.IsZero() {
+		return
+	}
+	if now := time.Now(); now.After(g.deadline) {
+		panic(&BudgetError{
+			Resource: ResDeadline,
+			Limit:    int64(g.b.MaxDuration),
+			Used:     int64(now.Sub(g.started)),
+		})
+	}
+}
+
+// Recovered inspects a recovered panic value: a *BudgetError is returned
+// for the parser to surface as the parse error; anything else (a real
+// bug, or an injected fault) is re-panicked so it is not masked.
+func Recovered(r any) *BudgetError {
+	if be, ok := r.(*BudgetError); ok {
+		return be
+	}
+	panic(r)
+}

@@ -1,0 +1,122 @@
+package guard
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestZeroBudgetIsUnlimited(t *testing.T) {
+	var b Budget
+	if !b.Unlimited() {
+		t.Fatal("zero Budget must be unlimited")
+	}
+	if (Budget{MaxGSSNodes: 1}).Unlimited() {
+		t.Fatal("a set field must not read as unlimited")
+	}
+
+	var g Gauge
+	g.Reset(b)
+	for i := 0; i < 10000; i++ {
+		g.AddGSSNode()
+		g.AddGSSLink()
+	}
+	g.CheckDeadline() // no deadline armed: must not trip
+}
+
+// capture runs f and returns the *BudgetError it panics with (nil when f
+// returns normally).
+func capture(f func()) (be *BudgetError) {
+	defer func() {
+		if r := recover(); r != nil {
+			be = r.(*BudgetError)
+		}
+	}()
+	f()
+	return nil
+}
+
+func TestGSSNodeBudgetTrips(t *testing.T) {
+	var g Gauge
+	g.Reset(Budget{MaxGSSNodes: 3})
+	g.AddGSSNode()
+	g.AddGSSNode()
+	g.AddGSSNode()
+	be := capture(func() { g.AddGSSNode() })
+	if be == nil {
+		t.Fatal("fourth node must trip a MaxGSSNodes=3 budget")
+	}
+	if be.Resource != ResGSSNodes || be.Limit != 3 || be.Used != 4 {
+		t.Fatalf("got %+v", be)
+	}
+	if !errors.Is(be, ErrBudget) {
+		t.Fatal("every BudgetError must match ErrBudget")
+	}
+}
+
+func TestGSSLinkBudgetTrips(t *testing.T) {
+	var g Gauge
+	g.Reset(Budget{MaxGSSLinks: 1})
+	g.AddGSSLink()
+	be := capture(func() { g.AddGSSLink() })
+	if be == nil || be.Resource != ResGSSLinks {
+		t.Fatalf("got %+v", be)
+	}
+	// Nodes are not limited by a link budget.
+	for i := 0; i < 100; i++ {
+		g.AddGSSNode()
+	}
+}
+
+func TestResetRearms(t *testing.T) {
+	var g Gauge
+	g.Reset(Budget{MaxGSSNodes: 1})
+	g.AddGSSNode()
+	g.Reset(Budget{MaxGSSNodes: 1})
+	g.AddGSSNode() // fresh parse: count starts over
+	if be := capture(func() { g.AddGSSNode() }); be == nil {
+		t.Fatal("second node after re-arm must trip")
+	}
+}
+
+func TestDeadlineTrips(t *testing.T) {
+	var g Gauge
+	g.Reset(Budget{MaxDuration: time.Nanosecond})
+	time.Sleep(time.Millisecond)
+	be := capture(func() { g.CheckDeadline() })
+	if be == nil || be.Resource != ResDeadline {
+		t.Fatalf("got %+v", be)
+	}
+	if be.Used < int64(time.Millisecond) {
+		t.Fatalf("Used should report elapsed time, got %v", time.Duration(be.Used))
+	}
+	if !strings.Contains(be.Error(), "deadline") {
+		t.Fatalf("deadline error text: %q", be.Error())
+	}
+}
+
+func TestErrorText(t *testing.T) {
+	be := &BudgetError{Resource: ResArenaNodes, Limit: 10, Used: 11}
+	msg := be.Error()
+	if !strings.Contains(msg, string(ResArenaNodes)) || !strings.Contains(msg, "10") {
+		t.Fatalf("error text %q should name the resource and limit", msg)
+	}
+}
+
+func TestRecoveredPassesBudgetErrors(t *testing.T) {
+	want := &BudgetError{Resource: ResGSSNodes, Limit: 1, Used: 2}
+	if got := Recovered(want); got != want {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRecoveredRepanicsOtherValues(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "a real bug" {
+			t.Fatalf("recovered %v, want the original panic value", r)
+		}
+	}()
+	Recovered("a real bug")
+	t.Fatal("Recovered must re-panic non-budget values")
+}

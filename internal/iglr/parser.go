@@ -7,7 +7,9 @@ import (
 	"strings"
 
 	"iglr/internal/dag"
+	"iglr/internal/faultinject"
 	"iglr/internal/grammar"
+	"iglr/internal/guard"
 	"iglr/internal/lr"
 )
 
@@ -50,6 +52,7 @@ type Stats struct {
 	MaxActiveParsers int
 	Rounds           int // parse_next_symbol invocations
 	RetainedNodes    int // old nodes reused by bottom-up node retention [25]
+	BudgetPruned     int // ambiguous regions pruned by the ambiguity budget
 }
 
 // retained implements bottom-up node reuse: if every child was reused from
@@ -87,6 +90,14 @@ type Parser struct {
 	// Stats accumulates counters for the most recent parse.
 	Stats Stats
 
+	// Budget bounds the resources one parse may consume (see guard.Budget).
+	// The zero value is unlimited. Tripping any budget except the ambiguity
+	// cap aborts the parse with a *guard.BudgetError, leaving the document's
+	// committed tree intact; exceeding MaxAlternatives degrades instead,
+	// pruning the region to its statically preferred interpretation and
+	// marking the node BudgetPruned.
+	Budget guard.Budget
+
 	ctx        context.Context // nil outside ParseContext
 	stream     Stream
 	arena      *dag.Arena // the current stream's arena
@@ -105,15 +116,20 @@ type Parser struct {
 	gssNodes gssNodeArena
 	gssLinks gssLinkArena
 	kidsBuf  []*dag.Node
+
+	// gauge meters the current parse against Budget.
+	gauge guard.Gauge
 }
 
 func (p *Parser) newGSSNode(state int) *gssNode {
+	p.gauge.AddGSSNode()
 	return p.gssNodes.get(state)
 }
 
 // addLink appends a link from n back to head, spanning node. The first
 // link sits inline in n; overflow links come from the recycled link arena.
 func (p *Parser) addLink(n, head *gssNode, node *dag.Node) *gssLink {
+	p.gauge.AddGSSLink()
 	if n.nlinks == 0 {
 		n.link0 = gssLink{head: head, node: node}
 		n.nlinks = 1
@@ -165,7 +181,12 @@ const checkEvery = 64
 // the context is done. The parser is left reusable; the document's
 // committed tree is untouched (only Commit publishes a root). A nil ctx
 // disables the checks.
-func (p *Parser) ParseContext(ctx context.Context, stream Stream) (*dag.Node, error) {
+//
+// The parser's Budget is enforced for the duration of the call: a tripped
+// resource budget aborts the parse with a *guard.BudgetError (again leaving
+// the committed tree intact), while a tripped ambiguity budget degrades the
+// offending region in place (Stats.BudgetPruned counts the prunes).
+func (p *Parser) ParseContext(ctx context.Context, stream Stream) (root *dag.Node, err error) {
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -174,6 +195,19 @@ func (p *Parser) ParseContext(ctx context.Context, stream Stream) (*dag.Node, er
 	p.ctx = ctx
 	p.stream = stream
 	p.arena = stream.Arena()
+	p.gauge.Reset(p.Budget)
+	if p.Budget.MaxArenaNodes > 0 {
+		p.arena.SetLimit(p.arena.NumNodes() + p.Budget.MaxArenaNodes)
+	}
+	defer func() {
+		p.arena.SetLimit(0)
+		if r := recover(); r != nil {
+			// A budget trip unwinds from an allocation path as a typed
+			// panic; surface it as the parse error. Anything else is a
+			// real bug (or an injected fault) and keeps propagating.
+			root, err = nil, guard.Recovered(r)
+		}
+	}()
 	p.Stats = Stats{}
 	p.sh.reset()
 	p.gssNodes.reset()
@@ -193,7 +227,7 @@ func (p *Parser) ParseContext(ctx context.Context, stream Stream) (*dag.Node, er
 		}
 	}
 
-	root := p.acceptedRoot()
+	root = p.acceptedRoot()
 	// Epsilon over-sharing can only arise from the sharing tables, which
 	// deterministic rounds bypass entirely (§3.5).
 	if p.anyNondet {
@@ -209,16 +243,73 @@ func (p *Parser) acceptedRoot() *dag.Node {
 	// Multiple top-level interpretations that never converged in the GSS
 	// are merged explicitly.
 	for i := 1; i < acc.numLinks(); i++ {
-		root = addInterpretation(p.arena, root, acc.linkAt(i).node)
+		root = p.enforceAltCap(addInterpretation(p.arena, root, acc.linkAt(i).node))
 	}
 	return root
+}
+
+// enforceAltCap applies the ambiguity budget to a freshly merged region:
+// when a choice node exceeds Budget.MaxAlternatives interpretations, the
+// region is pruned to the single statically preferred alternative and
+// marked BudgetPruned — graceful degradation instead of failure, so
+// adversarial input yields a usable, flagged tree. The node keeps its
+// identity (GSS links and parents still see it), it simply stops
+// accumulating alternatives; because parse counts multiply through nested
+// regions, cutting the fan-out here is what stops super-linear forest
+// growth upstream.
+func (p *Parser) enforceAltCap(n *dag.Node) *dag.Node {
+	max := p.Budget.MaxAlternatives
+	if max <= 0 || !n.IsChoice() || len(n.Kids) <= max {
+		return n
+	}
+	best := n.Kids[0]
+	for _, k := range n.Kids[1:] {
+		if p.preferAlt(k, best) {
+			best = k
+		}
+	}
+	n.Kids = append(n.Kids[:0], best)
+	n.BudgetPruned = true
+	p.Stats.BudgetPruned++
+	if p.Trace != nil {
+		p.tracef("P: ambiguity budget pruned %s to 1 alternative", p.g.Name(n.Sym))
+	}
+	return n
+}
+
+// preferAlt reports whether alternative a is statically preferred over b,
+// reusing the order of the §4.1 static filters: higher declared production
+// precedence wins (precedence/associativity resolution), then the earlier
+// declared production (yacc's prefer-earlier-rule, which is also what
+// prefer-shift converges to for the idioms it targets). Non-production
+// alternatives never displace a production.
+func (p *Parser) preferAlt(a, b *dag.Node) bool {
+	if a.Kind != dag.KindProduction {
+		return false
+	}
+	if b.Kind != dag.KindProduction {
+		return true
+	}
+	pa, pb := p.g.Production(a.Prod), p.g.Production(b.Prod)
+	if pa.Prec != pb.Prec {
+		return pa.Prec > pb.Prec
+	}
+	return a.Prod < b.Prod
 }
 
 // parseNextSymbol performs one reduce/shift round (Appendix A).
 func (p *Parser) parseNextSymbol() error {
 	p.Stats.Rounds++
-	if p.ctx != nil && p.Stats.Rounds%checkEvery == 0 {
-		if err := p.ctx.Err(); err != nil {
+	if p.Stats.Rounds%checkEvery == 0 {
+		if p.ctx != nil {
+			if err := p.ctx.Err(); err != nil {
+				return err
+			}
+		}
+		p.gauge.CheckDeadline()
+	}
+	if faultinject.Enabled() {
+		if err := p.injectRound(); err != nil {
 			return err
 		}
 	}
@@ -236,7 +327,19 @@ func (p *Parser) parseNextSymbol() error {
 		p.Stats.Splits++
 	}
 
-	for len(p.forActor) > 0 {
+	// The worklist loop is the round's inner engine: with massive local
+	// ambiguity a single lookahead can queue unbounded reduction work, so
+	// cancellation and the deadline are also polled here — otherwise one
+	// pathological token could stall cancellation for the whole region.
+	for steps := 0; len(p.forActor) > 0; steps++ {
+		if steps%checkEvery == checkEvery-1 {
+			if p.ctx != nil {
+				if err := p.ctx.Err(); err != nil {
+					return err
+				}
+			}
+			p.gauge.CheckDeadline()
+		}
 		a := p.forActor[len(p.forActor)-1]
 		p.forActor = p.forActor[:len(p.forActor)-1]
 		a.processed = true
@@ -256,6 +359,34 @@ func (p *Parser) parseNextSymbol() error {
 	p.shifter()
 	p.stream.Pop()
 	return nil
+}
+
+// injectRound consults the fault-injection plan at the top of a parse
+// round (Point ParseRound). Only called when a plan is active.
+func (p *Parser) injectRound() error {
+	detail := ""
+	if la := p.stream.La(); la != nil {
+		detail = laText(la)
+	}
+	switch faultinject.Fire(faultinject.ParseRound, detail) {
+	case faultinject.ActCancel:
+		return context.Canceled
+	case faultinject.ActPanic:
+		panic(&faultinject.Panic{Point: faultinject.ParseRound, Detail: detail})
+	}
+	return nil
+}
+
+// injectReduce consults the fault-injection plan mid-reduction (Point
+// Reduce). Only called when a plan is active.
+func (p *Parser) injectReduce() {
+	detail := ""
+	if la := p.stream.La(); la != nil {
+		detail = laText(la)
+	}
+	if faultinject.Fire(faultinject.Reduce, detail) == faultinject.ActPanic {
+		panic(&faultinject.Panic{Point: faultinject.Reduce, Detail: detail})
+	}
 }
 
 // expectedTerminals collects, over the parsers active when the error was
@@ -431,6 +562,9 @@ func (p *Parser) doLimitedReductions(a *gssNode, rule int, via *gssLink) {
 // the dag node, merges interpretations, and extends the GSS.
 func (p *Parser) reducer(q *gssNode, rule int, kids []*dag.Node) {
 	p.Stats.Reductions++
+	if faultinject.Enabled() {
+		p.injectReduce()
+	}
 	lhs := p.g.Production(rule).LHS
 	state := p.table.Goto(q.state, lhs)
 	if state < 0 {
@@ -469,12 +603,12 @@ func (p *Parser) reducer(q *gssNode, rule int, kids []*dag.Node) {
 			if p.Trace != nil {
 				p.tracef("M: merge interpretation for %s", p.g.Name(lhs))
 			}
-			l.node = addInterpretation(p.arena, l.node, node)
+			l.node = p.enforceAltCap(addInterpretation(p.arena, l.node, node))
 			return
 		}
 		n := node
 		if p.multiple {
-			n = p.sh.mergeInterpretation(p.arena, node)
+			n = p.enforceAltCap(p.sh.mergeInterpretation(p.arena, node))
 		}
 		l := p.addLink(existing, q, n)
 		// Parsers already processed this round may now have new reduction
@@ -492,7 +626,7 @@ func (p *Parser) reducer(q *gssNode, rule int, kids []*dag.Node) {
 
 	n := node
 	if p.multiple {
-		n = p.sh.mergeInterpretation(p.arena, node)
+		n = p.enforceAltCap(p.sh.mergeInterpretation(p.arena, node))
 	}
 	np := p.newGSSNode(state)
 	p.addLink(np, q, n)

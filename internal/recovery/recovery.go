@@ -34,7 +34,11 @@ type Outcome struct {
 	// Clean reports that the initial parse succeeded with no recovery.
 	Clean bool
 	// Err is non-nil only when there is no history to fall back on (the
-	// very first parse of a document failed).
+	// very first parse of a document failed). Even then the document is
+	// restored to its baseline text — the pending edits are reverted and
+	// reported in Unincorporated — so the session is left in a known
+	// state rather than holding the unparseable mixture. Root is non-nil
+	// if the baseline text itself parses.
 	Err error
 }
 
@@ -48,8 +52,24 @@ func Parse(d *document.Document, parse ParseFunc) Outcome {
 		return out
 	}
 	if d.Root() == nil {
-		// No prior consistent version exists; nothing to recover to.
-		return Outcome{Err: err}
+		// No prior consistent version exists, so edit replay has no
+		// baseline tree. Still converge: revert the pending edits
+		// (restoring the creation-time text), report them as
+		// unincorporated, and commit the baseline if it parses — a
+		// failed first parse must not leave the document holding text
+		// no tree will ever correspond to.
+		out := Outcome{Err: err, Unincorporated: d.PendingEdits()}
+		if len(out.Unincorporated) == 0 {
+			// The creation-time text itself is the failure; there is
+			// nothing to revert and re-probing it would just fail again.
+			return out
+		}
+		d.RevertPending()
+		if root, berr := parse(d); berr == nil {
+			d.Commit(root)
+			out.Root = root
+		}
+		return out
 	}
 
 	pending := d.PendingEdits()

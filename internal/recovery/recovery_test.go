@@ -129,3 +129,102 @@ func TestOffsetAdjustmentAfterSkippedEdit(t *testing.T) {
 		t.Fatalf("text = %q", d.Text())
 	}
 }
+
+// Regression: a failed *first* parse (no committed version to fall back
+// on) used to leave the document still holding the unparseable edits. It
+// must restore the baseline text, report the edits as unincorporated, and
+// commit the baseline when that text parses.
+func TestFirstParseFailureRestoresBaselineText(t *testing.T) {
+	l := csub.Lang()
+	d := l.NewDocument("int a;")
+	d.Replace(0, 3, ")))") // poison before any parse
+	out := recovery.Parse(d, parser())
+	if out.Err == nil {
+		t.Fatal("expected the first parse to fail")
+	}
+	if d.Text() != "int a;" {
+		t.Fatalf("text = %q, want the pre-parse baseline restored", d.Text())
+	}
+	if len(out.Unincorporated) != 1 || len(out.Incorporated) != 0 {
+		t.Fatalf("inc=%d uninc=%d", len(out.Incorporated), len(out.Unincorporated))
+	}
+	if out.Root == nil || out.Root != d.Root() {
+		t.Fatal("the parseable baseline should have been committed")
+	}
+
+	// The session is in a known state: a good edit parses incrementally.
+	d.Replace(4, 1, "x")
+	out = recovery.Parse(d, parser())
+	if out.Err != nil || !out.Clean || d.Text() != "int x;" {
+		t.Fatalf("follow-up edit: %+v text=%q", out, d.Text())
+	}
+}
+
+// When the creation-time text itself cannot parse there is nothing to
+// restore; the outcome just reports the error.
+func TestFirstParseFailureOnBaselineText(t *testing.T) {
+	l := csub.Lang()
+	d := l.NewDocument("int ;;;")
+	out := recovery.Parse(d, parser())
+	if out.Err == nil || out.Root != nil {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if d.Text() != "int ;;;" {
+		t.Fatalf("text = %q", d.Text())
+	}
+	if len(out.Unincorporated) != 0 {
+		t.Fatal("no edits existed to report")
+	}
+}
+
+// FuzzRecoveryConverges drives the recovery invariant with arbitrary
+// edits: after recovery.Parse the document must be consistent — whenever
+// a root is committed, a from-scratch parse of the document's text
+// succeeds, and a failed first parse leaves the baseline text in place.
+func FuzzRecoveryConverges(f *testing.F) {
+	f.Add("int a; a = 1;", 4, 1, "x")
+	f.Add("int a;", 0, 3, ")))")
+	f.Add("int a; int b;", 0, 0, "((( ")
+	f.Add("", 0, 0, "int b;")
+	f.Add("int ;;;", 1, 2, "((")
+	l := csub.Lang()
+	f.Fuzz(func(t *testing.T, src string, off, removed int, ins string) {
+		if len(src) > 200 || len(ins) > 50 {
+			t.Skip()
+		}
+		for _, r := range src + ins {
+			if r > 0x7f {
+				t.Skip() // the csub lexer is ASCII
+			}
+		}
+		d := l.NewDocument(src)
+		parse := parser()
+		first := recovery.Parse(d, parse)
+		baseline := d.Text()
+
+		// Clamp the edit into range (Replace panics out of range by
+		// contract; the fuzzer explores positions, not that contract).
+		if off < 0 {
+			off = -off
+		}
+		off %= d.Len() + 1
+		if removed < 0 {
+			removed = -removed
+		}
+		removed %= d.Len() - off + 1
+		d.Replace(off, removed, ins)
+		out := recovery.Parse(d, parse)
+
+		if first.Err == nil && out.Err != nil {
+			t.Fatalf("recovery errored despite a committed fallback: %v", out.Err)
+		}
+		if d.Root() != nil {
+			if fresh, err := parse(l.NewDocument(d.Text())); err != nil || fresh == nil {
+				t.Fatalf("committed document text %q does not reparse: %v", d.Text(), err)
+			}
+		}
+		if out.Err != nil && d.Text() != baseline {
+			t.Fatalf("failed recovery left text %q, baseline %q", d.Text(), baseline)
+		}
+	})
+}

@@ -11,6 +11,7 @@ package semantics
 
 import (
 	"iglr/internal/dag"
+	"iglr/internal/faultinject"
 )
 
 // Config adapts the generic resolution engine to a language. All hooks
@@ -95,6 +96,10 @@ func (r Result) Resolved() int { return r.ResolvedDecl + r.ResolvedStmt }
 // filter attributes are cleared first, so Resolve is idempotent and
 // reversible across edits.
 func Resolve(root *dag.Node, cfg Config) Result {
+	if faultinject.Enabled() &&
+		faultinject.Fire(faultinject.Resolve, "") == faultinject.ActPanic {
+		panic(&faultinject.Panic{Point: faultinject.Resolve})
+	}
 	var res Result
 	global := NewScope(nil)
 	var walk func(n *dag.Node, sc *Scope)
