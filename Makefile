@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check fuzz-smoke bench paperbench
+.PHONY: all build test race vet check fuzz-smoke bench paperbench bench-json
 
 all: check
 
@@ -22,13 +22,22 @@ race:
 check: vet race
 
 # Short coverage-guided runs of the fuzz targets: the batch-vs-incremental
-# parse oracle and the recovery convergence invariant.
+# parse oracle, the recovery convergence invariant, and the compiled-artifact
+# codec (decode of arbitrary bytes must never panic; accepted artifacts must
+# re-encode canonically).
 fuzz-smoke:
 	$(GO) test -run FuzzParseOracle -fuzz FuzzParseOracle -fuzztime 30s ./internal/earley/
 	$(GO) test -run FuzzRecoveryConverges -fuzz FuzzRecoveryConverges -fuzztime 30s ./internal/recovery/
+	$(GO) test -run FuzzLangCodecRoundTrip -fuzz FuzzLangCodecRoundTrip -fuzztime 30s ./internal/langcodec/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 paperbench:
 	$(GO) run ./cmd/paperbench
+
+# Machine-readable compiled-artifact benchmark (cold vs cached language
+# loads, lexer MB/s, table footprints). BENCH_parse.json in the repo is a
+# committed reference run.
+bench-json:
+	$(GO) run ./cmd/paperbench -json BENCH_parse.json

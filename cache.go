@@ -1,11 +1,7 @@
 package incremental
 
 import (
-	"crypto/sha256"
-	"encoding/binary"
 	"fmt"
-	"hash"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -24,9 +20,11 @@ import (
 // key. Concurrent first definitions of the same language deduplicate: one
 // goroutine builds, the rest wait for the result.
 var langCache struct {
-	entries sync.Map // key string → *cacheEntry
-	hits    atomic.Int64
-	misses  atomic.Int64
+	entries    sync.Map // key string → *cacheEntry
+	hits       atomic.Int64
+	misses     atomic.Int64
+	diskHits   atomic.Int64
+	diskMisses atomic.Int64
 }
 
 type cacheEntry struct {
@@ -43,6 +41,11 @@ type CacheStats struct {
 	// Hits counts DefineLanguage calls served from the cache; Misses
 	// counts calls that compiled.
 	Hits, Misses int64
+	// DiskHits counts memory misses served by decoding a compiled artifact
+	// from the disk cache; DiskMisses counts memory misses that fell through
+	// to full compilation (no artifact, or a corrupt/stale/version-mismatched
+	// one).
+	DiskHits, DiskMisses int64
 }
 
 // LanguageCacheStats returns a snapshot of the compiled-language cache.
@@ -51,6 +54,8 @@ func LanguageCacheStats() CacheStats {
 	langCache.entries.Range(func(_, _ any) bool { s.Entries++; return true })
 	s.Hits = langCache.hits.Load()
 	s.Misses = langCache.misses.Load()
+	s.DiskHits = langCache.diskHits.Load()
+	s.DiskMisses = langCache.diskMisses.Load()
 	return s
 }
 
@@ -61,14 +66,19 @@ func ResetLanguageCache() {
 	langCache.entries.Range(func(k, _ any) bool { langCache.entries.Delete(k); return true })
 	langCache.hits.Store(0)
 	langCache.misses.Store(0)
+	langCache.diskHits.Store(0)
+	langCache.diskMisses.Store(0)
 }
 
-// compileDef builds (or fetches) the compiled language for d.
+// compileDef builds (or fetches) the compiled language for d through the
+// two-level cache: memory first, then the compiled-artifact disk cache,
+// then full compilation (which repopulates the disk layer).
 func compileDef(d LanguageDef) (*langs.Language, error) {
 	if d.noCache {
 		return buildDef(d)
 	}
-	key := defKey(d)
+	hash := defHash(d)
+	key := string(hash[:])
 	v, loaded := langCache.entries.Load(key)
 	if !loaded {
 		v, loaded = langCache.entries.LoadOrStore(key, &cacheEntry{})
@@ -79,8 +89,27 @@ func compileDef(d LanguageDef) (*langs.Language, error) {
 	} else {
 		langCache.misses.Add(1)
 	}
-	e.once.Do(func() { e.lang, e.err = buildDef(d) })
+	e.once.Do(func() { e.lang, e.err = loadOrBuildDef(d, hash) })
 	return e.lang, e.err
+}
+
+// loadOrBuildDef tries the disk cache, falling back to compilation; a fresh
+// compile is written back to disk (best-effort) for the next process.
+func loadOrBuildDef(d LanguageDef, hash [32]byte) (*langs.Language, error) {
+	dir, ok := compiledCacheDir(d)
+	if !ok {
+		return buildDef(d)
+	}
+	if l := loadCompiledArtifact(dir, hash); l != nil {
+		langCache.diskHits.Add(1)
+		return l, nil
+	}
+	langCache.diskMisses.Add(1)
+	l, err := buildDef(d)
+	if err == nil {
+		storeCompiledArtifact(dir, hash, l)
+	}
+	return l, err
 }
 
 // buildDef compiles a definition, converting staged build errors and any
@@ -102,11 +131,7 @@ func buildDef(d LanguageDef) (l *langs.Language, err error) {
 		TokenSyms: d.TokenSyms,
 		Keywords:  d.Keywords,
 		IdentRule: d.IdentRule,
-		Options: lr.Options{
-			Method:       d.Method,
-			PreferShift:  d.PreferShift,
-			NoPrecedence: d.NoPrecedence,
-		},
+		Options:   defOptions(d),
 	}
 	lang, err := b.Build()
 	if err != nil {
@@ -115,58 +140,18 @@ func buildDef(d LanguageDef) (l *langs.Language, err error) {
 	return lang, nil
 }
 
-// defKey hashes every LanguageDef field that influences compilation into a
-// canonical content key. Map fields are serialized in sorted order; every
-// string is length-prefixed so field boundaries cannot collide.
-func defKey(d LanguageDef) string {
-	h := sha256.New()
-	hashStr(h, d.Name)
-	hashStr(h, d.Grammar)
-	hashInt(h, len(d.Lexer))
-	for _, r := range d.Lexer {
-		hashStr(h, r.Name)
-		hashStr(h, r.Pattern)
-		if r.Skip {
-			h.Write([]byte{1})
-		} else {
-			h.Write([]byte{0})
-		}
-	}
-	hashMap(h, d.TokenSyms)
-	hashMap(h, d.Keywords)
-	hashStr(h, d.IdentRule)
-	h.Write([]byte{byte(d.Method)})
-	flags := byte(0)
-	if d.PreferShift {
-		flags |= 1
-	}
-	if d.NoPrecedence {
-		flags |= 2
-	}
-	h.Write([]byte{flags})
-	return string(h.Sum(nil))
+// defHash is the canonical content hash of every LanguageDef field that
+// influences compilation (langs.HashDef). The memory cache keys on it, and
+// compiled disk artifacts embed it for self-invalidation.
+func defHash(d LanguageDef) [32]byte {
+	return langs.HashDef(d.Name, d.Grammar, d.Lexer, d.TokenSyms, d.Keywords, d.IdentRule, defOptions(d))
 }
 
-func hashStr(h hash.Hash, s string) {
-	hashInt(h, len(s))
-	h.Write([]byte(s))
-}
-
-func hashInt(h hash.Hash, n int) {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(n))
-	h.Write(buf[:])
-}
-
-func hashMap(h hash.Hash, m map[string]string) {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	hashInt(h, len(keys))
-	for _, k := range keys {
-		hashStr(h, k)
-		hashStr(h, m[k])
+// defOptions translates the public definition knobs into table options.
+func defOptions(d LanguageDef) lr.Options {
+	return lr.Options{
+		Method:       d.Method,
+		PreferShift:  d.PreferShift,
+		NoPrecedence: d.NoPrecedence,
 	}
 }

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	incremental "iglr"
+	"iglr/internal/langcodec"
+	"iglr/internal/langreg"
+)
+
+// The -json mode: a machine-readable benchmark of the compiled-artifact
+// pipeline, meant for CI artifact upload and regression tracking rather than
+// human reading. For each bundled language it measures the cold build (full
+// LR + lexer subset construction), artifact decode, the on-disk hit path
+// (read + decode), parse cost over the language's samples, and lexer
+// throughput, alongside static footprint numbers.
+
+// LangBench is one language's row in the report.
+type LangBench struct {
+	Name          string `json:"name"`
+	Method        string `json:"method"`
+	ArtifactBytes int    `json:"artifact_bytes"`
+
+	// Cold start: full construction from the definition.
+	ColdBuildNsPerOp   int64 `json:"cold_build_ns_per_op"`
+	ColdBuildAllocsPer int64 `json:"cold_build_allocs_per_op"`
+	// Warm start: decoding an in-memory artifact.
+	DecodeNsPerOp   int64 `json:"decode_ns_per_op"`
+	DecodeAllocsPer int64 `json:"decode_allocs_per_op"`
+	// Disk hit: reading + decoding the artifact file (the cache-hit path).
+	DiskHitNsPerOp int64 `json:"disk_hit_ns_per_op"`
+	// ColdBuild / Decode.
+	Speedup float64 `json:"speedup"`
+
+	TableStates         int `json:"table_states"`
+	TableFootprintBytes int `json:"table_footprint_bytes"`
+	ActionCells         int `json:"action_cells"`
+	GotoCells           int `json:"goto_cells"`
+	DFAStates           int `json:"dfa_states"`
+	ByteClasses         int `json:"byte_classes"`
+
+	// Dynamic costs over the language's bundled samples (zero when the
+	// language has none).
+	ParseNsPerOp     int64   `json:"parse_ns_per_op,omitempty"`
+	ParseAllocsPerOp int64   `json:"parse_allocs_per_op,omitempty"`
+	LexMBPerSec      float64 `json:"lex_mb_per_sec,omitempty"`
+}
+
+// BenchReport is the top-level JSON document.
+type BenchReport struct {
+	GoVersion string      `json:"go_version"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	NumCPU    int         `json:"num_cpu"`
+	Format    int         `json:"artifact_format_version"`
+	Languages []LangBench `json:"languages"`
+}
+
+func runArtifactBench(outPath string) error {
+	tmp, err := os.MkdirTemp("", "paperbench-artifacts-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	report := BenchReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Format:    langcodec.FormatVersion,
+	}
+
+	for _, e := range langreg.All() {
+		l := e.Lang()
+		data := langcodec.Encode(l)
+		path := filepath.Join(tmp, e.Name+langcodec.FileExt)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+
+		row := LangBench{
+			Name:          e.Name,
+			Method:        fmt.Sprint(l.Table.Method()),
+			ArtifactBytes: len(data),
+			TableStates:   l.Table.NumStates(),
+
+			TableFootprintBytes: l.Table.Footprint(),
+			DFAStates:           l.Spec.NumStates(),
+			ByteClasses:         l.Spec.NumClasses(),
+		}
+		row.ActionCells, row.GotoCells = l.Table.TableSize()
+
+		cold := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Fresh().Build(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		row.ColdBuildNsPerOp = cold.NsPerOp()
+		row.ColdBuildAllocsPer = cold.AllocsPerOp()
+
+		dec := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := langcodec.Decode(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		row.DecodeNsPerOp = dec.NsPerOp()
+		row.DecodeAllocsPer = dec.AllocsPerOp()
+		if row.DecodeNsPerOp > 0 {
+			row.Speedup = float64(row.ColdBuildNsPerOp) / float64(row.DecodeNsPerOp)
+		}
+
+		hit := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				raw, err := os.ReadFile(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := langcodec.Decode(raw); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		row.DiskHitNsPerOp = hit.NsPerOp()
+
+		if len(e.Samples) > 0 {
+			pub, ok := incremental.BundledLanguage(e.Name)
+			if !ok {
+				return fmt.Errorf("%s: registered but not bundled", e.Name)
+			}
+			// Each sample is a complete program; parse them one per session.
+			parse := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					for _, src := range e.Samples {
+						s := incremental.NewSession(pub, src)
+						if _, err := s.Parse(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+			row.ParseNsPerOp = parse.NsPerOp()
+			row.ParseAllocsPerOp = parse.AllocsPerOp()
+
+			lexSrc := strings.Repeat(strings.Join(e.Samples, "\n")+"\n", 256)
+			lex := testing.Benchmark(func(b *testing.B) {
+				b.SetBytes(int64(len(lexSrc)))
+				for i := 0; i < b.N; i++ {
+					l.Spec.Scan(lexSrc)
+				}
+			})
+			if d := lex.T; d > 0 {
+				bytes := float64(len(lexSrc)) * float64(lex.N)
+				row.LexMBPerSec = bytes / d.Seconds() / 1e6
+			}
+		}
+
+		fmt.Fprintf(os.Stderr, "%-16s cold %s  decode %s  disk hit %s  %.0fx  %d B\n",
+			e.Name,
+			time.Duration(row.ColdBuildNsPerOp),
+			time.Duration(row.DecodeNsPerOp),
+			time.Duration(row.DiskHitNsPerOp),
+			row.Speedup, row.ArtifactBytes)
+		report.Languages = append(report.Languages, row)
+	}
+
+	out, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	return os.WriteFile(outPath, out, 0o644)
+}

@@ -5,13 +5,18 @@
 // Usage:
 //
 //	paperbench [-exp all|table1|figure4|figure7|section5|asymptotics|staging|parallel] [-scale 1.0]
-//	           [-budget] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	           [-budget] [-json out.json] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -scale shrinks the Table 1 / Figure 4 program sizes for quick runs.
 // -budget runs the resource-governance sweep instead: a corpus salted
 // with pathologically ambiguous files is driven through the engine under
 // per-file budgets of decreasing strictness, reporting budget trips,
 // degraded (pruned) completions, and failures at each level.
+// -json runs the compiled-artifact benchmark suite instead — per bundled
+// language: cold build vs artifact decode vs disk-hit load times, parse
+// ns/op and allocs/op, lexer MB/s, and table/DFA footprints — and writes
+// the machine-readable report to the given file (see BENCH_parse.json for
+// a committed reference run).
 // -cpuprofile and -memprofile write pprof profiles covering the selected
 // experiments (the memory profile is a heap snapshot taken after they
 // finish), for inspecting the hot path outside the go test harness.
@@ -37,6 +42,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: all, table1, figure4, figure7, section5, asymptotics, staging, earley, ablation, parallel")
 	scale := flag.Float64("scale", 1.0, "scale factor for program sizes")
 	budget := flag.Bool("budget", false, "run the resource-budget sweep (trips/degradations under per-file policies)")
+	jsonOut := flag.String("json", "", "write the compiled-artifact benchmark suite (cold vs cached language loads, lexer MB/s, table footprints) as JSON to this file and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -68,6 +74,14 @@ func main() {
 				os.Exit(1)
 			}
 		}()
+	}
+
+	if *jsonOut != "" {
+		if err := runArtifactBench(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: -json: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *budget {

@@ -1,0 +1,88 @@
+package incremental
+
+import (
+	"encoding/hex"
+	"os"
+	"path/filepath"
+
+	"iglr/internal/langcodec"
+	"iglr/internal/langs"
+)
+
+// The disk layer of the two-level language cache. Artifacts are compiled
+// language files (internal/langcodec) named by the definition's content
+// hash, so a stale file is simply never looked up again and any hash
+// collision inside a file is caught by the artifact's own embedded hash and
+// checksum. All disk failures degrade silently to recompilation: the cache
+// is an accelerator, never a correctness dependency.
+
+// defaultCompiledCacheDir resolves the per-user artifact directory; ok is
+// false when the platform reports no user cache location.
+func defaultCompiledCacheDir() (string, bool) {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", false
+	}
+	return filepath.Join(base, "iglr", "compiled"), true
+}
+
+// compiledCacheDir resolves the artifact directory for d; ok is false when
+// the disk layer is disabled.
+func compiledCacheDir(d LanguageDef) (string, bool) {
+	if d.noDiskCache {
+		return "", false
+	}
+	if d.compiledCacheDir != "" {
+		return d.compiledCacheDir, true
+	}
+	return defaultCompiledCacheDir()
+}
+
+func artifactPath(dir string, hash [32]byte) string {
+	return filepath.Join(dir, hex.EncodeToString(hash[:])+langcodec.FileExt)
+}
+
+// loadCompiledArtifact decodes the artifact for hash from dir, or nil when
+// absent or unusable. Unusable files (corrupt, version-mismatched, or
+// carrying the wrong definition hash) are removed so they are not re-read
+// and re-rejected on every cold start.
+func loadCompiledArtifact(dir string, hash [32]byte) *langs.Language {
+	path := artifactPath(dir, hash)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	l, err := langcodec.Decode(data)
+	if err != nil || l.Hash != hash {
+		os.Remove(path)
+		return nil
+	}
+	return l
+}
+
+// storeCompiledArtifact writes l as an artifact in dir, best-effort: a
+// temp-file-plus-rename keeps concurrent readers (and crashed writers) from
+// ever observing a partial file, and any failure simply leaves the cache
+// cold for the next process.
+func storeCompiledArtifact(dir string, hash [32]byte, l *langs.Language) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	f, err := os.CreateTemp(dir, "tmp-*"+langcodec.FileExt)
+	if err != nil {
+		return
+	}
+	data := langcodec.Encode(l)
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return
+	}
+	if err := os.Rename(f.Name(), artifactPath(dir, hash)); err != nil {
+		os.Remove(f.Name())
+	}
+}

@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	incremental "iglr"
+)
+
+// writeArtifacts compiles a few bundled languages into dir.
+func writeArtifacts(t *testing.T, dir string, names ...string) {
+	t.Helper()
+	for _, name := range names {
+		l, ok := incremental.BundledLanguage(name)
+		if !ok {
+			t.Fatalf("no bundled language %q", name)
+		}
+		if err := l.SaveCompiledFile(filepath.Join(dir, name+incremental.CompiledExt)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLoadLanguages(t *testing.T) {
+	dir := t.TempDir()
+	writeArtifacts(t, dir, "expr", "c-subset", "java-subset")
+	// Non-artifact clutter is ignored.
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	langs, err := LoadLanguages(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(langs) != 3 {
+		t.Fatalf("loaded %d languages, want 3: %v", len(langs), langs)
+	}
+	l, ok := langs["c-subset"]
+	if !ok {
+		t.Fatal("c-subset missing")
+	}
+	// A loaded language must drive the batch engine end to end.
+	batch, err := ParseAll(context.Background(), l, []Input{
+		{Name: "a.c", Source: "int a = 1;"},
+		{Name: "b.c", Source: "int b = 2; { b = b + 1; }"},
+	}, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range batch.Results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Name, r.Err)
+		}
+	}
+}
+
+func TestLoadLanguagesRejectsCorruptArtifact(t *testing.T) {
+	dir := t.TempDir()
+	writeArtifacts(t, dir, "expr")
+	path := filepath.Join(dir, "expr"+incremental.CompiledExt)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadLanguages(dir); err == nil {
+		t.Fatal("corrupt artifact must be a deployment error, not a silent skip")
+	}
+}
+
+func TestLoadLanguagesRejectsDuplicateNames(t *testing.T) {
+	dir := t.TempDir()
+	writeArtifacts(t, dir, "expr")
+	src := filepath.Join(dir, "expr"+incremental.CompiledExt)
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "expr-copy"+incremental.CompiledExt), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadLanguages(dir)
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate names must error, got %v", err)
+	}
+}

@@ -154,6 +154,12 @@ type LanguageDef struct {
 
 	// noCache bypasses the compiled-language cache (set via WithoutCache).
 	noCache bool
+	// compiledCacheDir overrides the disk-artifact cache directory (set via
+	// WithCompiledCache); empty means the per-user default.
+	compiledCacheDir string
+	// noDiskCache disables the disk-artifact layer only (set via
+	// WithoutCompiledCache); the memory layer still applies.
+	noDiskCache bool
 }
 
 // Language is a compiled language definition. It is immutable: every

@@ -1,0 +1,210 @@
+// Package langcodec serializes compiled languages as versioned, content-
+// hashed binary artifacts (.cclang files). An artifact carries everything a
+// process needs to parse — the grammar with its precomputed analyses, the
+// packed dense LR tables, the minimized equivalence-class-compressed lexer
+// DFA, and the token→terminal mapping — so decoding reconstructs a ready-
+// to-parse Language without LR construction or subset construction.
+//
+// Layout:
+//
+//	magic "CCLG" | uvarint format version | 32-byte definition hash |
+//	payload (name, grammar, compiled table, lexer spec, token map) |
+//	32-byte SHA-256 checksum over every preceding byte
+//
+// The definition hash (langs.HashDef) invalidates artifacts whose source
+// definition changed in any way; the format version invalidates artifacts
+// written by an incompatible codec; the trailing checksum rejects truncated
+// or bit-flipped files before any section decoder runs. Consumers treat all
+// three failures as "artifact absent" and recompile.
+package langcodec
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"iglr/internal/grammar"
+	"iglr/internal/langs"
+	"iglr/internal/lexer"
+	"iglr/internal/lr"
+)
+
+// Magic identifies compiled language artifact files.
+const Magic = "CCLG"
+
+// FormatVersion is bumped whenever any embedded section format changes;
+// older artifacts then silently recompile.
+const FormatVersion = 1
+
+// FileExt is the conventional artifact file extension.
+const FileExt = ".cclang"
+
+// Sentinel decode failures. Both mean "recompile from source"; they are
+// distinguished so tools (langc verify, cache stats) can report why.
+var (
+	// ErrCorrupt reports a truncated, bit-flipped, or non-artifact file.
+	ErrCorrupt = errors.New("langcodec: corrupt artifact")
+	// ErrVersion reports an artifact written by an incompatible format
+	// version.
+	ErrVersion = errors.New("langcodec: artifact format version mismatch")
+)
+
+// Encode serializes l as a compiled language artifact.
+func Encode(l *langs.Language) []byte {
+	buf := make([]byte, 0, 1<<16)
+	buf = append(buf, Magic...)
+	buf = binary.AppendUvarint(buf, FormatVersion)
+	buf = append(buf, l.Hash[:]...)
+
+	buf = binary.AppendUvarint(buf, uint64(len(l.Name)))
+	buf = append(buf, l.Name...)
+	buf = l.Grammar.AppendBinary(buf)
+	buf = l.Table.AppendCompiled(buf)
+	buf = l.Spec.AppendBinary(buf)
+	buf = appendTokenMap(buf, l.Tokens)
+
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...)
+}
+
+func appendTokenMap(buf []byte, tm langs.TokenMap) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(tm.RuleSyms)))
+	for _, s := range tm.RuleSyms {
+		buf = binary.AppendVarint(buf, int64(s))
+	}
+	keys := make([]string, 0, len(tm.Keywords))
+	for k := range tm.Keywords {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf = binary.AppendUvarint(buf, uint64(len(keys)))
+	for _, k := range keys {
+		buf = binary.AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+		buf = binary.AppendVarint(buf, int64(tm.Keywords[k]))
+	}
+	return binary.AppendVarint(buf, int64(tm.IdentRule))
+}
+
+// Decode reconstructs a Language from an artifact produced by Encode. The
+// checksum is verified before anything else, so no section decoder ever
+// sees corrupted bytes; a version mismatch is reported as ErrVersion after
+// the checksum proves the file intact.
+func Decode(data []byte) (*langs.Language, error) {
+	if len(data) < len(Magic)+sha256.Size+1 {
+		return nil, ErrCorrupt
+	}
+	body, trailer := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+	if sum := sha256.Sum256(body); string(sum[:]) != string(trailer) {
+		return nil, ErrCorrupt
+	}
+	if string(body[:len(Magic)]) != Magic {
+		return nil, ErrCorrupt
+	}
+	body = body[len(Magic):]
+	v, n := binary.Uvarint(body)
+	if n <= 0 {
+		return nil, ErrCorrupt
+	}
+	if v != FormatVersion {
+		return nil, ErrVersion
+	}
+	body = body[n:]
+	if len(body) < sha256.Size {
+		return nil, ErrCorrupt
+	}
+	var hash [32]byte
+	copy(hash[:], body)
+	body = body[sha256.Size:]
+
+	nameLen, n := binary.Uvarint(body)
+	if n <= 0 || nameLen > uint64(len(body)-n) {
+		return nil, fmt.Errorf("%w: bad name", ErrCorrupt)
+	}
+	name := string(body[n : n+int(nameLen)])
+	body = body[n+int(nameLen):]
+
+	g, rest, err := grammar.DecodeBinary(body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: grammar: %v", ErrCorrupt, err)
+	}
+	tbl, rest, err := lr.DecodeCompiled(g, rest)
+	if err != nil {
+		return nil, fmt.Errorf("%w: table: %v", ErrCorrupt, err)
+	}
+	spec, rest, err := lexer.DecodeSpec(rest)
+	if err != nil {
+		return nil, fmt.Errorf("%w: lexer: %v", ErrCorrupt, err)
+	}
+	tm, rest, err := decodeTokenMap(rest, g, spec)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(rest))
+	}
+	return &langs.Language{
+		Name:    name,
+		Grammar: g,
+		Spec:    spec,
+		Table:   tbl,
+		Map:     tm.Mapper(),
+		Tokens:  tm,
+		Hash:    hash,
+	}, nil
+}
+
+func decodeTokenMap(data []byte, g *grammar.Grammar, spec *lexer.Spec) (langs.TokenMap, []byte, error) {
+	var tm langs.TokenMap
+	fail := func(what string) (langs.TokenMap, []byte, error) {
+		return tm, nil, fmt.Errorf("%w: token map: %s", ErrCorrupt, what)
+	}
+	nRules, n := binary.Uvarint(data)
+	if n <= 0 || int(nRules) != spec.NumRules() {
+		return fail("rule count mismatch")
+	}
+	data = data[n:]
+	tm.RuleSyms = make([]grammar.Sym, nRules)
+	for i := range tm.RuleSyms {
+		v, n := binary.Varint(data)
+		if n <= 0 || !validMapSym(g, grammar.Sym(v)) {
+			return fail("rule symbol out of range")
+		}
+		tm.RuleSyms[i] = grammar.Sym(v)
+		data = data[n:]
+	}
+	nKw, n := binary.Uvarint(data)
+	if n <= 0 || nKw > uint64(len(data)) {
+		return fail("keyword count")
+	}
+	data = data[n:]
+	tm.Keywords = make(map[string]grammar.Sym, nKw)
+	for i := uint64(0); i < nKw; i++ {
+		kl, n := binary.Uvarint(data)
+		if n <= 0 || kl > uint64(len(data)-n) {
+			return fail("keyword text")
+		}
+		k := string(data[n : n+int(kl)])
+		data = data[n+int(kl):]
+		v, n := binary.Varint(data)
+		s := grammar.Sym(v)
+		if n <= 0 || s == grammar.InvalidSym || !validMapSym(g, s) {
+			return fail("keyword symbol out of range")
+		}
+		tm.Keywords[k] = s
+		data = data[n:]
+	}
+	v, n := binary.Varint(data)
+	if n <= 0 || v < -1 || v >= int64(nRules) {
+		return fail("ident rule out of range")
+	}
+	tm.IdentRule = int(v)
+	return tm, data[n:], nil
+}
+
+// validMapSym accepts InvalidSym (an unmapped rule) or any symbol of g.
+func validMapSym(g *grammar.Grammar, s grammar.Sym) bool {
+	return s == grammar.InvalidSym || (s >= 0 && int(s) < g.NumSymbols())
+}

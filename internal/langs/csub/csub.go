@@ -51,38 +51,43 @@ Args : ArgList | ;
 ArgList : Expr | ArgList ',' Expr ;
 `
 
-var def = &langs.Builder{
-	Name:    "c-subset",
-	GramSrc: GrammarSrc,
-	LexRules: []lexer.Rule{
-		{Name: "WS", Pattern: `[ \t\n\r]+`, Skip: true},
-		{Name: "COMMENT", Pattern: `/\*([^*]|\*+[^*/])*\*+/`, Skip: true},
-		{Name: "LINECOMMENT", Pattern: `//[^\n]*`, Skip: true},
-		{Name: "ID", Pattern: `[a-zA-Z_][a-zA-Z0-9_]*`},
-		{Name: "NUM", Pattern: `[0-9]+`},
-		{Name: "SEMI", Pattern: `;`},
-		{Name: "LP", Pattern: `\(`},
-		{Name: "RP", Pattern: `\)`},
-		{Name: "LB", Pattern: `\{`},
-		{Name: "RB", Pattern: `\}`},
-		{Name: "EQ", Pattern: `=`},
-		{Name: "PLUS", Pattern: `\+`},
-		{Name: "STAR", Pattern: `\*`},
-		{Name: "COMMA", Pattern: `,`},
-	},
-	IdentRule: "ID",
-	Keywords: map[string]string{
-		"typedef": "TYPEDEF",
-		"int":     "INT",
-		"return":  "RETURN",
-	},
-	TokenSyms: map[string]string{
-		"ID": "ID", "NUM": "NUM", "SEMI": "';'",
-		"LP": "'('", "RP": "')'", "LB": "'{'", "RB": "'}'",
-		"EQ": "'='", "PLUS": "'+'", "STAR": "'*'", "COMMA": "','",
-	},
-	Options: lr.Options{Method: lr.LALR},
+// NewBuilder returns a fresh, un-built copy of the language definition.
+func NewBuilder() *langs.Builder {
+	return &langs.Builder{
+		Name:    "c-subset",
+		GramSrc: GrammarSrc,
+		LexRules: []lexer.Rule{
+			{Name: "WS", Pattern: `[ \t\n\r]+`, Skip: true},
+			{Name: "COMMENT", Pattern: `/\*([^*]|\*+[^*/])*\*+/`, Skip: true},
+			{Name: "LINECOMMENT", Pattern: `//[^\n]*`, Skip: true},
+			{Name: "ID", Pattern: `[a-zA-Z_][a-zA-Z0-9_]*`},
+			{Name: "NUM", Pattern: `[0-9]+`},
+			{Name: "SEMI", Pattern: `;`},
+			{Name: "LP", Pattern: `\(`},
+			{Name: "RP", Pattern: `\)`},
+			{Name: "LB", Pattern: `\{`},
+			{Name: "RB", Pattern: `\}`},
+			{Name: "EQ", Pattern: `=`},
+			{Name: "PLUS", Pattern: `\+`},
+			{Name: "STAR", Pattern: `\*`},
+			{Name: "COMMA", Pattern: `,`},
+		},
+		IdentRule: "ID",
+		Keywords: map[string]string{
+			"typedef": "TYPEDEF",
+			"int":     "INT",
+			"return":  "RETURN",
+		},
+		TokenSyms: map[string]string{
+			"ID": "ID", "NUM": "NUM", "SEMI": "';'",
+			"LP": "'('", "RP": "')'", "LB": "'{'", "RB": "'}'",
+			"EQ": "'='", "PLUS": "'+'", "STAR": "'*'", "COMMA": "','",
+		},
+		Options: lr.Options{Method: lr.LALR},
+	}
 }
+
+var def = NewBuilder()
 
 // Lang returns the C-subset language definition.
 func Lang() *langs.Language { return def.Lang() }

@@ -62,21 +62,33 @@ func tokenSyms() map[string]string {
 	}
 }
 
-var def = &langs.Builder{
-	Name:      "expr",
-	GramSrc:   gramSrc,
-	LexRules:  rules(),
-	Options:   lr.Options{Method: lr.LALR},
-	TokenSyms: tokenSyms(),
+// NewBuilder returns a fresh, un-built definition of the disambiguated
+// expression language (for recompiling with different table options).
+func NewBuilder() *langs.Builder {
+	return &langs.Builder{
+		Name:      "expr",
+		GramSrc:   gramSrc,
+		LexRules:  rules(),
+		Options:   lr.Options{Method: lr.LALR},
+		TokenSyms: tokenSyms(),
+	}
 }
 
-var ambigDef = &langs.Builder{
-	Name:      "expr-ambiguous",
-	GramSrc:   ambigSrc,
-	LexRules:  rules(),
-	Options:   lr.Options{Method: lr.LALR},
-	TokenSyms: tokenSyms(),
+// NewAmbiguousBuilder returns a fresh, un-built definition of the raw
+// ambiguous expression language.
+func NewAmbiguousBuilder() *langs.Builder {
+	return &langs.Builder{
+		Name:      "expr-ambiguous",
+		GramSrc:   ambigSrc,
+		LexRules:  rules(),
+		Options:   lr.Options{Method: lr.LALR},
+		TokenSyms: tokenSyms(),
+	}
 }
+
+var def = NewBuilder()
+
+var ambigDef = NewAmbiguousBuilder()
 
 // Lang returns the statically disambiguated expression language.
 func Lang() *langs.Language { return def.Lang() }

@@ -115,60 +115,65 @@ Args    : ArgList | ;
 ArgList : Expr | ArgList ',' Expr ;
 `
 
-var def = &langs.Builder{
-	Name:    "java-subset",
-	GramSrc: GrammarSrc,
-	LexRules: []lexer.Rule{
-		{Name: "WS", Pattern: `[ \t\n\r]+`, Skip: true},
-		{Name: "COMMENT", Pattern: `/\*([^*]|\*+[^*/])*\*+/`, Skip: true},
-		{Name: "LINECOMMENT", Pattern: `//[^\n]*`, Skip: true},
-		{Name: "ID", Pattern: `[a-zA-Z_$][a-zA-Z0-9_$]*`},
-		{Name: "NUM", Pattern: `[0-9]+(\.[0-9]+)?`},
-		{Name: "STR", Pattern: `"([^"\\\n]|\\.)*"`},
-		{Name: "OROR", Pattern: `\|\|`},
-		{Name: "ANDAND", Pattern: `&&`},
-		{Name: "EQEQ", Pattern: `==`},
-		{Name: "NEQ", Pattern: `!=`},
-		{Name: "LE", Pattern: `<=`},
-		{Name: "GE", Pattern: `>=`},
-		{Name: "EQ", Pattern: `=`},
-		{Name: "LT", Pattern: `<`},
-		{Name: "GT", Pattern: `>`},
-		{Name: "NOT", Pattern: `!`},
-		{Name: "PLUS", Pattern: `\+`},
-		{Name: "MINUS", Pattern: `-`},
-		{Name: "STAR", Pattern: `\*`},
-		{Name: "SLASH", Pattern: `/`},
-		{Name: "PCT", Pattern: `%`},
-		{Name: "SEMI", Pattern: `;`},
-		{Name: "COMMA", Pattern: `,`},
-		{Name: "DOT", Pattern: `\.`},
-		{Name: "LP", Pattern: `\(`},
-		{Name: "RP", Pattern: `\)`},
-		{Name: "LB", Pattern: `\{`},
-		{Name: "RB", Pattern: `\}`},
-		{Name: "LS", Pattern: `\[`},
-		{Name: "RS", Pattern: `\]`},
-	},
-	IdentRule: "ID",
-	Keywords: map[string]string{
-		"class": "CLASS", "public": "PUBLIC", "static": "STATIC",
-		"void": "VOID", "int": "INT", "boolean": "BOOLEAN",
-		"if": "IF", "else": "ELSE", "while": "WHILE", "for": "FOR",
-		"return": "RETURN", "new": "NEW", "true": "TRUE", "false": "FALSE",
-		"null": "NULL", "this": "THIS", "break": "BREAK", "continue": "CONTINUE",
-	},
-	TokenSyms: map[string]string{
-		"ID": "ID", "NUM": "NUM", "STR": "STR",
-		"OROR": "OROR", "ANDAND": "ANDAND", "EQEQ": "EQEQ", "NEQ": "NEQ",
-		"LE": "LE", "GE": "GE",
-		"EQ": "'='", "LT": "'<'", "GT": "'>'", "NOT": "'!'",
-		"PLUS": "'+'", "MINUS": "'-'", "STAR": "'*'", "SLASH": "'/'", "PCT": "'%'",
-		"SEMI": "';'", "COMMA": "','", "DOT": "'.'",
-		"LP": "'('", "RP": "')'", "LB": "'{'", "RB": "'}'", "LS": "'['", "RS": "']'",
-	},
-	Options: lr.Options{Method: lr.LALR, PreferShift: true},
+// NewBuilder returns a fresh, un-built copy of the language definition.
+func NewBuilder() *langs.Builder {
+	return &langs.Builder{
+		Name:    "java-subset",
+		GramSrc: GrammarSrc,
+		LexRules: []lexer.Rule{
+			{Name: "WS", Pattern: `[ \t\n\r]+`, Skip: true},
+			{Name: "COMMENT", Pattern: `/\*([^*]|\*+[^*/])*\*+/`, Skip: true},
+			{Name: "LINECOMMENT", Pattern: `//[^\n]*`, Skip: true},
+			{Name: "ID", Pattern: `[a-zA-Z_$][a-zA-Z0-9_$]*`},
+			{Name: "NUM", Pattern: `[0-9]+(\.[0-9]+)?`},
+			{Name: "STR", Pattern: `"([^"\\\n]|\\.)*"`},
+			{Name: "OROR", Pattern: `\|\|`},
+			{Name: "ANDAND", Pattern: `&&`},
+			{Name: "EQEQ", Pattern: `==`},
+			{Name: "NEQ", Pattern: `!=`},
+			{Name: "LE", Pattern: `<=`},
+			{Name: "GE", Pattern: `>=`},
+			{Name: "EQ", Pattern: `=`},
+			{Name: "LT", Pattern: `<`},
+			{Name: "GT", Pattern: `>`},
+			{Name: "NOT", Pattern: `!`},
+			{Name: "PLUS", Pattern: `\+`},
+			{Name: "MINUS", Pattern: `-`},
+			{Name: "STAR", Pattern: `\*`},
+			{Name: "SLASH", Pattern: `/`},
+			{Name: "PCT", Pattern: `%`},
+			{Name: "SEMI", Pattern: `;`},
+			{Name: "COMMA", Pattern: `,`},
+			{Name: "DOT", Pattern: `\.`},
+			{Name: "LP", Pattern: `\(`},
+			{Name: "RP", Pattern: `\)`},
+			{Name: "LB", Pattern: `\{`},
+			{Name: "RB", Pattern: `\}`},
+			{Name: "LS", Pattern: `\[`},
+			{Name: "RS", Pattern: `\]`},
+		},
+		IdentRule: "ID",
+		Keywords: map[string]string{
+			"class": "CLASS", "public": "PUBLIC", "static": "STATIC",
+			"void": "VOID", "int": "INT", "boolean": "BOOLEAN",
+			"if": "IF", "else": "ELSE", "while": "WHILE", "for": "FOR",
+			"return": "RETURN", "new": "NEW", "true": "TRUE", "false": "FALSE",
+			"null": "NULL", "this": "THIS", "break": "BREAK", "continue": "CONTINUE",
+		},
+		TokenSyms: map[string]string{
+			"ID": "ID", "NUM": "NUM", "STR": "STR",
+			"OROR": "OROR", "ANDAND": "ANDAND", "EQEQ": "EQEQ", "NEQ": "NEQ",
+			"LE": "LE", "GE": "GE",
+			"EQ": "'='", "LT": "'<'", "GT": "'>'", "NOT": "'!'",
+			"PLUS": "'+'", "MINUS": "'-'", "STAR": "'*'", "SLASH": "'/'", "PCT": "'%'",
+			"SEMI": "';'", "COMMA": "','", "DOT": "'.'",
+			"LP": "'('", "RP": "')'", "LB": "'{'", "RB": "'}'", "LS": "'['", "RS": "']'",
+		},
+		Options: lr.Options{Method: lr.LALR, PreferShift: true},
+	}
 }
+
+var def = NewBuilder()
 
 // Lang returns the Java-subset language.
 func Lang() *langs.Language { return def.Lang() }

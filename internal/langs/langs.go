@@ -7,7 +7,11 @@
 package langs
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
+	"hash"
+	"sort"
 	"sync"
 
 	"iglr/internal/dag"
@@ -29,6 +33,41 @@ type Language struct {
 	Spec    *lexer.Spec
 	Table   *lr.Table
 	Map     document.TokenMapper
+	// Tokens is the frozen token→terminal mapping data Map closes over; it
+	// exists as data (not only as a closure) so compiled language artifacts
+	// can serialize it.
+	Tokens TokenMap
+	// Hash is the content hash of the definition this language was compiled
+	// from (HashDef); artifacts embed it so stale files self-invalidate.
+	Hash [32]byte
+}
+
+// TokenMap is the token→terminal mapping in data form.
+type TokenMap struct {
+	// RuleSyms maps a lexer rule index to its grammar terminal, or
+	// grammar.InvalidSym when the rule has no mapping.
+	RuleSyms []grammar.Sym
+	// Keywords maps exact lexeme text of the IdentRule to keyword terminals.
+	Keywords map[string]grammar.Sym
+	// IdentRule is the rule index whose lexemes consult Keywords, or -1.
+	IdentRule int
+}
+
+// Mapper returns the TokenMapper closure over the frozen mapping.
+func (m TokenMap) Mapper() document.TokenMapper {
+	return func(rule int, text string) grammar.Sym {
+		if rule == m.IdentRule {
+			if s, ok := m.Keywords[text]; ok {
+				return s
+			}
+		}
+		if rule >= 0 && rule < len(m.RuleSyms) {
+			if s := m.RuleSyms[rule]; s != grammar.InvalidSym {
+				return s
+			}
+		}
+		return grammar.ErrorSym
+	}
 }
 
 // NewDocument creates a document over src for this language.
@@ -158,16 +197,84 @@ func (b *Builder) build() (*Language, error) {
 			return nil, stageErr("tokens", "IdentRule %s not in lexer spec", b.IdentRule)
 		}
 	}
-	mapper := func(rule int, text string) grammar.Sym {
-		if rule == identIdx {
-			if s, ok := kw[text]; ok {
-				return s
-			}
+	tm := TokenMap{RuleSyms: ruleSyms, Keywords: kw, IdentRule: identIdx}
+	return &Language{
+		Name:    b.Name,
+		Grammar: g,
+		Spec:    spec,
+		Table:   tbl,
+		Map:     tm.Mapper(),
+		Tokens:  tm,
+		Hash:    b.Hash(),
+	}, nil
+}
+
+// Hash returns the content hash of the builder's definition (HashDef over
+// its fields).
+func (b *Builder) Hash() [32]byte {
+	return HashDef(b.Name, b.GramSrc, b.LexRules, b.TokenSyms, b.Keywords, b.IdentRule, b.Options)
+}
+
+// HashDef hashes every field that influences language compilation into a
+// canonical content key: the memory cache uses it to deduplicate identical
+// definitions, and compiled artifacts embed it so a stale file (any edit to
+// the grammar, lexer rules, token mapping, or table options) self-invalidates.
+// Map fields are serialized in sorted order; every string is length-prefixed
+// so field boundaries cannot collide.
+func HashDef(name, gramSrc string, rules []lexer.Rule, tokenSyms, keywords map[string]string, identRule string, opts lr.Options) [32]byte {
+	h := sha256.New()
+	hashStr(h, name)
+	hashStr(h, gramSrc)
+	hashInt(h, len(rules))
+	for _, r := range rules {
+		hashStr(h, r.Name)
+		hashStr(h, r.Pattern)
+		if r.Skip {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
 		}
-		if s := ruleSyms[rule]; s != grammar.InvalidSym {
-			return s
-		}
-		return grammar.ErrorSym
 	}
-	return &Language{Name: b.Name, Grammar: g, Spec: spec, Table: tbl, Map: mapper}, nil
+	hashMap(h, tokenSyms)
+	hashMap(h, keywords)
+	hashStr(h, identRule)
+	h.Write([]byte{byte(opts.Method)})
+	flags := byte(0)
+	if opts.PreferShift {
+		flags |= 1
+	}
+	if opts.NoPrecedence {
+		flags |= 2
+	}
+	if opts.PreferEarlierRule {
+		flags |= 4
+	}
+	h.Write([]byte{flags})
+	var sum [32]byte
+	h.Sum(sum[:0])
+	return sum
+}
+
+func hashStr(h hash.Hash, s string) {
+	hashInt(h, len(s))
+	h.Write([]byte(s))
+}
+
+func hashInt(h hash.Hash, n int) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(n))
+	h.Write(buf[:])
+}
+
+func hashMap(h hash.Hash, m map[string]string) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	hashInt(h, len(keys))
+	for _, k := range keys {
+		hashStr(h, k)
+		hashStr(h, m[k])
+	}
 }

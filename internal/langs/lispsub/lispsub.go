@@ -28,25 +28,30 @@ List : '(' Form* ')' ;
 Atom : SYMBOL | NUMBER | STRING ;
 `
 
-var def = &langs.Builder{
-	Name:    "lisp-subset",
-	GramSrc: GrammarSrc,
-	LexRules: []lexer.Rule{
-		{Name: "WS", Pattern: `[ \t\n\r]+`, Skip: true},
-		{Name: "COMMENT", Pattern: `;[^\n]*`, Skip: true},
-		{Name: "NUMBER", Pattern: `-?[0-9]+(\.[0-9]+)?`},
-		{Name: "STRING", Pattern: `"([^"\\]|\\.)*"`},
-		{Name: "QUOTE", Pattern: `'`},
-		{Name: "LP", Pattern: `\(`},
-		{Name: "RP", Pattern: `\)`},
-		{Name: "SYMBOL", Pattern: `[a-zA-Z+*/<>=!?._-][a-zA-Z0-9+*/<>=!?._-]*`},
-	},
-	TokenSyms: map[string]string{
-		"SYMBOL": "SYMBOL", "NUMBER": "NUMBER", "STRING": "STRING",
-		"QUOTE": "QUOTE", "LP": "'('", "RP": "')'",
-	},
-	Options: lr.Options{Method: lr.LALR},
+// NewBuilder returns a fresh, un-built copy of the language definition.
+func NewBuilder() *langs.Builder {
+	return &langs.Builder{
+		Name:    "lisp-subset",
+		GramSrc: GrammarSrc,
+		LexRules: []lexer.Rule{
+			{Name: "WS", Pattern: `[ \t\n\r]+`, Skip: true},
+			{Name: "COMMENT", Pattern: `;[^\n]*`, Skip: true},
+			{Name: "NUMBER", Pattern: `-?[0-9]+(\.[0-9]+)?`},
+			{Name: "STRING", Pattern: `"([^"\\]|\\.)*"`},
+			{Name: "QUOTE", Pattern: `'`},
+			{Name: "LP", Pattern: `\(`},
+			{Name: "RP", Pattern: `\)`},
+			{Name: "SYMBOL", Pattern: `[a-zA-Z+*/<>=!?._-][a-zA-Z0-9+*/<>=!?._-]*`},
+		},
+		TokenSyms: map[string]string{
+			"SYMBOL": "SYMBOL", "NUMBER": "NUMBER", "STRING": "STRING",
+			"QUOTE": "QUOTE", "LP": "'('", "RP": "')'",
+		},
+		Options: lr.Options{Method: lr.LALR},
+	}
 }
+
+var def = NewBuilder()
 
 // Lang returns the Lisp-subset language.
 func Lang() *langs.Language { return def.Lang() }

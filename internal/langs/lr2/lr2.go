@@ -20,19 +20,24 @@ U : x ;
 V : x ;
 `
 
-var def = &langs.Builder{
-	Name:    "lr2-figure7",
-	GramSrc: GrammarSrc,
-	LexRules: []lexer.Rule{
-		{Name: "WS", Pattern: `[ \t\n\r]+`, Skip: true},
-		{Name: "X", Pattern: `x`},
-		{Name: "Z", Pattern: `z`},
-		{Name: "C", Pattern: `c`},
-		{Name: "E", Pattern: `e`},
-	},
-	TokenSyms: map[string]string{"X": "x", "Z": "z", "C": "c", "E": "e"},
-	Options:   lr.Options{Method: lr.LALR},
+// NewBuilder returns a fresh, un-built copy of the language definition.
+func NewBuilder() *langs.Builder {
+	return &langs.Builder{
+		Name:    "lr2-figure7",
+		GramSrc: GrammarSrc,
+		LexRules: []lexer.Rule{
+			{Name: "WS", Pattern: `[ \t\n\r]+`, Skip: true},
+			{Name: "X", Pattern: `x`},
+			{Name: "Z", Pattern: `z`},
+			{Name: "C", Pattern: `c`},
+			{Name: "E", Pattern: `e`},
+		},
+		TokenSyms: map[string]string{"X": "x", "Z": "z", "C": "c", "E": "e"},
+		Options:   lr.Options{Method: lr.LALR},
+	}
 }
+
+var def = NewBuilder()
 
 // Lang returns the Figure 7 language.
 func Lang() *langs.Language { return def.Lang() }

@@ -74,51 +74,56 @@ Factor : ID | NUM | STR | TRUE | FALSE
        ;
 `
 
-var def = &langs.Builder{
-	Name:    "modula2-subset",
-	GramSrc: GrammarSrc,
-	LexRules: []lexer.Rule{
-		{Name: "WS", Pattern: `[ \t\n\r]+`, Skip: true},
-		{Name: "COMMENT", Pattern: `\(\*([^*]|\*+[^)*])*\*+\)`, Skip: true},
-		{Name: "ID", Pattern: `[a-zA-Z][a-zA-Z0-9]*`},
-		{Name: "NUM", Pattern: `[0-9]+`},
-		{Name: "STR", Pattern: `"[^"\n]*"`},
-		{Name: "ASSIGN", Pattern: `:=`},
-		{Name: "NEQ", Pattern: `#`},
-		{Name: "LE", Pattern: `<=`},
-		{Name: "GE", Pattern: `>=`},
-		{Name: "EQ", Pattern: `=`},
-		{Name: "LT", Pattern: `<`},
-		{Name: "GT", Pattern: `>`},
-		{Name: "COLON", Pattern: `:`},
-		{Name: "SEMI", Pattern: `;`},
-		{Name: "COMMA", Pattern: `,`},
-		{Name: "DOT", Pattern: `\.`},
-		{Name: "PLUS", Pattern: `\+`},
-		{Name: "MINUS", Pattern: `-`},
-		{Name: "STAR", Pattern: `\*`},
-		{Name: "SLASH", Pattern: `/`},
-		{Name: "LP", Pattern: `\(`},
-		{Name: "RP", Pattern: `\)`},
-	},
-	IdentRule: "ID",
-	Keywords: map[string]string{
-		"MODULE": "MODULE", "BEGIN": "BEGIN", "END": "END", "VAR": "VAR",
-		"CONST": "CONST", "PROCEDURE": "PROCEDURE", "IF": "IF", "THEN": "THEN",
-		"ELSIF": "ELSIF", "ELSE": "ELSE", "WHILE": "WHILE", "DO": "DO",
-		"RETURN": "RETURN", "INTEGER": "INTEGER", "BOOLEAN": "BOOLEAN",
-		"TRUE": "TRUE", "FALSE": "FALSE",
-	},
-	TokenSyms: map[string]string{
-		"ID": "ID", "NUM": "NUM", "STR": "STR", "ASSIGN": "ASSIGN",
-		"NEQ": "NEQ", "LE": "LE", "GE": "GE",
-		"EQ": "'='", "LT": "'<'", "GT": "'>'",
-		"COLON": "':'", "SEMI": "';'", "COMMA": "','", "DOT": "'.'",
-		"PLUS": "'+'", "MINUS": "'-'", "STAR": "'*'", "SLASH": "'/'",
-		"LP": "'('", "RP": "')'",
-	},
-	Options: lr.Options{Method: lr.LALR},
+// NewBuilder returns a fresh, un-built copy of the language definition.
+func NewBuilder() *langs.Builder {
+	return &langs.Builder{
+		Name:    "modula2-subset",
+		GramSrc: GrammarSrc,
+		LexRules: []lexer.Rule{
+			{Name: "WS", Pattern: `[ \t\n\r]+`, Skip: true},
+			{Name: "COMMENT", Pattern: `\(\*([^*]|\*+[^)*])*\*+\)`, Skip: true},
+			{Name: "ID", Pattern: `[a-zA-Z][a-zA-Z0-9]*`},
+			{Name: "NUM", Pattern: `[0-9]+`},
+			{Name: "STR", Pattern: `"[^"\n]*"`},
+			{Name: "ASSIGN", Pattern: `:=`},
+			{Name: "NEQ", Pattern: `#`},
+			{Name: "LE", Pattern: `<=`},
+			{Name: "GE", Pattern: `>=`},
+			{Name: "EQ", Pattern: `=`},
+			{Name: "LT", Pattern: `<`},
+			{Name: "GT", Pattern: `>`},
+			{Name: "COLON", Pattern: `:`},
+			{Name: "SEMI", Pattern: `;`},
+			{Name: "COMMA", Pattern: `,`},
+			{Name: "DOT", Pattern: `\.`},
+			{Name: "PLUS", Pattern: `\+`},
+			{Name: "MINUS", Pattern: `-`},
+			{Name: "STAR", Pattern: `\*`},
+			{Name: "SLASH", Pattern: `/`},
+			{Name: "LP", Pattern: `\(`},
+			{Name: "RP", Pattern: `\)`},
+		},
+		IdentRule: "ID",
+		Keywords: map[string]string{
+			"MODULE": "MODULE", "BEGIN": "BEGIN", "END": "END", "VAR": "VAR",
+			"CONST": "CONST", "PROCEDURE": "PROCEDURE", "IF": "IF", "THEN": "THEN",
+			"ELSIF": "ELSIF", "ELSE": "ELSE", "WHILE": "WHILE", "DO": "DO",
+			"RETURN": "RETURN", "INTEGER": "INTEGER", "BOOLEAN": "BOOLEAN",
+			"TRUE": "TRUE", "FALSE": "FALSE",
+		},
+		TokenSyms: map[string]string{
+			"ID": "ID", "NUM": "NUM", "STR": "STR", "ASSIGN": "ASSIGN",
+			"NEQ": "NEQ", "LE": "LE", "GE": "GE",
+			"EQ": "'='", "LT": "'<'", "GT": "'>'",
+			"COLON": "':'", "SEMI": "';'", "COMMA": "','", "DOT": "'.'",
+			"PLUS": "'+'", "MINUS": "'-'", "STAR": "'*'", "SLASH": "'/'",
+			"LP": "'('", "RP": "')'",
+		},
+		Options: lr.Options{Method: lr.LALR},
+	}
 }
+
+var def = NewBuilder()
 
 // Lang returns the Modula-2-subset language.
 func Lang() *langs.Language { return def.Lang() }

@@ -76,13 +76,18 @@ func tokenSyms() map[string]string {
 	return m
 }
 
-var def = &langs.Builder{
-	Name:      "scannerless",
-	GramSrc:   GrammarSrc(),
-	LexRules:  lexRules(),
-	TokenSyms: tokenSyms(),
-	Options:   lr.Options{Method: lr.LALR},
+// NewBuilder returns a fresh, un-built copy of the language definition.
+func NewBuilder() *langs.Builder {
+	return &langs.Builder{
+		Name:      "scannerless",
+		GramSrc:   GrammarSrc(),
+		LexRules:  lexRules(),
+		TokenSyms: tokenSyms(),
+		Options:   lr.Options{Method: lr.LALR},
+	}
 }
+
+var def = NewBuilder()
 
 // Lang returns the scannerless language.
 func Lang() *langs.Language { return def.Lang() }

@@ -1,0 +1,96 @@
+package lexer
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"iglr/internal/regex"
+)
+
+// Binary serialization of compiled lexical specifications for compiled
+// language artifacts: the rule list (names, patterns, skip flags — needed
+// for RuleIndex and skip classification) plus the minimized DFA in its
+// equivalence-class-compressed form. Decoding reconstructs a ready-to-scan
+// Spec without compiling a single regular expression.
+
+const specMagic = "IGLX"
+const specVersion = 1
+
+// AppendBinary serializes s to buf.
+func (s *Spec) AppendBinary(buf []byte) []byte {
+	buf = append(buf, specMagic...)
+	buf = binary.AppendUvarint(buf, specVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(s.rules)))
+	for _, r := range s.rules {
+		buf = appendLexString(buf, r.Name)
+		buf = appendLexString(buf, r.Pattern)
+		if r.Skip {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return s.dfa.AppendBinary(buf)
+}
+
+// DecodeSpec reconstructs a Spec serialized by AppendBinary, returning the
+// remaining bytes. The embedded DFA's accept values are validated against
+// the rule count so a corrupt artifact cannot index out of range at scan
+// time.
+func DecodeSpec(data []byte) (*Spec, []byte, error) {
+	if len(data) < 4 || string(data[:4]) != specMagic {
+		return nil, nil, fmt.Errorf("lexer: bad spec magic")
+	}
+	data = data[4:]
+	v, n := binary.Uvarint(data)
+	if n <= 0 || v != specVersion {
+		return nil, nil, fmt.Errorf("lexer: unsupported spec version")
+	}
+	data = data[n:]
+	nRules, n := binary.Uvarint(data)
+	if n <= 0 || nRules == 0 || nRules > uint64(len(data)) {
+		return nil, nil, fmt.Errorf("lexer: invalid rule count")
+	}
+	data = data[n:]
+	rules := make([]Rule, nRules)
+	for i := range rules {
+		var err error
+		if rules[i].Name, data, err = readLexString(data); err != nil {
+			return nil, nil, err
+		}
+		if rules[i].Pattern, data, err = readLexString(data); err != nil {
+			return nil, nil, err
+		}
+		if len(data) < 1 {
+			return nil, nil, fmt.Errorf("lexer: truncated spec")
+		}
+		rules[i].Skip = data[0] != 0
+		data = data[1:]
+	}
+	dfa, rest, err := regex.DecodeDFA(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	for st := 0; st < dfa.NumStates(); st++ {
+		if a := dfa.Accept(st); a >= int(nRules) {
+			return nil, nil, fmt.Errorf("lexer: accept rule %d out of range", a)
+		}
+	}
+	if dfa.Accept(dfa.Start()) >= 0 {
+		return nil, nil, fmt.Errorf("lexer: a rule matches the empty string")
+	}
+	return &Spec{rules: rules, dfa: dfa}, rest, nil
+}
+
+func appendLexString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readLexString(data []byte) (string, []byte, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 || v > uint64(len(data)-n) {
+		return "", nil, fmt.Errorf("lexer: truncated string")
+	}
+	return string(data[n : n+int(v)]), data[n+int(v):], nil
+}

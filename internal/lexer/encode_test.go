@@ -1,0 +1,109 @@
+package lexer
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestSpecCodecRoundTrip: decode(encode(spec)) must lex identically and
+// re-encode byte-identically.
+func TestSpecCodecRoundTrip(t *testing.T) {
+	s := MustSpec(cRules())
+	enc := s.AppendBinary(nil)
+	s2, rest, err := DecodeSpec(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("decoder left %d bytes", len(rest))
+	}
+	if !bytes.Equal(s2.AppendBinary(nil), enc) {
+		t.Fatal("re-encode is not byte-identical")
+	}
+	if s2.NumRules() != s.NumRules() {
+		t.Fatalf("rule count %d != %d", s2.NumRules(), s.NumRules())
+	}
+	for i := 0; i < s.NumRules(); i++ {
+		if s2.Rule(i) != s.Rule(i) {
+			t.Fatalf("rule %d differs: %+v vs %+v", i, s2.Rule(i), s.Rule(i))
+		}
+	}
+	src := `int x = 42; /* note */ if (x == 7) { y = "a\"b"; } @`
+	if got, want := s2.Scan(src), s.Scan(src); !reflect.DeepEqual(got, want) {
+		t.Fatalf("decoded spec scans differently:\n%v\n%v", got, want)
+	}
+}
+
+// TestSpecCodecRejectsCorruption: truncation and magic damage must error.
+func TestSpecCodecRejectsCorruption(t *testing.T) {
+	enc := MustSpec(cRules()).AppendBinary(nil)
+	for cut := 0; cut < len(enc); cut += 1 + len(enc)/17 {
+		if _, _, err := DecodeSpec(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	bad := append([]byte(nil), enc...)
+	bad[1] ^= 0xFF
+	if _, _, err := DecodeSpec(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+// TestRelexAppendAliasesOldStream pins the pure-append contract: when every
+// old recognition window is closed before the edit, Relex must keep the old
+// stream without copying (first == len(old), same backing array) and scan
+// only the appended text.
+func TestRelexAppendAliasesOldStream(t *testing.T) {
+	s := MustSpec(cRules())
+	oldText := "int x = 1;"
+	scanned := s.Scan(oldText)
+	// Give the stream spare capacity, as a long-lived editor buffer would
+	// have; the early-out appends fresh tokens into it instead of copying.
+	old := make([]Token, len(scanned), len(scanned)+16)
+	copy(old, scanned)
+	newText := oldText + " int y = 2;"
+	toks, first, relexed := s.Relex(old, newText, Edit{Offset: len(oldText), Inserted: " int y = 2;"})
+
+	if first != len(old) {
+		t.Fatalf("first = %d, want %d (whole old stream kept)", first, len(old))
+	}
+	if &toks[0] != &old[0] {
+		t.Fatal("pure append must alias the old backing array, not copy it")
+	}
+	if relexed == 0 || relexed != len(toks)-len(old) {
+		t.Fatalf("relexed = %d, new tokens = %d", relexed, len(toks)-len(old))
+	}
+	if got, want := toks, s.Scan(newText); !reflect.DeepEqual(got, want) {
+		t.Fatalf("incremental result differs from full scan:\n%v\n%v", got, want)
+	}
+}
+
+// TestRelexAppendMergesOpenToken: appending where the last token's window is
+// open at EOF (a number that could grow) must NOT take the aliasing early
+// out — the open token has to be rescanned and merged.
+func TestRelexAppendMergesOpenToken(t *testing.T) {
+	s := MustSpec(cRules())
+	oldText := "x = 1"
+	old := s.Scan(oldText)
+	if !old[len(old)-1].Open {
+		t.Fatalf("precondition: last token %+v should be open at EOF", old[len(old)-1])
+	}
+	newText := oldText + "2;"
+	toks, first, _ := s.Relex(old, newText, Edit{Offset: len(oldText), Inserted: "2;"})
+	if first >= len(old) {
+		t.Fatalf("first = %d: open token at EOF must be invalidated by an append", first)
+	}
+	if got, want := toks, s.Scan(newText); !reflect.DeepEqual(got, want) {
+		t.Fatalf("incremental result differs from full scan:\n%v\n%v", got, want)
+	}
+	joined := ""
+	for _, tok := range toks {
+		if tok.Type >= 0 && s.Rule(tok.Type).Name == "NUM" {
+			joined = tok.Text
+		}
+	}
+	if joined != "12" {
+		t.Fatalf("appended digit did not merge: NUM lexeme %q, want \"12\"", joined)
+	}
+}

@@ -63,6 +63,13 @@ func MustSpec(rules []Rule) *Spec {
 // NumRules returns the number of rules.
 func (s *Spec) NumRules() int { return len(s.rules) }
 
+// NumStates returns the number of states in the combined token DFA.
+func (s *Spec) NumStates() int { return s.dfa.NumStates() }
+
+// NumClasses returns the number of byte equivalence classes in the DFA's
+// dense transition table.
+func (s *Spec) NumClasses() int { return s.dfa.NumClasses() }
+
 // Rule returns rule i.
 func (s *Spec) Rule(i int) Rule { return s.rules[i] }
 
@@ -90,43 +97,74 @@ type Token struct {
 	// Skip marks tokens from skip rules; they are retained in the stream
 	// for exact incremental accounting but hidden from the parser.
 	Skip bool
+	// Open marks a token whose recognition stopped at end of input in a
+	// DFA state that still has outgoing transitions: had more text
+	// existed, the recognizer would have examined it, so the token's
+	// lookahead window is open-ended at EOF. Tokens that stopped in a
+	// dead or transition-free state are closed — no append can change
+	// them — which is what lets Relex skip them entirely.
+	Open bool
 }
 
 // End returns the byte offset one past the token text.
 func (t Token) End() int { return t.Offset + len(t.Text) }
 
 // scanOne recognizes one token at pos. It returns the matched byte length
-// (≥1 even on error), the rule (or ErrorType) and the total number of bytes
-// examined from pos.
-func (s *Spec) scanOne(text string, pos int) (length, rule, examined int) {
-	state := s.dfa.Start()
+// (≥1 even on error), the rule (or ErrorType), the total number of bytes
+// examined from pos, and whether recognition stopped at end of input in a
+// state that could still advance (the token's window is open at EOF).
+//
+// The loop is the lexing hot path: ASCII bytes — the overwhelming majority
+// in program text — step the DFA through its dense equivalence-class table
+// without rune decoding; only multi-byte sequences fall back to
+// utf8.DecodeRuneInString and the sparse transition search.
+func (s *Spec) scanOne(text string, pos int) (length, rule, examined int, open bool) {
+	d := s.dfa
+	state := d.Start()
 	best, bestRule := -1, ErrorType
 	i := pos
 	for i < len(text) {
-		r, sz := utf8.DecodeRuneInString(text[i:])
-		state = s.dfa.Step(state, r)
-		if state == regex.Dead {
+		var sz, next int
+		if c := text[i]; c < utf8.RuneSelf {
+			sz = 1
+			next = d.StepByte(state, c)
+		} else {
+			var r rune
+			r, sz = utf8.DecodeRuneInString(text[i:])
+			next = d.Step(state, r)
+		}
+		if next == regex.Dead {
 			examined = i + sz - pos // the killing rune was examined
+			if d.Closed(state) {
+				// A transition-free state cannot advance on any input, so
+				// the recognizer needn't look at the next rune at all; not
+				// charging it keeps the token's lookahead identical whether
+				// it is followed by more text or by end of input, which is
+				// what lets Relex keep such tokens across appends.
+				examined = i - pos
+			}
 			if best < 0 {
 				// No rule matched: emit a one-rune error token, but charge
 				// it everything the DFA examined (e.g. an unterminated
 				// comment opener reads to end of input before failing).
 				_, fsz := utf8.DecodeRuneInString(text[pos:])
-				return fsz, ErrorType, examined
+				return fsz, ErrorType, examined, false
 			}
-			return best, bestRule, examined
+			return best, bestRule, examined, false
 		}
+		state = next
 		i += sz
-		if a := s.dfa.Accept(state); a >= 0 {
+		if a := d.Accept(state); a >= 0 {
 			best, bestRule = i-pos, a
 		}
 	}
 	examined = len(text) - pos
+	open = !d.Closed(state)
 	if best < 0 {
 		_, fsz := utf8.DecodeRuneInString(text[pos:])
-		return fsz, ErrorType, examined
+		return fsz, ErrorType, examined, open
 	}
-	return best, bestRule, examined
+	return best, bestRule, examined, open
 }
 
 // Scan lexes the whole text, returning every token including skip tokens.
@@ -134,12 +172,13 @@ func (s *Spec) Scan(text string) []Token {
 	var out []Token
 	pos := 0
 	for pos < len(text) {
-		length, rule, examined := s.scanOne(text, pos)
+		length, rule, examined, open := s.scanOne(text, pos)
 		tok := Token{
 			Type:      rule,
 			Offset:    pos,
 			Text:      text[pos : pos+length],
 			Lookahead: examined - length,
+			Open:      open,
 		}
 		if rule >= 0 {
 			tok.Skip = s.rules[rule].Skip
@@ -179,23 +218,49 @@ func (e Edit) Delta() int { return len(e.Inserted) - e.Removed }
 // (the incremental work measure): tokens[:first] are the old tokens kept,
 // tokens[first:first+relexed] are fresh, and the remainder is the old
 // stream's tail with adjusted offsets.
+//
+// Aliasing contract: when every old token is kept (first == len(old), a
+// pure append at EOF past every closed recognition window) the returned
+// stream aliases old's backing array instead of copying it, and fresh
+// tokens may be appended into old's spare capacity. Callers must treat the
+// old slice as dead once Relex returns.
 func (s *Spec) Relex(old []Token, newText string, e Edit) (tokens []Token, first, relexed int) {
 	lo := e.Offset
 	hiOld := e.Offset + e.Removed
 
 	// First affected token: the earliest whose examined window reaches the
-	// edit. A token whose recognition stopped at end-of-input is affected
-	// by an append there too — had more text existed, the recognizer would
-	// have examined it — so a window ending exactly at the old text length
-	// is treated as open-ended.
+	// edit. A token whose recognition stopped at end-of-input in a live
+	// DFA state (Open) is affected by an append there too — had more text
+	// existed, the recognizer would have examined it — so its window is
+	// treated as open-ended. A token that stopped in a transition-free
+	// state is closed: appends past its window cannot change it.
 	oldLen := len(newText) - e.Delta()
 	first = len(old)
 	for i, t := range old {
 		windowEnd := t.End() + t.Lookahead
-		if windowEnd > lo || windowEnd == oldLen {
+		if windowEnd > lo || (t.Open && windowEnd >= oldLen) {
 			first = i
 			break
 		}
+	}
+
+	// Early out: nothing is invalidated. Every window ends at or before
+	// the edit, which forces the edit to be a pure append at EOF, so the
+	// kept prefix is the entire old stream — alias it (no O(n) copy per
+	// keystroke) and scan only the appended text. The resync machinery
+	// has nothing to splice: no old token starts at or after the edit.
+	if first == len(old) {
+		tokens = old
+		pos := 0
+		if len(old) > 0 {
+			pos = old[len(old)-1].End()
+		}
+		for pos < len(newText) {
+			tokens = append(tokens, s.freshToken(newText, pos))
+			relexed++
+			pos = tokens[len(tokens)-1].End()
+		}
+		return tokens, first, relexed
 	}
 
 	tokens = append(tokens, old[:first]...)
@@ -229,19 +294,25 @@ func (s *Spec) Relex(old []Token, newText string, e Edit) (tokens []Token, first
 				return tokens, first, relexed
 			}
 		}
-		length, rule, examined := s.scanOne(newText, pos)
-		tok := Token{
-			Type:      rule,
-			Offset:    pos,
-			Text:      newText[pos : pos+length],
-			Lookahead: examined - length,
-		}
-		if rule >= 0 {
-			tok.Skip = s.rules[rule].Skip
-		}
-		tokens = append(tokens, tok)
+		tokens = append(tokens, s.freshToken(newText, pos))
 		relexed++
-		pos += length
+		pos = tokens[len(tokens)-1].End()
 	}
 	return tokens, first, relexed
+}
+
+// freshToken scans one token at pos of text.
+func (s *Spec) freshToken(text string, pos int) Token {
+	length, rule, examined, open := s.scanOne(text, pos)
+	tok := Token{
+		Type:      rule,
+		Offset:    pos,
+		Text:      text[pos : pos+length],
+		Lookahead: examined - length,
+		Open:      open,
+	}
+	if rule >= 0 {
+		tok.Skip = s.rules[rule].Skip
+	}
+	return tok
 }

@@ -1,0 +1,253 @@
+package lr
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"iglr/internal/grammar"
+)
+
+// Compiled-table codec: serializes the dense packed layout directly —
+// spill array, packed action cells, goto array, and the precomputed
+// nonterminal-reduction cells — so decoding is pure reconstruction with no
+// re-packing, no conflict re-resolution, and no FIRST-set traversal. This
+// is the format embedded in compiled language artifacts (internal/langcodec);
+// the older Encode/Decode pair in encode.go remains the layout-independent
+// interchange format used by iglrc.
+
+const compiledMagic = "IGTC"
+const compiledVersion = 1
+
+// maxCompiledStates bounds decoded table size against corrupt input.
+const maxCompiledStates = 1 << 22
+
+// AppendCompiled serializes the table's dense layout to buf. The grammar is
+// NOT included; DecodeCompiled is handed one separately (artifacts carry the
+// grammar once, not once per section).
+func (t *Table) AppendCompiled(buf []byte) []byte {
+	buf = append(buf, compiledMagic...)
+	buf = binary.AppendUvarint(buf, compiledVersion)
+	buf = append(buf, byte(t.method))
+	buf = binary.AppendUvarint(buf, uint64(t.numStates))
+	buf = binary.AppendUvarint(buf, uint64(t.nSyms))
+
+	// Spill array, verbatim and in order: offsets below index into it.
+	buf = binary.AppendUvarint(buf, uint64(len(t.actSpill)))
+	for _, a := range t.actSpill {
+		buf = append(buf, byte(a.Kind))
+		buf = binary.AppendVarint(buf, int64(a.Target))
+	}
+	buf = appendPackedCells(buf, t.actCells)
+	buf = appendPackedCells(buf, t.ntCells)
+
+	// Gotos: sparse (index, target) pairs in ascending index order.
+	occ := 0
+	for _, g := range t.gotos {
+		if g >= 0 {
+			occ++
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(occ))
+	for idx, g := range t.gotos {
+		if g >= 0 {
+			buf = binary.AppendUvarint(buf, uint64(idx))
+			buf = binary.AppendUvarint(buf, uint64(g))
+		}
+	}
+
+	// Resolutions (diagnostics only, but part of byte-identity).
+	buf = binary.AppendUvarint(buf, uint64(len(t.resolutions)))
+	for _, r := range t.resolutions {
+		buf = binary.AppendUvarint(buf, uint64(r.State))
+		buf = binary.AppendVarint(buf, int64(r.Term))
+		buf = append(buf, byte(r.Kept.Kind))
+		buf = binary.AppendVarint(buf, int64(r.Kept.Target))
+		buf = binary.AppendUvarint(buf, uint64(len(r.Dropped)))
+		for _, a := range r.Dropped {
+			buf = append(buf, byte(a.Kind))
+			buf = binary.AppendVarint(buf, int64(a.Target))
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(r.Rule)))
+		buf = append(buf, r.Rule...)
+	}
+	return buf
+}
+
+// appendPackedCells writes the occupied cells of a packed cell array as
+// (index, count, offset) triples; the inline action word is rebuilt from the
+// spill array at decode time.
+func appendPackedCells(buf []byte, cells []uint64) []byte {
+	occ := 0
+	for _, c := range cells {
+		if c&cellCountMask != 0 {
+			occ++
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(occ))
+	for idx, c := range cells {
+		n := c & cellCountMask
+		if n == 0 {
+			continue
+		}
+		buf = binary.AppendUvarint(buf, uint64(idx))
+		buf = binary.AppendUvarint(buf, n)
+		buf = binary.AppendUvarint(buf, c>>cellOffShift&cellOffMask)
+	}
+	return buf
+}
+
+// DecodeCompiled reconstructs a table serialized by AppendCompiled against
+// g, returning the remaining bytes. Conflicts and the per-state conflict
+// flags are derived from the decoded cells (count > 1) in the same row-major
+// order seal produces, so a decoded table is indistinguishable from a
+// freshly built one. Every index, offset, and action target is validated so
+// corrupt artifacts fail decoding instead of corrupting a parse.
+func DecodeCompiled(g *grammar.Grammar, data []byte) (*Table, []byte, error) {
+	if len(data) < 4 || string(data[:4]) != compiledMagic {
+		return nil, nil, fmt.Errorf("lr: bad compiled-table magic")
+	}
+	d := &decoder{data: data[4:]}
+	if v := d.uvarint(); d.err != nil || v != compiledVersion {
+		return nil, nil, fmt.Errorf("lr: unsupported compiled-table version")
+	}
+	method := Method(d.byte())
+	if method > LR1 {
+		return nil, nil, fmt.Errorf("lr: unknown method %d", method)
+	}
+	numStates := int(d.uvarint())
+	nSyms := int(d.uvarint())
+	if d.err != nil || numStates <= 0 || numStates > maxCompiledStates {
+		return nil, nil, fmt.Errorf("lr: invalid state count")
+	}
+	if nSyms != g.NumSymbols() {
+		return nil, nil, fmt.Errorf("lr: symbol count mismatch (%d vs %d)", nSyms, g.NumSymbols())
+	}
+
+	t := &Table{
+		g:             g,
+		method:        method,
+		numStates:     numStates,
+		nSyms:         nSyms,
+		gotos:         make([]int32, numStates*nSyms),
+		conflictState: make([]bool, numStates),
+	}
+	for i := range t.gotos {
+		t.gotos[i] = -1
+	}
+
+	nSpill := int(d.uvarint())
+	if d.err != nil || nSpill < 0 || nSpill > len(d.data) {
+		return nil, nil, fmt.Errorf("lr: invalid spill length")
+	}
+	t.actSpill = make([]Action, nSpill)
+	for i := range t.actSpill {
+		a := Action{Kind: Kind(d.byte()), Target: int32(d.varint())}
+		if err := validAction(g, numStates, a); err != nil {
+			return nil, nil, err
+		}
+		t.actSpill[i] = a
+	}
+
+	var err error
+	t.actCells, err = decodePackedCells(d, t, "action")
+	if err != nil {
+		return nil, nil, err
+	}
+	t.ntCells, err = decodePackedCells(d, t, "nonterminal")
+	if err != nil {
+		return nil, nil, err
+	}
+
+	occ := int(d.uvarint())
+	prev := -1
+	for i := 0; i < occ; i++ {
+		idx := int(d.uvarint())
+		val := int(d.uvarint())
+		if d.err != nil || idx <= prev || idx >= len(t.gotos) || val >= numStates {
+			return nil, nil, fmt.Errorf("lr: invalid goto entry")
+		}
+		t.gotos[idx] = int32(val)
+		prev = idx
+	}
+
+	nRes := int(d.uvarint())
+	if d.err != nil || nRes < 0 || nRes > len(d.data) {
+		return nil, nil, fmt.Errorf("lr: invalid resolution count")
+	}
+	for i := 0; i < nRes; i++ {
+		var r Resolution
+		r.State = int(d.uvarint())
+		r.Term = grammar.Sym(d.varint())
+		r.Kept = Action{Kind: Kind(d.byte()), Target: int32(d.varint())}
+		nd := int(d.uvarint())
+		if d.err != nil || nd < 0 || nd > len(d.data) {
+			return nil, nil, fmt.Errorf("lr: invalid resolution")
+		}
+		r.Dropped = make([]Action, nd)
+		for j := range r.Dropped {
+			r.Dropped[j] = Action{Kind: Kind(d.byte()), Target: int32(d.varint())}
+		}
+		r.Rule = string(d.bytes(int(d.uvarint())))
+		t.resolutions = append(t.resolutions, r)
+	}
+	if d.err != nil {
+		return nil, nil, fmt.Errorf("lr: truncated compiled table: %w", d.err)
+	}
+
+	// Derive conflicts and per-state flags, row-major — the order seal uses.
+	for state := 0; state < numStates; state++ {
+		row := state * nSyms
+		for sym := 0; sym < nSyms; sym++ {
+			cell := t.actCells[row+sym]
+			if n := cell & cellCountMask; n > 1 {
+				off := cell >> cellOffShift & cellOffMask
+				t.conflicts = append(t.conflicts, Conflict{
+					State: state, Term: grammar.Sym(sym),
+					Actions: t.actSpill[off : off+n],
+				})
+				t.conflictState[state] = true
+			}
+		}
+	}
+	return t, d.data, nil
+}
+
+// decodePackedCells reads a sparse (index, count, offset) cell section and
+// re-packs each cell word, pulling the inline action from the spill array.
+func decodePackedCells(d *decoder, t *Table, what string) ([]uint64, error) {
+	cells := make([]uint64, t.numStates*t.nSyms)
+	occ := int(d.uvarint())
+	if d.err != nil || occ < 0 || occ > len(d.data) {
+		return nil, fmt.Errorf("lr: invalid %s cell count", what)
+	}
+	prev := -1
+	for i := 0; i < occ; i++ {
+		idx := int(d.uvarint())
+		cnt := int(d.uvarint())
+		off := int(d.uvarint())
+		if d.err != nil || idx <= prev || idx >= len(cells) ||
+			cnt < 1 || cnt > cellCountMask || off < 0 || off+cnt > len(t.actSpill) {
+			return nil, fmt.Errorf("lr: invalid %s cell", what)
+		}
+		cells[idx] = packCell(off, cnt, t.actSpill[off])
+		prev = idx
+	}
+	return cells, nil
+}
+
+func validAction(g *grammar.Grammar, numStates int, a Action) error {
+	switch a.Kind {
+	case Shift:
+		if a.Target < 0 || int(a.Target) >= numStates {
+			return fmt.Errorf("lr: shift target out of range")
+		}
+	case Reduce:
+		if a.Target < 0 || int(a.Target) >= g.NumProductions() {
+			return fmt.Errorf("lr: reduce target out of range")
+		}
+	case Accept:
+	default:
+		return fmt.Errorf("lr: invalid action kind %d", a.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package regex
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Pattern sets exercising both branches of the compressed transition layout:
+// pure-ASCII rules, ranges straddling the 0..255 dense prefix, and Unicode
+// ranges that live only in the sparse edges.
+var compressSets = [][]string{
+	{`[ \t\r\n]+`, `/\*([^*]|\*+[^*/])*\*+/`, `[A-Za-z_][A-Za-z0-9_]*`, `[0-9]+`, `==`, `=`, `"([^"\\\n]|\\.)*"`},
+	{`a|b`, `abc`, `[a-c]+d`},
+	{`[α-ω]+`, `[a-z]+`, `[0-9]`},
+	{`.`, `..`},
+}
+
+// TestDenseMatchesSparse: on a freshly compiled DFA the sparse edge list
+// still covers the full rune space, so the dense equivalence-class table and
+// the byte fast path must agree with it on every (state, rune<256) pair.
+func TestDenseMatchesSparse(t *testing.T) {
+	for _, pats := range compressSets {
+		d, err := CompileSet(pats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < d.NumStates(); s++ {
+			for r := rune(0); r < 256; r++ {
+				sparse := d.stepSparse(s, r)
+				if got := d.Step(s, r); got != sparse {
+					t.Fatalf("%v: Step(%d, %q) = %d, sparse = %d", pats, s, r, got, sparse)
+				}
+				if r < 0x80 {
+					if got := d.StepByte(s, byte(r)); got != sparse {
+						t.Fatalf("%v: StepByte(%d, %q) = %d, sparse = %d", pats, s, r, got, sparse)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestClosedStates: Closed(s) must hold exactly when no input of any kind
+// can leave s — the invariant the lexer's lookahead accounting relies on.
+func TestClosedStates(t *testing.T) {
+	for _, pats := range compressSets {
+		d, err := CompileSet(pats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < d.NumStates(); s++ {
+			hasOut := len(d.edges[s]) > 0
+			if d.Closed(s) == hasOut {
+				t.Fatalf("%v: Closed(%d) = %v but state has %d edges", pats, s, d.Closed(s), len(d.edges[s]))
+			}
+		}
+	}
+}
+
+// TestDFACodecRoundTrip: decode(encode(d)) must behave identically to d on
+// the whole Latin-1 range and on sparse Unicode probes, and must re-encode
+// byte-identically (the canonical-encoding property the artifact checksum
+// relies on).
+func TestDFACodecRoundTrip(t *testing.T) {
+	probes := []rune{0x100, 0x101, 0x3b1, 0x3c9, 0x4e00, 0x10FFFF}
+	for _, pats := range compressSets {
+		d, err := CompileSet(pats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := d.AppendBinary(nil)
+		d2, rest, err := DecodeDFA(enc)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", pats, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%v: decoder left %d bytes", pats, len(rest))
+		}
+		if !bytes.Equal(d2.AppendBinary(nil), enc) {
+			t.Fatalf("%v: re-encode is not byte-identical", pats)
+		}
+		if d2.NumStates() != d.NumStates() || d2.NumClasses() != d.NumClasses() {
+			t.Fatalf("%v: shape changed: %d/%d states, %d/%d classes",
+				pats, d2.NumStates(), d.NumStates(), d2.NumClasses(), d.NumClasses())
+		}
+		for s := 0; s < d.NumStates(); s++ {
+			if d2.Accept(s) != d.Accept(s) || d2.Closed(s) != d.Closed(s) {
+				t.Fatalf("%v: state %d accept/closed mismatch", pats, s)
+			}
+			for r := rune(0); r < 256; r++ {
+				if d2.Step(s, r) != d.Step(s, r) {
+					t.Fatalf("%v: decoded Step(%d, %q) differs", pats, s, r)
+				}
+			}
+			for _, r := range probes {
+				if d2.Step(s, r) != d.Step(s, r) {
+					t.Fatalf("%v: decoded Step(%d, %#x) differs", pats, s, r)
+				}
+			}
+		}
+	}
+}
+
+// TestDFACodecRejectsGarbage: header corruption must error, not panic.
+func TestDFACodecRejectsGarbage(t *testing.T) {
+	d := MustCompile(`[a-z]+`)
+	enc := d.AppendBinary(nil)
+	for cut := 0; cut < len(enc); cut += 1 + len(enc)/13 {
+		if _, _, err := DecodeDFA(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] ^= 0xFF
+	if _, _, err := DecodeDFA(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+// The before/after of the equivalence-class compression: stepping the DFA
+// over realistic program text through the dense byte-class table versus the
+// binary-searched sparse edges (the only path before compression).
+var stepCorpus = strings.Repeat(`int x = 42; /* note */ if (x == 7) { y = "str"; } `, 64)
+
+func benchStep(b *testing.B, step func(d *DFA, s int, c byte) int) {
+	d, err := CompileSet([]string{
+		`[ \t\r\n]+`, `/\*([^*]|\*+[^*/])*\*+/`, `[A-Za-z_][A-Za-z0-9_]*`,
+		`[0-9]+`, `"([^"\\\n]|\\.)*"`, `==`, `=`, `;`, `\(`, `\)`, `\{`, `\}`,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(stepCorpus)))
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		state := d.Start()
+		for j := 0; j < len(stepCorpus); j++ {
+			if state = step(d, state, stepCorpus[j]); state == Dead {
+				state = d.Start()
+			}
+		}
+		sink += state
+	}
+	_ = sink
+}
+
+func BenchmarkStepDense(b *testing.B) {
+	benchStep(b, func(d *DFA, s int, c byte) int { return d.StepByte(s, c) })
+}
+
+func BenchmarkStepSparse(b *testing.B) {
+	benchStep(b, func(d *DFA, s int, c byte) int { return d.stepSparse(s, rune(c)) })
+}

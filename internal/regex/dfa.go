@@ -8,10 +8,27 @@ import (
 // DFA is a deterministic finite automaton over runes with range-compressed
 // transitions. State 0 is the start state. Accept values identify which
 // rule (pattern index) accepts in a state, with lower indices winning ties.
+//
+// Transitions are stored twice: a dense equivalence-class-compressed table
+// covers the Latin-1 prefix (runes 0..255 — in practice the entire hot
+// path, since programming-language lexemes are overwhelmingly ASCII), and
+// range-compressed sparse edges cover the rest of the rune space. The
+// dense table maps the 256 low runes to k equivalence classes at compile
+// time (two runes are equivalent when no state distinguishes them), so the
+// scan loop is a single indexed load, trans[state*k+class[b]], and the
+// serialized form ships k columns instead of 256.
 type DFA struct {
-	// edges[s] is sorted by Lo; lookup is a binary search.
+	// edges[s] is sorted by Lo; lookup is a binary search. A freshly
+	// compiled DFA carries every transition here; a decoded one carries
+	// only ranges above the dense prefix (Hi >= 256).
 	edges  [][]dfaEdge
 	accept []int // rule index or -1
+
+	// Equivalence-class compression of the Latin-1 prefix.
+	numClasses int        // k
+	classes    [256]uint8 // rune < 256 → class id
+	dense      []int32    // dense[state*k+class] = successor or Dead
+	closed     []bool     // closed[s]: no outgoing transition at all
 }
 
 type dfaEdge struct {
@@ -49,8 +66,9 @@ func CompileSet(patterns []string) (*DFA, error) {
 		asts[i] = ast
 	}
 	n := buildNFA(asts)
-	d := determinize(n)
-	return minimize(d), nil
+	d := minimize(determinize(n))
+	d.compress()
+	return d, nil
 }
 
 // NumStates returns the number of DFA states.
@@ -63,7 +81,24 @@ func (d *DFA) Start() int { return 0 }
 const Dead = -1
 
 // Step advances from state on rune r, returning the next state or Dead.
+// Runes below 256 go through the dense equivalence-class table (a decoded
+// DFA has no sparse edges for them); the rest binary-search the edges.
 func (d *DFA) Step(state int, r rune) int {
+	if uint32(r) < 256 {
+		return int(d.dense[state*d.numClasses+int(d.classes[r])])
+	}
+	return d.stepSparse(state, r)
+}
+
+// StepByte is the lexer hot-path transition: it advances on a single byte
+// through the dense table. The caller must only pass bytes that are whole
+// runes (b < utf8.RuneSelf in UTF-8 input).
+func (d *DFA) StepByte(state int, b byte) int {
+	return int(d.dense[state*d.numClasses+int(d.classes[b])])
+}
+
+// stepSparse binary-searches the range-compressed edge list.
+func (d *DFA) stepSparse(state int, r rune) int {
 	edges := d.edges[state]
 	lo, hi := 0, len(edges)
 	for lo < hi {
@@ -83,6 +118,13 @@ func (d *DFA) Step(state int, r rune) int {
 
 // Accept returns the accepting rule index for state, or -1.
 func (d *DFA) Accept(state int) int { return d.accept[state] }
+
+// NumClasses returns the number of byte equivalence classes (k).
+func (d *DFA) NumClasses() int { return d.numClasses }
+
+// Closed reports whether state has no outgoing transition at all: no
+// further input, of any kind, can extend a recognition that stopped here.
+func (d *DFA) Closed(state int) bool { return d.closed[state] }
 
 // Match finds the longest prefix of s accepted by any rule. It returns the
 // byte length of the match and the winning rule, or (-1, -1) when no prefix
@@ -327,4 +369,60 @@ func minimize(d *DFA) *DFA {
 		out.edges[newID] = edges
 	}
 	return out
+}
+
+// compress builds the equivalence-class-compressed dense table over the
+// Latin-1 prefix from the sparse edges. Two runes are equivalent when every
+// state sends them to the same successor; classes are numbered in order of
+// first appearance (rune value ascending), so the partition is canonical.
+func (d *DFA) compress() {
+	n := d.NumStates()
+	classID := map[string]uint8{}
+	var reps []rune
+	sig := make([]byte, 0, 4*n)
+	for r := rune(0); r < 256; r++ {
+		sig = sig[:0]
+		for s := 0; s < n; s++ {
+			t := d.stepSparse(s, r)
+			sig = append(sig, byte(t), byte(t>>8), byte(t>>16), byte(t>>24))
+		}
+		id, ok := classID[string(sig)]
+		if !ok {
+			id = uint8(len(reps))
+			classID[string(sig)] = id
+			reps = append(reps, r)
+		}
+		d.classes[r] = id
+	}
+	k := len(reps)
+	d.numClasses = k
+	d.dense = make([]int32, n*k)
+	for s := 0; s < n; s++ {
+		for c, r := range reps {
+			d.dense[s*k+c] = int32(d.stepSparse(s, r))
+		}
+	}
+	d.computeClosed()
+}
+
+// computeClosed derives the per-state closed flags from whichever
+// transition representations the DFA carries (dense prefix + sparse edges
+// above it).
+func (d *DFA) computeClosed() {
+	n := d.NumStates()
+	k := d.numClasses
+	d.closed = make([]bool, n)
+	for s := 0; s < n; s++ {
+		open := false
+		for c := 0; c < k && !open; c++ {
+			open = d.dense[s*k+c] != Dead
+		}
+		for _, e := range d.edges[s] {
+			if open {
+				break
+			}
+			open = e.rng.Hi >= 256
+		}
+		d.closed[s] = !open
+	}
 }

@@ -48,6 +48,21 @@ func WithSemantics(cfg SemanticsConfig) Option {
 	return func(d *LanguageDef) { d.Semantics = &cfg }
 }
 
+// WithCompiledCache sets the directory for the compiled-artifact disk cache
+// (the second level of the language cache: memory → disk → compile). The
+// empty string selects the default, a per-user directory under
+// os.UserCacheDir(). Corrupt, stale, or version-mismatched artifacts are
+// ignored and recompiled silently.
+func WithCompiledCache(dir string) Option {
+	return func(d *LanguageDef) { d.compiledCacheDir, d.noDiskCache = dir, false }
+}
+
+// WithoutCompiledCache disables the compiled-artifact disk cache for this
+// definition; languages are still deduplicated in memory.
+func WithoutCompiledCache() Option {
+	return func(d *LanguageDef) { d.noDiskCache = true }
+}
+
 // WithoutCache bypasses the compiled-language cache for this definition:
 // the language is rebuilt even if an identical definition was compiled
 // before, and the result is not retained.
