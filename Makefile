@@ -22,13 +22,15 @@ race:
 check: vet race
 
 # Short coverage-guided runs of the fuzz targets: the batch-vs-incremental
-# parse oracle, the recovery convergence invariant, and the compiled-artifact
+# parse oracle, the recovery convergence invariant, the compiled-artifact
 # codec (decode of arbitrary bytes must never panic; accepted artifacts must
-# re-encode canonically).
+# re-encode canonically), and the error-isolation convergence contract
+# (tier-1 recovery preserves text; repairing converges to the batch parse).
 fuzz-smoke:
 	$(GO) test -run FuzzParseOracle -fuzz FuzzParseOracle -fuzztime 30s ./internal/earley/
 	$(GO) test -run FuzzRecoveryConverges -fuzz FuzzRecoveryConverges -fuzztime 30s ./internal/recovery/
 	$(GO) test -run FuzzLangCodecRoundTrip -fuzz FuzzLangCodecRoundTrip -fuzztime 30s ./internal/langcodec/
+	$(GO) test -run FuzzErrorIsolationConverges -fuzz FuzzErrorIsolationConverges -fuzztime 30s .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -61,6 +61,9 @@ type BenchReport struct {
 	NumCPU    int         `json:"num_cpu"`
 	Format    int         `json:"artifact_format_version"`
 	Languages []LangBench `json:"languages"`
+	// ErrorDensity measures tier-1 error isolation cost at increasing
+	// numbers of seeded syntax errors per file (0 is the control).
+	ErrorDensity []ErrorDensityBench `json:"error_density"`
 }
 
 func runArtifactBench(outPath string) error {
@@ -176,6 +179,16 @@ func runArtifactBench(outPath string) error {
 			time.Duration(row.DiskHitNsPerOp),
 			row.Speedup, row.ArtifactBytes)
 		report.Languages = append(report.Languages, row)
+	}
+
+	density, err := runErrorDensity()
+	if err != nil {
+		return fmt.Errorf("error-density workload: %w", err)
+	}
+	report.ErrorDensity = density
+	for _, r := range density {
+		fmt.Fprintf(os.Stderr, "errors=%-3d recover %s  diagnostics %d  overhead %+.1f%%\n",
+			r.SeededErrors, time.Duration(r.RecoverNsPerOp), r.Diagnostics, r.OverheadPct)
 	}
 
 	out, err := json.MarshalIndent(&report, "", "  ")

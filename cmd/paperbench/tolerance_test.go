@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+// A correctness smoke over the error-density workload: every density row
+// must isolate all of its seeded errors.
+func TestErrorDensityWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed")
+	}
+	rows, err := runErrorDensity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Diagnostics != r.SeededErrors {
+			t.Fatalf("density %d: diagnostics = %d", r.SeededErrors, r.Diagnostics)
+		}
+		if (r.SeededErrors > 0) != r.Isolated {
+			t.Fatalf("density %d: isolated = %v", r.SeededErrors, r.Isolated)
+		}
+	}
+}

@@ -58,6 +58,11 @@ type Result struct {
 	// Attempts is how many times the file was tried (1 unless a Policy
 	// with Retries was set and an attempt failed retryably).
 	Attempts int
+	// Diagnostics lists the quarantined syntax-error regions when the
+	// policy is Tolerant and the file parsed under tier-1 error isolation
+	// (empty for clean parses). Root is then a valid tree with one error
+	// node per diagnostic and Err is nil.
+	Diagnostics []incremental.Diagnostic
 	// Degraded reports that the result was produced under reduced
 	// fidelity: the parse ran with the policy's DegradedBudget, and/or
 	// the dag had ambiguous regions pruned by the alternatives budget.
@@ -96,6 +101,10 @@ type Aggregate struct {
 	// fidelity (see Result.Degraded); BudgetTrips sums the budget
 	// errors hit across all attempts of all files.
 	Degraded, BudgetTrips int
+	// FilesWithDiagnostics counts files that parsed only under tier-1
+	// error isolation; Diagnostics sums their quarantined regions
+	// (Tolerant policies only).
+	FilesWithDiagnostics, Diagnostics int
 	// Wall is the batch wall time, including worker startup.
 	Wall time.Duration
 }
@@ -145,6 +154,13 @@ type Policy struct {
 	// interpretation instead of exhausting the forest budget. Results
 	// produced under it are marked Degraded.
 	DegradedBudget *incremental.Budget
+	// Tolerant makes syntax errors non-fatal per file: the session's
+	// tier-1 error isolation quarantines the damage and the Result
+	// carries a valid Root plus Diagnostics instead of an Err. Files
+	// whose damage cannot be bounded still fail. Budget trips, timeouts
+	// and cancellation are unaffected — they stay errors (and stay
+	// retryable).
+	Tolerant bool
 }
 
 // WithPolicy sets the batch's per-file policy.
@@ -236,7 +252,7 @@ func analyzeOne(ctx context.Context, lang *incremental.Language, in Input, idx i
 		if attempt > 0 && cfg.policy.DegradedBudget != nil {
 			budget, degraded = *cfg.policy.DegradedBudget, true
 		}
-		res = attemptOne(ctx, lang, in, idx, cfg.analyze, budget, cfg.policy.FileTimeout)
+		res = attemptOne(ctx, lang, in, idx, cfg, budget)
 		res.Attempts = attempt + 1
 		res.Degraded = res.Degraded || degraded
 		duration += res.Duration
@@ -276,7 +292,7 @@ func retryable(err error) bool {
 // a *PanicError so a poisoned file cannot take down the batch (or its own
 // later attempts).
 func attemptOne(ctx context.Context, lang *incremental.Language, in Input, idx int,
-	analyze bool, budget incremental.Budget, timeout time.Duration) (res Result) {
+	cfg *config, budget incremental.Budget) (res Result) {
 	res = Result{Name: in.Name, Index: idx, Bytes: len(in.Source)}
 	start := time.Now()
 	defer func() {
@@ -290,14 +306,27 @@ func attemptOne(ctx context.Context, lang *incremental.Language, in Input, idx i
 			}
 		}
 	}()
-	if timeout > 0 {
+	if cfg.policy.FileTimeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
+		ctx, cancel = context.WithTimeout(ctx, cfg.policy.FileTimeout)
 		defer cancel()
 	}
 
 	s := incremental.NewSession(lang, in.Source, incremental.WithBudget(budget))
-	root, err := s.ParseContext(ctx)
+	var root *incremental.Node
+	var err error
+	if cfg.policy.Tolerant {
+		out := s.ParseWithRecoveryContext(ctx)
+		root, err = out.Root, out.Err
+		if err == nil && root == nil {
+			err = fmt.Errorf("engine: %s: recovery produced no tree", in.Name)
+		}
+		if out.Isolated {
+			res.Diagnostics = s.Diagnostics()
+		}
+	} else {
+		root, err = s.ParseContext(ctx)
+	}
 	res.Stats = s.Stats()
 	res.Degraded = res.Stats.BudgetPruned > 0
 	if err != nil {
@@ -305,7 +334,7 @@ func attemptOne(ctx context.Context, lang *incremental.Language, in Input, idx i
 		return res
 	}
 	res.Root = root
-	if analyze {
+	if cfg.analyze {
 		res.Semantics = s.Resolve()
 		res.Dag = incremental.Measure(root)
 	}
@@ -324,6 +353,10 @@ func aggregate(results []Result) Aggregate {
 		}
 		if r.Degraded {
 			a.Degraded++
+		}
+		if len(r.Diagnostics) > 0 {
+			a.FilesWithDiagnostics++
+			a.Diagnostics += len(r.Diagnostics)
 		}
 		a.Bytes += int64(r.Bytes)
 		addStats(&a.Stats, r.Stats)
@@ -359,6 +392,7 @@ func addDag(dst *incremental.DagStats, s incremental.DagStats) {
 	dst.AmbiguousRegions += s.AmbiguousRegions
 	dst.Terminals += s.Terminals
 	dst.BudgetPruned += s.BudgetPruned
+	dst.ErrorNodes += s.ErrorNodes
 	if s.MaxAlternatives > dst.MaxAlternatives {
 		dst.MaxAlternatives = s.MaxAlternatives
 	}

@@ -193,3 +193,41 @@ func TestEmptyBatch(t *testing.T) {
 		t.Fatalf("empty batch: %+v err=%v", b, err)
 	}
 }
+
+// TestTolerantPolicyKeepsBrokenFiles: under Policy.Tolerant a syntactically
+// broken file still yields a Root — the damage quarantined under error
+// nodes and reported as Diagnostics — while healthy files are untouched and
+// files isolation cannot bound keep surfacing their parse error.
+func TestTolerantPolicyKeepsBrokenFiles(t *testing.T) {
+	inputs := []Input{
+		{Name: "ok1.c", Source: "int a; a = 1;"},
+		{Name: "broken.c", Source: "int a; int (; int b;"},
+		{Name: "ok2.c", Source: "int z;"},
+	}
+	lang := incremental.CSubset()
+	b, err := AnalyzeAll(context.Background(), lang, inputs,
+		WithWorkers(2), WithPolicy(Policy{Tolerant: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Aggregate.Failed != 0 {
+		t.Fatalf("tolerant batch reported failures: %+v", b.Aggregate)
+	}
+	for _, r := range b.Results {
+		if r.Err != nil || r.Root == nil {
+			t.Fatalf("file %s: err=%v root=%v", r.Name, r.Err, r.Root)
+		}
+	}
+	if n := len(b.Results[1].Diagnostics); n < 1 {
+		t.Fatalf("broken.c diagnostics = %d, want >= 1", n)
+	}
+	if len(b.Results[0].Diagnostics) != 0 || len(b.Results[2].Diagnostics) != 0 {
+		t.Fatal("healthy files must not carry diagnostics")
+	}
+	if b.Aggregate.FilesWithDiagnostics != 1 || b.Aggregate.Diagnostics < 1 {
+		t.Fatalf("aggregate diagnostics: %+v", b.Aggregate)
+	}
+	if b.Aggregate.Dag.ErrorNodes < 1 {
+		t.Fatalf("aggregate error nodes = %d", b.Aggregate.Dag.ErrorNodes)
+	}
+}

@@ -69,21 +69,35 @@ func main() {
 
 	fmt.Printf("\n(each reparse touched a handful of tokens out of %d — the rest was reused)\n", st.Terminals)
 
-	// Error episode: two edits, one of which breaks the parse. Recovery
-	// keeps the good one and flags the bad one as unincorporated (§4.3).
+	// Error episode: two edits, one of which breaks the parse. Tier-1
+	// isolation keeps BOTH — the user's text is never reverted; the broken
+	// span is quarantined under an error node and reported as a diagnostic
+	// while the rest of the program stays incrementally parsed (§1, §4.3).
 	fmt.Println("\nerror episode: one good edit, one that breaks the syntax")
-	text := s.Text()
-	good := strings.Index(text, "int w")
-	bad := strings.LastIndex(text, "= ")
+	good := strings.Index(s.Text(), "int w")
 	s.Edit(good+4, 1, "renamed_w")
+	bad := strings.LastIndex(s.Text(), "= ")
 	s.Edit(bad, 2, ")) ")
+	brokenLen := len(s.Text())
 	out := s.ParseWithRecovery()
 	if out.Err != nil {
 		log.Fatal(out.Err)
 	}
-	fmt.Printf("recovery: %d edit(s) incorporated, %d reverted and flagged\n",
-		len(out.Incorporated), len(out.Unincorporated))
-	if strings.Contains(s.Text(), "renamed_w") && !strings.Contains(s.Text(), "))") {
-		fmt.Println("the good rename survived; the damage was rolled back")
+	fmt.Printf("recovery: %d edit(s) incorporated, isolated=%v, %d quarantined region(s)\n",
+		len(out.Incorporated), out.Isolated, out.ErrorRegions)
+	if len(s.Text()) == brokenLen && strings.Contains(s.Text(), "renamed_w") {
+		fmt.Println("both edits kept: the text was not rolled back")
 	}
+	for _, d := range s.Diagnostics() {
+		fmt.Printf("diagnostic: %s\n", d)
+	}
+
+	// Repairing the broken span clears the quarantine: the next parse has
+	// no error nodes and the tree converges to a from-scratch parse.
+	s.Edit(bad, 3, "= ") // isolation kept the text, so the offset still holds
+	if _, err := s.Parse(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after repair: %d diagnostic(s), %d error node(s) — converged\n",
+		len(s.Diagnostics()), len(s.ErrorNodes()))
 }

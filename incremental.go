@@ -23,6 +23,7 @@ package incremental
 
 import (
 	"context"
+	"errors"
 
 	"iglr/internal/dag"
 	"iglr/internal/detparse"
@@ -31,6 +32,7 @@ import (
 	"iglr/internal/grammar"
 	"iglr/internal/guard"
 	"iglr/internal/iglr"
+	"iglr/internal/isolate"
 	"iglr/internal/langs"
 	"iglr/internal/langs/cppsub"
 	"iglr/internal/langs/csub"
@@ -368,6 +370,14 @@ func (s *Session) ParseContext(ctx context.Context) (*Node, error) {
 	return root, nil
 }
 
+// isDetSyntax reports whether err is a deterministic-parser syntax error.
+// Kept out of parseOnce's hot path: the errors.As target escapes, and the
+// zero-allocation clean-reparse guarantee must hold.
+func isDetSyntax(err error) bool {
+	var de *detparse.SyntaxError
+	return errors.As(err, &de)
+}
+
 // locate attaches position information to a parser error.
 func (s *Session) locate(err error) error {
 	se, ok := err.(*iglr.SyntaxError)
@@ -381,18 +391,57 @@ func (s *Session) locate(err error) error {
 
 func (s *Session) parseOnce(ctx context.Context) (*Node, error) {
 	if s.det != nil {
-		return s.det.ParseContext(ctx, s.doc.Stream())
+		root, err := s.det.ParseContext(ctx, s.doc.Stream())
+		if err == nil || !isDetSyntax(err) {
+			return root, err
+		}
+		// Syntax error under the deterministic parser: hand the document to
+		// the GLR parser, whose failure carries the same detail but is the
+		// one the error-isolation machinery consumes. Infrastructure
+		// failures (budget, cancellation) are not re-run.
 	}
 	root, err := s.parser.ParseContext(ctx, s.doc.Stream())
 	s.stats = s.parser.Stats
 	return root, err
 }
 
-// ParseWithRecovery parses with history-based error recovery (§4.3):
-// failing edits are reverted and reported as unincorporated.
+// ParseWithRecovery parses with two-tier error recovery. Tier 1 (§4.3
+// extended): a syntax error never reverts the user's text — the damage is
+// confined to the smallest enclosing sequence region, the skipped tokens
+// are kept verbatim under error nodes in the committed tree, and
+// Diagnostics reports them. Tier 2, only when isolation cannot bound the
+// damage: the paper's history-sensitive replay, where failing edits are
+// reverted and reported as unincorporated. Infrastructure failures
+// (ErrBudget, cancellation) abort with pending edits intact and trigger
+// neither tier.
 func (s *Session) ParseWithRecovery() RecoveryOutcome {
+	return s.ParseWithRecoveryContext(nil)
+}
+
+// ParseWithRecoveryContext is ParseWithRecovery with cooperative
+// cancellation (see ParseContext).
+func (s *Session) ParseWithRecoveryContext(ctx context.Context) RecoveryOutcome {
+	pending := s.doc.PendingEdits()
+	root, err := s.parseOnce(ctx)
+	if err == nil {
+		s.doc.Commit(root)
+		return RecoveryOutcome{Root: root, Incorporated: pending, Clean: true}
+	}
+	if recovery.IsInfrastructure(err) {
+		return RecoveryOutcome{Err: err}
+	}
+	// Tier 1: text-preserving isolation, always driven by the GLR parser
+	// (deterministic sessions hand their syntax errors over anyway).
+	if res, ierr := isolate.Reparse(ctx, s.doc, s.parser); ierr == nil {
+		s.doc.Commit(res.Root)
+		return RecoveryOutcome{Root: res.Root, Incorporated: pending,
+			Isolated: true, ErrorRegions: len(res.Errors)}
+	} else if recovery.IsInfrastructure(ierr) {
+		return RecoveryOutcome{Err: ierr}
+	}
+	// Tier 2: history-sensitive edit replay.
 	return recovery.Parse(s.doc, func(d *document.Document) (*Node, error) {
-		return s.parseOnce(nil)
+		return s.parseOnce(ctx)
 	})
 }
 

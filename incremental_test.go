@@ -67,12 +67,27 @@ func TestSessionRecovery(t *testing.T) {
 	s.Edit(4, 1, "x")  // good
 	s.Edit(11, 1, "(") // bad
 	out := s.ParseWithRecovery()
-	if out.Err != nil || len(out.Incorporated) != 1 || len(out.Unincorporated) != 1 {
-		t.Fatalf("recovery outcome: inc=%d uninc=%d err=%v",
-			len(out.Incorporated), len(out.Unincorporated), out.Err)
+	if out.Err != nil || !out.Isolated || out.ErrorRegions == 0 {
+		t.Fatalf("recovery outcome: %+v", out)
+	}
+	// Tier-1 isolation never reverts the user's text: the bad edit stays,
+	// quarantined under an error node and reported as a diagnostic.
+	if s.Text() != "int x; int (;" {
+		t.Fatalf("text = %q", s.Text())
+	}
+	if ds := s.Diagnostics(); len(ds) == 0 {
+		t.Fatalf("no diagnostics for the quarantined region")
+	}
+	// Repairing the text clears the quarantine and converges.
+	s.Edit(11, 1, "b")
+	if _, err := s.Parse(); err != nil {
+		t.Fatal(err)
 	}
 	if s.Text() != "int x; int b;" {
-		t.Fatalf("text = %q", s.Text())
+		t.Fatalf("repaired text = %q", s.Text())
+	}
+	if ds := s.Diagnostics(); len(ds) != 0 {
+		t.Fatalf("diagnostics after repair: %v", ds)
 	}
 }
 

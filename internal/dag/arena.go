@@ -105,6 +105,17 @@ func (a *Arena) Seq(sym grammar.Sym, kids []*Node) *Node {
 	return n
 }
 
+// Error creates an isolated syntax-error region over the quarantined
+// terminal nodes kids (kept verbatim, in text order). The node carries
+// NoState so incremental reparses break it down instead of reusing it.
+func (a *Arena) Error(kids []*Node, det *ErrorDetail) *Node {
+	n := a.alloc()
+	n.Kind, n.Sym, n.Prod, n.State, n.Kids = KindError, grammar.ErrorSym, -1, NoState, kids
+	n.Err = det
+	n.computeCover()
+	return n
+}
+
 // Clone allocates a shallow copy of n with a fresh identity (new ID). The
 // Kids slice is shared with the original; callers that rewire children must
 // replace it.

@@ -44,6 +44,16 @@ const (
 	// is the sequence nonterminal; its children are elements and/or other
 	// KindSeq nodes. Created by rebalancing, not by the parser.
 	KindSeq
+	// KindError is an isolated syntax-error region: its children are the
+	// quarantined terminals, kept verbatim so the document's text is never
+	// reverted by error handling. Error nodes are created by the tier-1
+	// isolating reparse (internal/isolate), never by the parser itself; like
+	// BudgetPruned regions they mark structure that is usable but carries no
+	// grammatical interpretation. Their state is NoState, so incremental
+	// reparses always break them down and re-offer the quarantined tokens —
+	// which is how a region converges back to ordinary structure once the
+	// text is repaired.
+	KindError
 )
 
 // Node is one abstract-parse-dag node. Nodes are compared by pointer
@@ -112,6 +122,22 @@ type Node struct {
 	// that rely on the §5 bounded-ambiguity claims should treat the region
 	// as disambiguated by policy, not by evidence.
 	BudgetPruned bool
+	// Err carries the failure detail of a KindError node (nil otherwise).
+	Err *ErrorDetail
+}
+
+// ErrorDetail records why a KindError region failed to parse — the raw
+// material of the session's Diagnostics API. Positions are not stored: they
+// are recomputed from the error node's terminal cover on demand, which is
+// what keeps diagnostics correctly remapped across later edits.
+type ErrorDetail struct {
+	// Expected lists, by grammar name (sorted), the terminals the parser
+	// could have accepted at the failure point.
+	Expected []string
+	// Region is the sequence nonterminal whose element structure isolated
+	// the damage, or grammar.InvalidSym when the region was bounded without
+	// a sequence host (e.g. a batch panic-mode quarantine).
+	Region grammar.Sym
 }
 
 // computeCover fills the terminal-yield bookkeeping from the children.
@@ -295,9 +321,29 @@ func (n *Node) String() string {
 		return fmt.Sprintf("choice(%d,×%d)", n.Sym, len(n.Kids))
 	case KindSeq:
 		return fmt.Sprintf("seq(%d,×%d)", n.Sym, len(n.Kids))
+	case KindError:
+		return fmt.Sprintf("error(×%d)", len(n.Kids))
 	default:
 		return fmt.Sprintf("p%d(%d)", n.Prod, n.Sym)
 	}
+}
+
+// IsError reports whether n is an isolated syntax-error region.
+func (n *Node) IsError() bool { return n.Kind == KindError }
+
+// CollectErrors returns the KindError nodes reachable from root, leftmost
+// first (preorder). A nil root yields nil.
+func CollectErrors(root *Node) []*Node {
+	if root == nil {
+		return nil
+	}
+	var out []*Node
+	root.Walk(func(n *Node) {
+		if n.Kind == KindError {
+			out = append(out, n)
+		}
+	})
+	return out
 }
 
 // Format renders the subtree as an indented outline using grammar names.
@@ -316,6 +362,8 @@ func format(g *grammar.Grammar, n *Node, depth int, b *strings.Builder) {
 		fmt.Fprintf(b, "%s «choice of %d»", g.Name(n.Sym), len(n.Kids))
 	case KindSeq:
 		fmt.Fprintf(b, "%s «seq %d»", g.Name(n.Sym), len(n.Kids))
+	case KindError:
+		fmt.Fprintf(b, "ERROR «%d token(s)»", n.TermCount)
 	default:
 		fmt.Fprintf(b, "%s := %s", g.Name(n.Sym), g.ProductionString(g.Production(n.Prod)))
 	}

@@ -26,6 +26,10 @@ type Stats struct {
 	// the ambiguity budget — regions where the dag no longer encodes the
 	// full forest (see dag.Node.BudgetPruned).
 	BudgetPruned int
+	// ErrorNodes counts isolated syntax-error regions (KindError) — spans
+	// of quarantined tokens held verbatim with no grammatical
+	// interpretation.
+	ErrorNodes int
 }
 
 // SpaceOverheadPercent returns the percentage increase of the dag over the
@@ -65,6 +69,8 @@ func Measure(root *Node) Stats {
 			if len(n.Kids) > s.MaxAlternatives {
 				s.MaxAlternatives = len(n.Kids)
 			}
+		case KindError:
+			s.ErrorNodes++
 		}
 		if n.BudgetPruned {
 			s.BudgetPruned++

@@ -9,6 +9,7 @@ package detparse
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"iglr/internal/dag"
 	"iglr/internal/grammar"
@@ -50,9 +51,21 @@ type Parser struct {
 	// *guard.BudgetError; the committed tree is untouched.
 	Budget guard.Budget
 
-	arena *dag.Arena
-	stack []entry
-	gauge guard.Gauge
+	arena  *dag.Arena
+	stack  []entry
+	tokens int
+	gauge  guard.Gauge
+}
+
+// expected renders the acceptable-terminal set of a state by name, sorted.
+func (p *Parser) expected(state int) []string {
+	syms := p.table.ExpectedTerminals(state)
+	out := make([]string, len(syms))
+	for i, s := range syms {
+		out[i] = p.g.Name(s)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // New creates a parser; the table must be deterministic.
@@ -72,15 +85,22 @@ func MustNew(table *lr.Table) *Parser {
 	return p
 }
 
-// SyntaxError reports a failed parse.
+// SyntaxError reports a failed parse. It carries the same positional and
+// expected-token detail as the IGLR parser's error, so sessions can route
+// either parser's failure into the error-isolation machinery.
 type SyntaxError struct {
 	Sym     grammar.Sym
 	SymName string
 	Text    string
+	// TokenIndex is the number of terminals consumed before the error.
+	TokenIndex int
+	// Expected lists the terminals acceptable in the failure state, by
+	// name, sorted.
+	Expected []string
 }
 
 func (e *SyntaxError) Error() string {
-	return fmt.Sprintf("syntax error at %s %q", e.SymName, e.Text)
+	return fmt.Sprintf("syntax error at %s %q (token %d)", e.SymName, e.Text, e.TokenIndex)
 }
 
 type entry struct {
@@ -119,6 +139,7 @@ func (p *Parser) ParseContext(ctx context.Context, stream Stream) (root *dag.Nod
 		}
 	}()
 	p.stack = append(p.stack[:0], entry{state: p.table.StartState()})
+	p.tokens = 0
 
 	for rounds := 0; ; rounds++ {
 		if rounds%checkEvery == checkEvery-1 {
@@ -130,10 +151,11 @@ func (p *Parser) ParseContext(ctx context.Context, stream Stream) (root *dag.Nod
 			p.gauge.CheckDeadline()
 		}
 		la := stream.La()
-		if la == nil {
-			return nil, &SyntaxError{Sym: grammar.EOF, SymName: "$"}
-		}
 		top := p.stack[len(p.stack)-1].state
+		if la == nil {
+			return nil, &SyntaxError{Sym: grammar.EOF, SymName: "$",
+				TokenIndex: p.tokens, Expected: p.expected(top)}
+		}
 
 		if !la.IsTerminal() {
 			// Subtree lookahead: state-matching reuse, precomputed
@@ -143,6 +165,7 @@ func (p *Parser) ParseContext(ctx context.Context, stream Stream) (root *dag.Nod
 					p.stack = append(p.stack, entry{state: gt, node: la})
 					p.Stats.Shifts++
 					p.Stats.SubtreeShifts++
+					p.tokens += int(la.TermCount)
 					stream.Pop()
 					continue
 				}
@@ -158,7 +181,8 @@ func (p *Parser) ParseContext(ctx context.Context, stream Stream) (root *dag.Nod
 
 		act, n := p.table.OneAction(top, la.Sym)
 		if n == 0 {
-			return nil, &SyntaxError{Sym: la.Sym, SymName: p.g.Name(la.Sym), Text: la.Text}
+			return nil, &SyntaxError{Sym: la.Sym, SymName: p.g.Name(la.Sym), Text: la.Text,
+				TokenIndex: p.tokens, Expected: p.expected(top)}
 		}
 		switch act.Kind {
 		case lr.Shift:
@@ -167,12 +191,16 @@ func (p *Parser) ParseContext(ctx context.Context, stream Stream) (root *dag.Nod
 			p.stack = append(p.stack, entry{state: int(act.Target), node: la})
 			p.Stats.Shifts++
 			p.Stats.TerminalShifts++
+			if la.Sym != grammar.EOF {
+				p.tokens++
+			}
 			stream.Pop()
 		case lr.Reduce:
 			p.reduce(int(act.Target))
 		case lr.Accept:
 			if la.Sym != grammar.EOF {
-				return nil, &SyntaxError{Sym: la.Sym, SymName: p.g.Name(la.Sym), Text: la.Text}
+				return nil, &SyntaxError{Sym: la.Sym, SymName: p.g.Name(la.Sym), Text: la.Text,
+					TokenIndex: p.tokens, Expected: p.expected(top)}
 			}
 			return p.stack[len(p.stack)-1].node, nil
 		}

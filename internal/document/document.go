@@ -384,6 +384,37 @@ func (d *Document) SignificantTokenOffset(i int) int {
 	return d.buf.Len()
 }
 
+// NodeSpan returns the byte span [off, off+length) covering the part of
+// n's terminal yield still present in the current token stream. It reports
+// ok=false when none of n's terminals remain (the node is fully stale).
+// Because the span is recomputed from the live token stream on every call,
+// it automatically tracks edits elsewhere in the document.
+func (d *Document) NodeSpan(n *dag.Node) (off, length int, ok bool) {
+	want := make(map[*dag.Node]bool)
+	for _, t := range n.Terminals(nil) {
+		want[t] = true
+	}
+	if len(want) == 0 {
+		return 0, 0, false
+	}
+	start, end := -1, -1
+	for ti, node := range d.nodes {
+		if node == nil || !want[node] {
+			continue
+		}
+		if start < 0 || d.toks[ti].Offset < start {
+			start = d.toks[ti].Offset
+		}
+		if e := d.toks[ti].Offset + len(d.toks[ti].Text); e > end {
+			end = e
+		}
+	}
+	if start < 0 {
+		return 0, 0, false
+	}
+	return start, end - start, true
+}
+
 // Position converts a byte offset to a 1-based (line, column) pair.
 // Columns count bytes within the line.
 func (d *Document) Position(offset int) (line, col int) {

@@ -1,0 +1,92 @@
+package document
+
+import (
+	"iglr/internal/dag"
+)
+
+// Region is a half-open range [Lo, Hi) of significant-terminal indices —
+// the unit in which the error-isolation layer quarantines damage.
+type Region struct{ Lo, Hi int }
+
+// Len returns the number of terminals the region covers.
+func (r Region) Len() int { return r.Hi - r.Lo }
+
+// Contains reports whether terminal index i falls inside the region.
+func (r Region) Contains(i int) bool { return i >= r.Lo && i < r.Hi }
+
+// MaskedStream is a parser input that yields the document's significant
+// terminals one at a time, skipping every index covered by a quarantine
+// region. Unlike the ordinary Stream it never offers whole subtrees — the
+// masked token sequence differs from the committed tree's yield, so
+// position-based subtree reuse does not apply; bottom-up node retention in
+// the parser still reuses unchanged structure away from the regions.
+type MaskedStream struct {
+	d       *Document
+	terms   []*dag.Node
+	regions []Region // sorted by Lo, disjoint
+	k       int      // next candidate terminal index
+	ri      int      // first region not yet passed
+	eofSent bool
+}
+
+// MaskedStream returns a parser input over the document's current terminals
+// with the given regions (sorted, disjoint, in terminal indices) masked
+// out. The stream is freshly allocated — isolation runs are off the
+// zero-alloc hot path by construction.
+func (d *Document) MaskedStream(regions []Region) *MaskedStream {
+	return &MaskedStream{d: d, terms: d.Terminals(), regions: regions}
+}
+
+// Arena returns the document's node arena.
+func (s *MaskedStream) Arena() *dag.Arena { return s.d.arena }
+
+// skip advances k past any masked region it has entered.
+func (s *MaskedStream) skip() {
+	for s.ri < len(s.regions) {
+		r := s.regions[s.ri]
+		if s.k < r.Lo {
+			return
+		}
+		if s.k < r.Hi {
+			s.k = r.Hi
+		}
+		s.ri++
+	}
+}
+
+// La returns the current lookahead terminal (or the EOF node, then nil).
+func (s *MaskedStream) La() *dag.Node {
+	s.skip()
+	if s.k >= len(s.terms) {
+		if s.eofSent {
+			return nil
+		}
+		return s.d.eof
+	}
+	return s.terms[s.k]
+}
+
+// Pop advances past the current terminal.
+func (s *MaskedStream) Pop() {
+	if n := s.La(); n == s.d.eof {
+		s.eofSent = true
+		return
+	} else if n == nil {
+		return
+	}
+	s.k++
+}
+
+// Breakdown panics: the stream only ever yields terminals, so a correct
+// parser never requests a breakdown.
+func (s *MaskedStream) Breakdown() {
+	panic("document: breakdown on a masked terminal stream")
+}
+
+// CurIndex returns the document-terminal index of the current lookahead
+// (len(terms) at EOF) — how a parse failure on the masked stream is mapped
+// back to document coordinates.
+func (s *MaskedStream) CurIndex() int {
+	s.skip()
+	return s.k
+}

@@ -391,17 +391,13 @@ func (p *Parser) injectReduce() {
 
 // expectedTerminals collects, over the parsers active when the error was
 // detected, every terminal with a defined action — the "expected one of"
-// set for diagnostics.
+// set for diagnostics (the per-state sets come from the table's
+// ExpectedTerminals extraction).
 func (p *Parser) expectedTerminals() []string {
 	seen := map[grammar.Sym]bool{}
 	for _, a := range p.active {
-		for _, term := range p.g.Terminals() {
-			if term == grammar.ErrorSym {
-				continue
-			}
-			if len(p.table.Actions(a.state, term)) > 0 && !seen[term] {
-				seen[term] = true
-			}
+		for _, term := range p.table.ExpectedTerminals(a.state) {
+			seen[term] = true
 		}
 	}
 	out := make([]string, 0, len(seen))

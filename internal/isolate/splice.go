@@ -1,0 +1,192 @@
+package isolate
+
+import (
+	"iglr/internal/dag"
+	"iglr/internal/document"
+	"iglr/internal/grammar"
+)
+
+// splicer inserts error nodes into a masked-parse tree at associative-
+// sequence boundaries, path-copying the spine with fresh NoState nodes so
+// committed structure is never mutated in place.
+type splicer struct {
+	a   *dag.Arena
+	g   *grammar.Grammar
+	idx map[*dag.Node]int // document terminal -> index
+}
+
+// expandReq asks the isolation loop to absorb the document-terminal span
+// [lo, hi): the quarantine gap fell strictly inside a sequence element, so
+// the whole element must join the region before splicing can succeed.
+type expandReq struct{ lo, hi int }
+
+// spliceAll inserts one error node per region into root, left to right.
+// Splicing ascending keeps every region's gap position equal to its Lo in
+// the evolving tree's terminal coordinates: all terminals before an
+// unspliced region are present (earlier regions were just re-inserted) and
+// masked spans only occur at or after the gap. A non-nil expandReq means
+// the loop must retry with a bigger region; ErrUnbounded means no sequence
+// structure can host some region at all.
+func (s *splicer) spliceAll(root *dag.Node, terms []*dag.Node, regions []region) (Result, *expandReq, error) {
+	res := Result{Root: root}
+	for _, r := range regions {
+		det := &dag.ErrorDetail{Expected: r.expected, Region: grammar.InvalidSym}
+		kids := make([]*dag.Node, r.hi-r.lo)
+		copy(kids, terms[r.lo:r.hi])
+		errNode := s.a.Error(kids, det)
+		nr, req := s.insert(res.Root, 0, r.lo, errNode, det)
+		if req != nil {
+			return Result{}, req, nil
+		}
+		if nr == nil {
+			return Result{}, nil, ErrUnbounded
+		}
+		res.Root = nr
+		res.Errors = append(res.Errors, errNode)
+		res.Regions = append(res.Regions, document.Region{Lo: r.lo, Hi: r.hi})
+	}
+	return res, nil, nil
+}
+
+// insert places errNode at terminal position m within the subtree n (whose
+// yield starts at position off), returning a fresh replacement for n, or
+// (nil, nil) when no sequence structure under n can host the gap, or an
+// expansion request when the gap sits strictly inside a sequence element
+// with no deeper host.
+func (s *splicer) insert(n *dag.Node, off, m int, errNode *dag.Node, det *dag.ErrorDetail) (*dag.Node, *expandReq) {
+	if isSeqStruct(s.g, n) {
+		return s.insertSeq(n, off, m, errNode, det)
+	}
+	switch n.Kind {
+	case dag.KindTerminal, dag.KindError:
+		return nil, nil
+	case dag.KindChoice:
+		// Splicing through a choice would corrupt the sibling alternatives,
+		// which share the yield; let an enclosing sequence absorb it.
+		return nil, nil
+	}
+	c := off
+	prevIdx := -1
+	for i, k := range n.Kids {
+		tc := int(k.TermCount)
+		if tc == 0 {
+			// An empty sequence sitting exactly at the gap (e.g. the item
+			// list of an empty block, or an empty declaration section) hosts
+			// the error node alone; the sequence may sit a level down when a
+			// plain production wraps the generated chain.
+			if c == m {
+				nk, req := s.insert(k, c, m, errNode, det)
+				if req != nil {
+					return nil, req
+				}
+				if nk != nil {
+					return s.withKid(n, i, nk), nil
+				}
+			}
+			continue
+		}
+		if m == c {
+			// Boundary: try the kid starting here, then the kid ending here.
+			nk, req := s.insert(k, c, m, errNode, det)
+			if req != nil {
+				return nil, req
+			}
+			if nk != nil {
+				return s.withKid(n, i, nk), nil
+			}
+			if prevIdx >= 0 {
+				pk := n.Kids[prevIdx]
+				nk, req = s.insert(pk, c-int(pk.TermCount), m, errNode, det)
+				if req != nil {
+					return nil, req
+				}
+				if nk != nil {
+					return s.withKid(n, prevIdx, nk), nil
+				}
+			}
+			return nil, nil
+		}
+		if m > c && m < c+tc {
+			nk, req := s.insert(k, c, m, errNode, det)
+			if req != nil {
+				return nil, req
+			}
+			if nk != nil {
+				return s.withKid(n, i, nk), nil
+			}
+			return nil, nil
+		}
+		c += tc
+		prevIdx = i
+	}
+	if m == c && prevIdx >= 0 {
+		// Gap at the very end of n's yield: only the last kid can host it.
+		pk := n.Kids[prevIdx]
+		nk, req := s.insert(pk, c-int(pk.TermCount), m, errNode, det)
+		if req != nil {
+			return nil, req
+		}
+		if nk != nil {
+			return s.withKid(n, prevIdx, nk), nil
+		}
+	}
+	return nil, nil
+}
+
+// insertSeq handles a node that is itself sequence structure: a gap at an
+// element boundary hosts the error node as an extra element; a gap strictly
+// inside an element first tries a deeper host, then requests that the whole
+// element be absorbed into the region.
+func (s *splicer) insertSeq(n *dag.Node, off, m int, errNode *dag.Node, det *dag.ErrorDetail) (*dag.Node, *expandReq) {
+	elems := dag.SeqElements(s.g, n)
+	c := off
+	for j, e := range elems {
+		tc := int(e.TermCount)
+		if m == c {
+			det.Region = n.Sym
+			return dag.BuildSeq(s.a, n.Sym, insertAt(elems, j, errNode)), nil
+		}
+		if m < c+tc {
+			nk, req := s.insert(e, c, m, errNode, det)
+			if req != nil {
+				return nil, req
+			}
+			if nk != nil {
+				ne := make([]*dag.Node, len(elems))
+				copy(ne, elems)
+				ne[j] = nk
+				return dag.BuildSeq(s.a, n.Sym, ne), nil
+			}
+			lo, hi, ok := presentSpan(s.idx, e)
+			if !ok {
+				return nil, nil
+			}
+			return nil, &expandReq{lo: lo, hi: hi}
+		}
+		c += tc
+	}
+	if m == c {
+		det.Region = n.Sym
+		return dag.BuildSeq(s.a, n.Sym, insertAt(elems, len(elems), errNode)), nil
+	}
+	return nil, nil
+}
+
+// insertAt returns a copy of elems with extra inserted at position j.
+func insertAt(elems []*dag.Node, j int, extra *dag.Node) []*dag.Node {
+	out := make([]*dag.Node, 0, len(elems)+1)
+	out = append(out, elems[:j]...)
+	out = append(out, extra)
+	out = append(out, elems[j:]...)
+	return out
+}
+
+// withKid path-copies production node n with kid i replaced. The copy gets
+// NoState so a later reparse breaks it down instead of reusing it whole —
+// the convergence path back to a batch-identical tree.
+func (s *splicer) withKid(n *dag.Node, i int, nk *dag.Node) *dag.Node {
+	kids := make([]*dag.Node, len(n.Kids))
+	copy(kids, n.Kids)
+	kids[i] = nk
+	return s.a.Production(n.Sym, n.Prod, dag.NoState, kids)
+}

@@ -224,6 +224,24 @@ func (t *Table) Goto(state int, s grammar.Sym) int {
 	return int(t.gotos[state*t.nSyms+int(s)])
 }
 
+// ExpectedTerminals returns the terminals with at least one defined action
+// in state, in symbol order — the "expected one of" set a parser stopped in
+// that state can report. The reserved error terminal is excluded (no
+// production may use it, so it is never acceptable).
+func (t *Table) ExpectedTerminals(state int) []grammar.Sym {
+	var out []grammar.Sym
+	row := state * t.nSyms
+	for _, term := range t.g.Terminals() {
+		if term == grammar.ErrorSym {
+			continue
+		}
+		if t.actCells[row+int(term)]&cellCountMask != 0 {
+			out = append(out, term)
+		}
+	}
+	return out
+}
+
 // Conflicts returns the unresolved conflicts in the table.
 func (t *Table) Conflicts() []Conflict { return t.conflicts }
 

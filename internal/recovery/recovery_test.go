@@ -1,11 +1,13 @@
 package recovery_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
 	"iglr/internal/dag"
 	"iglr/internal/document"
+	"iglr/internal/guard"
 	"iglr/internal/iglr"
 	"iglr/internal/langs/csub"
 	"iglr/internal/recovery"
@@ -227,4 +229,88 @@ func FuzzRecoveryConverges(f *testing.F) {
 			t.Fatalf("failed recovery left text %q, baseline %q", d.Text(), baseline)
 		}
 	})
+}
+
+// TestMultiSkipOffsetOracle is a hand-computed oracle for the site-based
+// offset transform: two bad edits interleave with four good ones, so every
+// later edit must be located across one or two skipped sites, including an
+// insertion recorded at offset 0 after the skips.
+func TestMultiSkipOffsetOracle(t *testing.T) {
+	l := csub.Lang()
+	d := l.NewDocument("int a; int b; int c; int d;")
+	recovery.Parse(d, parser())
+
+	d.Replace(0, 0, "((( ")    // bad: shifts everything by 4
+	d.Replace(8, 1, "aa")      // good: a -> aa ('a' is at 4+4)
+	d.Replace(16, 1, "(")      // bad: b -> ( ('b' is at 11+4+1)
+	d.Replace(23, 1, "cc")     // good: c -> cc ('c' is at 18+4+1)
+	d.Replace(31, 1, "dd")     // good: d -> dd ('d' is at 25+4+1+1)
+	d.Replace(0, 0, "int e; ") // good: prepend across the skipped site at 0
+	out := recovery.Parse(d, parser())
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if len(out.Incorporated) != 4 || len(out.Unincorporated) != 2 {
+		t.Fatalf("inc=%d uninc=%d text=%q",
+			len(out.Incorporated), len(out.Unincorporated), d.Text())
+	}
+	if got, want := d.Text(), "int e; int aa; int b; int cc; int dd;"; got != want {
+		t.Fatalf("text = %q, want %q", got, want)
+	}
+}
+
+// TestBudgetTripMidReplayRestoresPendingEdits (satellite regression): an
+// infrastructure failure on a replay probe must abort recovery without
+// consuming the edit history — the error surfaces as ErrBudget, the
+// document keeps the fully edited text, and every edit is back in the
+// pending set so a later parse with resources restored can process them.
+func TestBudgetTripMidReplayRestoresPendingEdits(t *testing.T) {
+	l := csub.Lang()
+	d := l.NewDocument("int a; int b;")
+	real := parser()
+	recovery.Parse(d, real)
+
+	d.Replace(4, 1, "(")  // bad edit
+	d.Replace(11, 1, "z") // good edit
+	edited := "int (; int z;"
+	if d.Text() != edited {
+		t.Fatalf("setup text = %q", d.Text())
+	}
+
+	// The full-text parse fails with a genuine syntax error; the first
+	// replay probe then trips a (simulated) budget.
+	calls := 0
+	tripping := func(doc *document.Document) (*dag.Node, error) {
+		calls++
+		if calls >= 2 {
+			return nil, &guard.BudgetError{Resource: guard.ResArenaNodes, Limit: 1, Used: 2}
+		}
+		return real(doc)
+	}
+	out := recovery.Parse(d, tripping)
+	if !errors.Is(out.Err, guard.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", out.Err)
+	}
+	if len(out.Incorporated) != 0 || len(out.Unincorporated) != 0 {
+		t.Fatalf("budget trip consumed edit history: %+v", out)
+	}
+	if d.Text() != edited {
+		t.Fatalf("text = %q, want the edits preserved: %q", d.Text(), edited)
+	}
+	if got := len(d.PendingEdits()); got != 2 {
+		t.Fatalf("pending edits = %d, want both restored", got)
+	}
+
+	// With resources back, the same session recovers normally: the bad
+	// edit is reverted, the good one incorporated.
+	out = recovery.Parse(d, real)
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if len(out.Incorporated) != 1 || len(out.Unincorporated) != 1 {
+		t.Fatalf("inc=%d uninc=%d", len(out.Incorporated), len(out.Unincorporated))
+	}
+	if d.Text() != "int a; int z;" {
+		t.Fatalf("text = %q", d.Text())
+	}
 }

@@ -1,0 +1,247 @@
+package incremental_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	incremental "iglr"
+)
+
+// tolerantCase is one bundled language plus a valid program and an edit
+// that breaks it.
+type tolerantCase struct {
+	name     string
+	lang     *incremental.Language
+	src      string
+	off, rem int
+	ins      string
+}
+
+// The sequence-structured bundled languages: tier-1 isolation must bound
+// the damage in every one of them.
+func seqCases() []tolerantCase {
+	return []tolerantCase{
+		{"csub", incremental.CSubset(), "int a; int b; int c;", 11, 1, "("},
+		{"cppsub", incremental.CPPSubset(), "int a; if (a) x = 1; int b;", 14, 1, "+"},
+		{"javasub", incremental.JavaSubset(),
+			"class A { int[] xs; void m() { xs[0] = 1; } }", 31, 2, ")("},
+		{"lispsub", incremental.LispSubset(), "(define (f x) (* x x)) (f 3)", 26, 1, ")"},
+		{"mod2sub", incremental.Modula2Subset(),
+			"MODULE M;\nVAR x : INTEGER;\nBEGIN\n  x := 1\nEND M.\n", 14, 1, ";"},
+		{"scannerless", incremental.ScannerlessLanguage(), "if(cond)x=1;x=2;", 14, 1, "+"},
+	}
+}
+
+// TestIsolationNeverRevertsText is the tentpole acceptance criterion: on
+// every sequence-structured bundled language, an edit that introduces a
+// syntax error keeps the user's text byte-for-byte, commits a tree with at
+// least one error node, and reports at least one diagnostic whose span
+// actually covers broken text; a repairing edit then converges to a tree
+// identical to a from-scratch batch parse.
+func TestIsolationNeverRevertsText(t *testing.T) {
+	for _, tc := range seqCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			s := incremental.NewSession(tc.lang, tc.src)
+			if _, err := s.Parse(); err != nil {
+				t.Fatalf("baseline %q does not parse: %v", tc.src, err)
+			}
+			removed := tc.src[tc.off : tc.off+tc.rem]
+			s.Edit(tc.off, tc.rem, tc.ins)
+			broken := tc.src[:tc.off] + tc.ins + tc.src[tc.off+tc.rem:]
+			if _, err := incremental.NewSession(tc.lang, broken).Parse(); err == nil {
+				t.Fatalf("edit does not actually break %q", broken)
+			}
+
+			out := s.ParseWithRecovery()
+			if out.Err != nil {
+				t.Fatalf("recovery errored: %v", out.Err)
+			}
+			if !out.Isolated {
+				t.Fatalf("tier-1 isolation did not engage: %+v", out)
+			}
+			if s.Text() != broken {
+				t.Fatalf("text reverted under tier-1: %q, want %q", s.Text(), broken)
+			}
+			if out.ErrorRegions < 1 || len(s.ErrorNodes()) < 1 {
+				t.Fatalf("no error nodes committed: regions=%d nodes=%d",
+					out.ErrorRegions, len(s.ErrorNodes()))
+			}
+			ds := s.Diagnostics()
+			if len(ds) < 1 {
+				t.Fatal("no diagnostics reported")
+			}
+			d := ds[0]
+			if d.Offset < 0 || d.Offset+d.Length > len(broken) || d.Length <= 0 {
+				t.Fatalf("diagnostic span out of range: %+v", d)
+			}
+			if !strings.Contains(broken[d.Offset:d.Offset+d.Length], tc.ins) {
+				t.Fatalf("diagnostic %q does not cover the damage %q",
+					broken[d.Offset:d.Offset+d.Length], tc.ins)
+			}
+
+			// Repair: inverse edit, then full convergence to the batch parse.
+			s.Edit(tc.off, len(tc.ins), removed)
+			root, err := s.Parse()
+			if err != nil {
+				t.Fatalf("repaired parse: %v", err)
+			}
+			if s.Text() != tc.src {
+				t.Fatalf("repaired text = %q, want %q", s.Text(), tc.src)
+			}
+			if len(s.Diagnostics()) != 0 || len(s.ErrorNodes()) != 0 {
+				t.Fatalf("quarantine not cleared after repair: %v", s.Diagnostics())
+			}
+			fresh, err := incremental.NewSession(tc.lang, tc.src).Parse()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := incremental.FormatDag(tc.lang, root), incremental.FormatDag(tc.lang, fresh); got != want {
+				t.Fatalf("repaired tree differs from batch parse:\n-- incremental --\n%s\n-- batch --\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestTier2WhenIsolationCannotBound: languages without associative
+// sequences offer no isolation boundary, so recovery falls back to the
+// paper's history-sensitive replay — the bad edit is reverted and reported
+// as unincorporated, preserving the pre-existing Outcome contract.
+func TestTier2WhenIsolationCannotBound(t *testing.T) {
+	cases := []tolerantCase{
+		{"expr", incremental.ExprLanguage(), "a + b", 2, 1, ")"},
+		{"lr2", incremental.LR2Language(), "x z c", 4, 1, "x x"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := incremental.NewSession(tc.lang, tc.src)
+			if _, err := s.Parse(); err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			s.Edit(tc.off, tc.rem, tc.ins)
+			out := s.ParseWithRecovery()
+			if out.Isolated {
+				t.Fatalf("isolation cannot bound damage in %s, yet Isolated=true", tc.name)
+			}
+			if out.Err != nil {
+				t.Fatalf("tier-2 errored: %v", out.Err)
+			}
+			if len(out.Unincorporated) != 1 {
+				t.Fatalf("unincorporated = %d, want 1", len(out.Unincorporated))
+			}
+			if s.Text() != tc.src {
+				t.Fatalf("tier-2 must revert the bad edit: %q, want %q", s.Text(), tc.src)
+			}
+		})
+	}
+}
+
+// TestDiagnosticsPositionMapping tracks one diagnostic across several
+// committed edits before, inside, and after its region (satellite: ≥3
+// consecutive commits).
+func TestDiagnosticsPositionMapping(t *testing.T) {
+	lang := incremental.CSubset()
+	s := incremental.NewSession(lang, "int a; int b; int c;")
+	if _, err := s.Parse(); err != nil {
+		t.Fatal(err)
+	}
+	s.Edit(11, 1, "(") // break the middle statement
+	if out := s.ParseWithRecovery(); !out.Isolated {
+		t.Fatalf("expected isolation: %+v", out)
+	}
+
+	// The diagnostic must keep covering the broken token as the text
+	// shifts around (and within) it.
+	check := func(step string) incremental.Diagnostic {
+		t.Helper()
+		ds := s.Diagnostics()
+		if len(ds) != 1 {
+			t.Fatalf("%s: diagnostics = %v, want exactly 1", step, ds)
+		}
+		d := ds[0]
+		txt := s.Text()
+		if d.Offset < 0 || d.Offset+d.Length > len(txt) {
+			t.Fatalf("%s: span %d+%d out of range of %q", step, d.Offset, d.Length, txt)
+		}
+		if !strings.Contains(txt[d.Offset:d.Offset+d.Length], "(") {
+			t.Fatalf("%s: span %q lost the damage in %q", step, txt[d.Offset:d.Offset+d.Length], txt)
+		}
+		return d
+	}
+	before := check("after isolation")
+
+	// Commit 1: insertion before the region shifts it right.
+	s.Edit(0, 0, "int p; ")
+	if out := s.ParseWithRecovery(); out.Err != nil || !out.Isolated {
+		t.Fatalf("commit 1: %+v", out)
+	}
+	d1 := check("insert before")
+	if d1.Offset != before.Offset+len("int p; ") {
+		t.Fatalf("offset did not shift with the insertion: %d, want %d",
+			d1.Offset, before.Offset+len("int p; "))
+	}
+
+	// Commit 2: insertion inside the region grows it in place.
+	s.Edit(d1.Offset+d1.Length-1, 0, " NUM NUM")
+	if out := s.ParseWithRecovery(); out.Err != nil || !out.Isolated {
+		t.Fatalf("commit 2: %+v", out)
+	}
+	d2 := check("insert inside")
+	if d2.Offset != d1.Offset {
+		t.Fatalf("offset moved on an in-region edit: %d, want %d", d2.Offset, d1.Offset)
+	}
+
+	// Commit 3: deletion after the region leaves it untouched.
+	txt := s.Text()
+	tail := strings.LastIndex(txt, "int c;")
+	s.Edit(tail, len("int c;"), "int cc;")
+	if out := s.ParseWithRecovery(); out.Err != nil || !out.Isolated {
+		t.Fatalf("commit 3: %+v", out)
+	}
+	d3 := check("edit after")
+	if d3.Offset != d2.Offset {
+		t.Fatalf("offset moved on an after-region edit: %d, want %d", d3.Offset, d2.Offset)
+	}
+
+	// Even between Edit and Parse the positions track live.
+	s.Edit(0, 0, "int q; ")
+	dLive := check("pending edit")
+	if dLive.Offset != d3.Offset+len("int q; ") {
+		t.Fatalf("pending-edit remap: %d, want %d", dLive.Offset, d3.Offset+len("int q; "))
+	}
+}
+
+// TestBudgetTripLeavesEditsPending (satellite): an infrastructure failure
+// during recovery must not trigger replay or isolation — the edit stays
+// pending, the text keeps the user's bytes, and the error surfaces as
+// ErrBudget. Raising the budget then succeeds on the same pending edit.
+func TestBudgetTripLeavesEditsPending(t *testing.T) {
+	lang := incremental.CSubset()
+	s := incremental.NewSession(lang, "int a; int b; int c;")
+	if _, err := s.Parse(); err != nil {
+		t.Fatal(err)
+	}
+	s.SetBudget(incremental.Budget{MaxArenaNodes: 1})
+	s.Edit(11, 1, "(")
+	out := s.ParseWithRecovery()
+	if !errors.Is(out.Err, incremental.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", out.Err)
+	}
+	if out.Isolated || len(out.Unincorporated) != 0 || len(out.Incorporated) != 0 {
+		t.Fatalf("budget trip triggered recovery machinery: %+v", out)
+	}
+	if s.Text() != "int a; int (; int c;" {
+		t.Fatalf("budget trip disturbed the text: %q", s.Text())
+	}
+
+	// The pending edit survives: with the budget lifted, the same session
+	// isolates it.
+	s.SetBudget(incremental.Budget{})
+	out = s.ParseWithRecovery()
+	if out.Err != nil || !out.Isolated {
+		t.Fatalf("after lifting the budget: %+v", out)
+	}
+	if s.Text() != "int a; int (; int c;" {
+		t.Fatalf("text = %q", s.Text())
+	}
+}
