@@ -1,0 +1,60 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"iglr/daemon"
+)
+
+func TestLoadConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "iglrd.json")
+	if err := os.WriteFile(path, []byte(`{
+		"listen": "127.0.0.1:9520",
+		"bundled": ["expr"],
+		"session_ttl": "90s",
+		"tenants": {"ide": {"max_sessions": 32}}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := loadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Listen != "127.0.0.1:9520" || len(cfg.Bundled) != 1 ||
+		time.Duration(cfg.SessionTTL) != 90*time.Second ||
+		cfg.Tenants["ide"].MaxSessions != 32 {
+		t.Fatalf("loadConfig: %+v", cfg)
+	}
+}
+
+func TestLoadConfigRejectsUnknownFields(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "iglrd.json")
+	if err := os.WriteFile(path, []byte(`{"bundled": ["expr"], "listn": ":1"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadConfig(path); err == nil {
+		t.Fatal("typo'd config field accepted")
+	}
+}
+
+func TestLoadConfigEmptyPath(t *testing.T) {
+	cfg, err := loadConfig("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !jsonZero(cfg) {
+		t.Fatalf("zero config expected, got %+v", cfg)
+	}
+}
+
+func jsonZero(cfg daemon.Config) bool {
+	a, _ := json.Marshal(cfg)
+	b, _ := json.Marshal(daemon.Config{})
+	return string(a) == string(b)
+}

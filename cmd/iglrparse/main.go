@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -80,10 +81,12 @@ func main() {
 		s.Trace(func(f string, args ...any) { fmt.Printf("  "+f+"\n", args...) })
 	}
 
-	tree, err := s.Parse()
-	if err != nil {
-		fatal(err)
+	ctx := context.Background()
+	out := s.Do(ctx)
+	if out.Err != nil {
+		fatal(out.Err)
 	}
+	tree := out.Root
 	report(s, tree, *showDag, *resolve, lang)
 
 	for _, espec := range edits {
@@ -94,20 +97,20 @@ func main() {
 		fmt.Printf("\n== edit @%d -%d +%q ==\n", off, rem, ins)
 		s.Edit(off, rem, ins)
 		if *recover {
-			out := s.ParseWithRecovery()
+			out = s.Do(ctx, incremental.Tolerant())
 			if out.Err != nil {
 				fatal(out.Err)
 			}
 			if len(out.Unincorporated) > 0 {
 				fmt.Printf("unincorporated edits: %d (reverted)\n", len(out.Unincorporated))
 			}
-			tree = out.Root
 		} else {
-			tree, err = s.Parse()
-			if err != nil {
-				fatal(err)
+			out = s.Do(ctx)
+			if out.Err != nil {
+				fatal(out.Err)
 			}
 		}
+		tree = out.Root
 		fmt.Printf("relexed %d token(s)\n", s.Relexed())
 		report(s, tree, *showDag, *resolve, lang)
 	}

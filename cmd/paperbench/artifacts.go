@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -64,6 +65,9 @@ type BenchReport struct {
 	// ErrorDensity measures tier-1 error isolation cost at increasing
 	// numbers of seeded syntax errors per file (0 is the control).
 	ErrorDensity []ErrorDensityBench `json:"error_density"`
+	// Daemon is the iglrd parse-service workload: concurrent editing
+	// sessions over loopback HTTP with a mid-load config reload.
+	Daemon *DaemonBench `json:"daemon"`
 }
 
 func runArtifactBench(outPath string) error {
@@ -150,8 +154,8 @@ func runArtifactBench(outPath string) error {
 				for i := 0; i < b.N; i++ {
 					for _, src := range e.Samples {
 						s := incremental.NewSession(pub, src)
-						if _, err := s.Parse(); err != nil {
-							b.Fatal(err)
+						if out := s.Do(context.Background()); out.Err != nil {
+							b.Fatal(out.Err)
 						}
 					}
 				}
@@ -190,6 +194,15 @@ func runArtifactBench(outPath string) error {
 		fmt.Fprintf(os.Stderr, "errors=%-3d recover %s  diagnostics %d  overhead %+.1f%%\n",
 			r.SeededErrors, time.Duration(r.RecoverNsPerOp), r.Diagnostics, r.OverheadPct)
 	}
+
+	db, err := runDaemonBench(32, 8)
+	if err != nil {
+		return fmt.Errorf("daemon workload: %w", err)
+	}
+	report.Daemon = db
+	fmt.Fprintf(os.Stderr, "daemon %d sessions x %d rounds: %.0f req/s  p50 %s  p99 %s\n",
+		db.Sessions, db.EditRounds, db.RequestsPerSec,
+		time.Duration(db.P50Micros)*time.Microsecond, time.Duration(db.P99Micros)*time.Microsecond)
 
 	out, err := json.MarshalIndent(&report, "", "  ")
 	if err != nil {

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"iglr/daemon"
+)
+
+// DaemonBench is the parse-service workload's row in the report: an
+// in-process iglrd serving concurrent editing sessions over real loopback
+// sockets, each request one incremental edit + reparse round-trip. The
+// latencies therefore include HTTP, JSON, and shard-scheduling overhead —
+// the service cost on top of the raw reparse numbers elsewhere in the
+// report.
+type DaemonBench struct {
+	Sessions   int   `json:"sessions"`
+	EditRounds int   `json:"edit_rounds"`
+	Shards     int   `json:"shards"`
+	Requests   int64 `json:"requests"`
+	WallMicros int64 `json:"wall_micros"`
+
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	P50Micros      int64   `json:"p50_micros"`
+	P95Micros      int64   `json:"p95_micros"`
+	P99Micros      int64   `json:"p99_micros"`
+
+	// MidLoadReloads counts config reloads swapped in while the fleet was
+	// editing; the workload fails if any request fails, reload included.
+	MidLoadReloads int `json:"mid_load_reloads"`
+}
+
+// runDaemonBench drives the daemon workload: sessions concurrent editors,
+// editRounds append/revert cycles each, with one hot config reload in the
+// middle of the load. Any non-2xx response fails the bench.
+func runDaemonBench(sessions, editRounds int) (*DaemonBench, error) {
+	d, err := daemon.New(daemon.Config{
+		Listen:      "127.0.0.1:0",
+		AdminListen: "127.0.0.1:0",
+		Bundled:     []string{"expr", "c-subset"},
+		Shards:      4, // pinned so the workload is machine-independent
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.Logf = func(string, ...any) {}
+	if err := d.Start(); err != nil {
+		return nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		d.Shutdown(ctx)
+	}()
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	post := func(host, path string, body any) ([]byte, error) {
+		data, _ := json.Marshal(body)
+		resp, err := client.Post("http://"+host+path, "application/json", bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		out, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode/100 != 2 {
+			return nil, fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, out)
+		}
+		return out, nil
+	}
+
+	bench := &DaemonBench{
+		Sessions:   sessions,
+		EditRounds: editRounds,
+		Shards:     func() int { cfg, _ := d.Snapshot(); return cfg.Shards }(),
+	}
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		firstErr  error
+	)
+	record := func(dur time.Duration, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		latencies = append(latencies, dur)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lang, text, suffix := "expr", "1+2*3", "+41"
+			if i%2 == 1 {
+				lang, text, suffix = "c-subset", "int a; a = 1; int b;", " int c;"
+			}
+			t0 := time.Now()
+			body, err := post(d.Addr().String(), "/sessions", map[string]any{
+				"language": lang, "text": text,
+			})
+			record(time.Since(t0), err)
+			if err != nil {
+				return
+			}
+			var created struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(body, &created); err != nil {
+				record(0, err)
+				return
+			}
+			for r := 0; r < editRounds; r++ {
+				for _, edits := range []any{
+					map[string]any{"edits": []map[string]any{{"offset": len(text), "insert": suffix}}},
+					map[string]any{"edits": []map[string]any{{"offset": len(text), "remove": len(suffix)}}},
+				} {
+					t0 := time.Now()
+					_, err := post(d.Addr().String(), "/sessions/"+created.ID+"/edits", edits)
+					record(time.Since(t0), err)
+					if err != nil {
+						return
+					}
+				}
+			}
+		}(i)
+	}
+
+	// One hot reload mid-load: same languages, a new tenant budget.
+	reloadErr := make(chan error, 1)
+	go func() {
+		time.Sleep(time.Millisecond)
+		cfg, _ := d.Snapshot()
+		cfg.MaxSessions = sessions * 2
+		_, err := post(d.AdminAddr().String(), "/config", cfg)
+		reloadErr <- err
+	}()
+
+	wg.Wait()
+	if err := <-reloadErr; err != nil {
+		return nil, fmt.Errorf("mid-load reload: %w", err)
+	}
+	bench.MidLoadReloads = 1
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	wall := time.Since(start)
+	bench.Requests = int64(len(latencies))
+	bench.WallMicros = wall.Microseconds()
+	if wall > 0 {
+		bench.RequestsPerSec = float64(bench.Requests) / wall.Seconds()
+	}
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	pct := func(p float64) int64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i].Microseconds()
+	}
+	bench.P50Micros = pct(0.50)
+	bench.P95Micros = pct(0.95)
+	bench.P99Micros = pct(0.99)
+	return bench, nil
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -10,7 +11,7 @@ import (
 
 // The error-density workload: how much does tier-1 error isolation cost as
 // a file accumulates syntax errors? For each density the benchmark seeds
-// that many broken statements into a C file, runs ParseWithRecovery over a
+// that many broken statements into a C file, runs a tolerant reparse over a
 // committed baseline, and reports the recovery pass alone (baseline parse
 // and edits excluded from the timer). The zero-error row is the control:
 // the same code path with nothing to isolate.
@@ -60,14 +61,14 @@ func runErrorDensity() ([]ErrorDensityBench, error) {
 		best := int64(-1)
 		for i := 0; i < iters; i++ {
 			s := incremental.NewSession(lang, src)
-			if _, err := s.Parse(); err != nil {
-				return nil, err
+			if out := s.Do(context.Background()); out.Err != nil {
+				return nil, out.Err
 			}
 			for _, off := range edits {
 				s.Edit(off, 1, "(")
 			}
 			start := time.Now()
-			out := s.ParseWithRecovery()
+			out := s.Do(context.Background(), incremental.Tolerant())
 			elapsed := time.Since(start).Nanoseconds()
 			if out.Err != nil {
 				return nil, out.Err

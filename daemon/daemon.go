@@ -1,0 +1,207 @@
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Daemon is the long-lived parse service. Create one with New, serve with
+// Start (or mount Handler/AdminHandler yourself), reconfigure at runtime
+// with Reload, and stop with Shutdown.
+type Daemon struct {
+	snap     atomic.Pointer[snapshot]
+	version  atomic.Int64
+	mets     metrics
+	pool     *shardPool
+	sessions *registry
+
+	// ConfigPath, when set, is the file POST /reload re-reads. The
+	// command-line wrapper sets it; embedded daemons may leave it empty
+	// and use POST /config (or Reload) instead.
+	ConfigPath string
+
+	// Logf receives daemon lifecycle lines (default log.Printf; set to a
+	// no-op to silence tests).
+	Logf func(format string, args ...any)
+
+	dataSrv, adminSrv *http.Server
+	dataLn, adminLn   net.Listener
+	janitorStop       chan struct{}
+	janitorDone       chan struct{}
+}
+
+// New builds a daemon from cfg: the config is compiled into the first
+// snapshot (every language loaded) and the shard pool is started. No
+// sockets are opened until Start.
+func New(cfg Config) (*Daemon, error) {
+	sn, err := buildSnapshot(cfg, 1)
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		pool:        newShardPool(sn.cfg.Shards),
+		sessions:    newRegistry(),
+		Logf:        log.Printf,
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	d.version.Store(1)
+	d.mets.configVersion.Store(1)
+	d.snap.Store(sn)
+	go d.janitor()
+	return d, nil
+}
+
+// Snapshot returns the active configuration snapshot's config and version.
+func (d *Daemon) Snapshot() (Config, int64) {
+	sn := d.snap.Load()
+	return sn.cfg, sn.version
+}
+
+// Reload swaps in a new configuration with zero downtime: the new config
+// is compiled into a complete snapshot first (artifact directories
+// re-read, bundled set re-resolved), and only a fully valid snapshot is
+// published. Requests already running finish against the old snapshot;
+// new sessions see the new budgets and languages; live sessions keep the
+// language and budget they were created with. On error the active config
+// is untouched.
+//
+// The shard pool is fixed at startup: a reload with a different Shards
+// value keeps the running pool and reports the effective count in the
+// active config.
+func (d *Daemon) Reload(cfg Config) (int64, error) {
+	cur := d.snap.Load()
+	version := d.version.Add(1)
+	sn, err := buildSnapshot(cfg, version)
+	if err != nil {
+		d.mets.reloadErrors.Add(1)
+		return cur.version, err
+	}
+	if sn.cfg.Shards != cur.cfg.Shards {
+		d.Logf("daemon: shards fixed at %d until restart (config asked for %d)",
+			cur.cfg.Shards, sn.cfg.Shards)
+		sn.cfg.Shards = cur.cfg.Shards
+	}
+	// Listeners are bound once; keep the effective addresses visible.
+	sn.cfg.Listen, sn.cfg.AdminListen = cur.cfg.Listen, cur.cfg.AdminListen
+	d.snap.Store(sn)
+	d.mets.configVersion.Store(version)
+	d.mets.reloads.Add(1)
+	d.Logf("daemon: config v%d active (%d languages, ttl %v)",
+		version, len(sn.langs), time.Duration(sn.cfg.SessionTTL))
+	return version, nil
+}
+
+// Start opens the data-plane and admin-plane listeners and serves until
+// Shutdown. It returns once both listeners are bound (so Addr/AdminAddr
+// are valid), with serving continuing in background goroutines.
+func (d *Daemon) Start() error {
+	sn := d.snap.Load()
+	dataLn, err := net.Listen("tcp", sn.cfg.Listen)
+	if err != nil {
+		return fmt.Errorf("daemon: data listener: %w", err)
+	}
+	adminLn, err := net.Listen("tcp", sn.cfg.AdminListen)
+	if err != nil {
+		dataLn.Close()
+		return fmt.Errorf("daemon: admin listener: %w", err)
+	}
+	d.dataLn, d.adminLn = dataLn, adminLn
+
+	// Publish the bound addresses (":0" resolves on bind) so /config
+	// reports reality.
+	bound := *sn
+	bound.cfg.Listen = dataLn.Addr().String()
+	bound.cfg.AdminListen = adminLn.Addr().String()
+	d.snap.Store(&bound)
+
+	d.dataSrv = &http.Server{Handler: d.Handler()}
+	d.adminSrv = &http.Server{Handler: d.AdminHandler()}
+	go func() {
+		if err := d.dataSrv.Serve(dataLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			d.Logf("daemon: data plane: %v", err)
+		}
+	}()
+	go func() {
+		if err := d.adminSrv.Serve(adminLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			d.Logf("daemon: admin plane: %v", err)
+		}
+	}()
+	d.Logf("daemon: serving data on %s, admin on %s", bound.cfg.Listen, bound.cfg.AdminListen)
+	return nil
+}
+
+// Addr returns the bound data-plane address (valid after Start).
+func (d *Daemon) Addr() net.Addr { return d.dataLn.Addr() }
+
+// AdminAddr returns the bound admin-plane address (valid after Start).
+func (d *Daemon) AdminAddr() net.Addr { return d.adminLn.Addr() }
+
+// Shutdown stops the daemon: listeners drain gracefully under ctx, the
+// eviction janitor stops, and the shard pool exits once every in-flight
+// task has finished. Safe to call whether or not Start was called.
+func (d *Daemon) Shutdown(ctx context.Context) error {
+	var firstErr error
+	for _, srv := range []*http.Server{d.dataSrv, d.adminSrv} {
+		if srv == nil {
+			continue
+		}
+		if err := srv.Shutdown(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	close(d.janitorStop)
+	<-d.janitorDone
+	// All producers (handlers, janitor) have stopped; drain the shards.
+	d.pool.close()
+	d.Logf("daemon: shut down (%d sessions open at exit)", d.sessions.len())
+	return firstErr
+}
+
+// janitor periodically evicts idle sessions. Each sweep runs on the
+// owning shard's goroutine, so it serializes with session operations and
+// a session can never be evicted mid-parse. The TTL is read from the
+// active snapshot every sweep, making it hot-reloadable.
+func (d *Daemon) janitor() {
+	defer close(d.janitorDone)
+	tick := time.NewTicker(250 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-d.janitorStop:
+			return
+		case <-tick.C:
+		}
+		ttl := time.Duration(d.snap.Load().cfg.SessionTTL)
+		if ttl <= 0 {
+			continue
+		}
+		cutoff := time.Now().Add(-ttl)
+		for i := range d.pool.tasks {
+			candidates := d.sessions.byShard(i)
+			if len(candidates) == 0 {
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			d.pool.run(ctx, i, func() {
+				for _, sess := range candidates {
+					if sess.closed || sess.lastUsed.After(cutoff) {
+						continue
+					}
+					sess.closed = true
+					if _, ok := d.sessions.remove(sess.id); ok {
+						d.mets.sessionsOpen.Add(-1)
+						d.mets.sessionsEvicted.Add(1)
+					}
+				}
+			})
+			cancel()
+		}
+	}
+}

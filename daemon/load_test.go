@@ -1,0 +1,197 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	incremental "iglr"
+)
+
+// TestConcurrentSessionsSurviveReload is the daemon's acceptance test: at
+// least 64 concurrent editing sessions hammer the data plane over a real
+// socket while the admin plane swaps the config (new budgets, an extra
+// language) mid-load. Every request must succeed — a reload is invisible to
+// in-flight traffic. Run under -race this also exercises the shard
+// pool's ownership discipline.
+func TestConcurrentSessionsSurviveReload(t *testing.T) {
+	const (
+		nSessions = 64
+		nRounds   = 12
+	)
+	d := testDaemon(t, Config{
+		Bundled: []string{"expr", "c-subset"},
+		Shards:  4, // force many sessions per shard
+	})
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	post := func(path string, body any) (int, []byte, error) {
+		data, _ := json.Marshal(body)
+		resp, err := client.Post(dataURL(d, path), "application/json", bytes.NewReader(data))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		out, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, out, nil
+	}
+
+	var (
+		failures atomic.Int64
+		requests atomic.Int64
+		start    = make(chan struct{})
+		wg       sync.WaitGroup
+	)
+	fail := func(format string, args ...any) {
+		failures.Add(1)
+		t.Errorf(format, args...)
+	}
+
+	for i := 0; i < nSessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			// Each round appends a valid suffix and then deletes it, so
+			// every round is a genuine incremental reparse of valid text.
+			lang, text, suffix := "expr", "1+2*3", "+41"
+			if i%2 == 1 {
+				lang, text, suffix = "c-subset", "int a; a = 1; int b;", " int c;"
+			}
+			status, body, err := post("/sessions", createSessionJSON{
+				Language: lang, Text: text, Tolerant: true,
+			})
+			requests.Add(1)
+			if err != nil || status != http.StatusCreated {
+				fail("worker %d: create: status %d err %v (%s)", i, status, err, body)
+				return
+			}
+			var created sessionJSON
+			if err := json.Unmarshal(body, &created); err != nil {
+				fail("worker %d: create: %v", i, err)
+				return
+			}
+			for r := 0; r < nRounds; r++ {
+				status, body, err := post("/sessions/"+created.ID+"/edits", editsRequestJSON{
+					Edits: []editJSON{{Offset: len(text), Insert: suffix}},
+				})
+				requests.Add(1)
+				if err != nil || status != http.StatusOK {
+					fail("worker %d round %d: edits: status %d err %v (%s)", i, r, status, err, body)
+					return
+				}
+				var out outcomeJSON
+				if err := json.Unmarshal(body, &out); err != nil {
+					fail("worker %d round %d: %v", i, r, err)
+					return
+				}
+				if out.Error != "" || !out.Clean {
+					fail("worker %d round %d: outcome %+v, want clean", i, r, out)
+					return
+				}
+				status, body, err = post("/sessions/"+created.ID+"/edits", editsRequestJSON{
+					Edits: []editJSON{{Offset: len(text), Remove: len(suffix)}},
+				})
+				requests.Add(1)
+				if err != nil || status != http.StatusOK {
+					fail("worker %d round %d: revert: status %d err %v (%s)", i, r, status, err, body)
+					return
+				}
+			}
+		}(i)
+	}
+
+	// Reloader: wait for the fleet to be mid-flight, then swap the config
+	// twice — new tenant budgets and an extra language — and verify the
+	// version advances.
+	reloadDone := make(chan struct{})
+	go func() {
+		defer close(reloadDone)
+		<-start
+		for requests.Load() < nSessions { // let every session open first
+			time.Sleep(time.Millisecond)
+		}
+		for k := 0; k < 2; k++ {
+			cfg := Config{
+				Bundled: []string{"expr", "c-subset", "java-subset"},
+				Shards:  4,
+				DefaultTenant: Tenant{
+					Budget: incremental.Budget{MaxGSSNodes: 1 << (20 + k)},
+				},
+			}
+			data, _ := json.Marshal(cfg)
+			resp, err := client.Post(adminURL(d, "/config"), "application/json", bytes.NewReader(data))
+			if err != nil {
+				fail("reload %d: %v", k, err)
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				fail("reload %d: status %d (%s)", k, resp.StatusCode, body)
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	close(start)
+	wg.Wait()
+	<-reloadDone
+
+	if got := failures.Load(); got != 0 {
+		t.Fatalf("%d failed requests out of %d during reload-under-load", got, requests.Load())
+	}
+	wantReqs := int64(nSessions * (1 + 2*nRounds))
+	if got := requests.Load(); got != wantReqs {
+		t.Fatalf("request count = %d, want %d", got, wantReqs)
+	}
+
+	// The reloads must have landed and the fleet's parses must be visible.
+	text := scrapeMetrics(t, d)
+	if got := metricValue(t, text, "iglrd_config_version"); got != 3 {
+		t.Errorf("config_version = %d, want 3", got)
+	}
+	if got := metricValue(t, text, "iglrd_sessions_open"); got != nSessions {
+		t.Errorf("sessions_open = %d, want %d", got, nSessions)
+	}
+	if got := metricValue(t, text, "iglrd_parses_total"); got < wantReqs {
+		t.Errorf("parses_total = %d, want >= %d", got, wantReqs)
+	}
+	if got := metricValue(t, text, "iglrd_parse_seconds_count"); got < wantReqs {
+		t.Errorf("parse_seconds_count = %d, want >= %d", got, wantReqs)
+	}
+	// Histogram exposition shape: cumulative buckets ending at +Inf.
+	if !strings.Contains(text, `iglrd_parse_seconds_bucket{le="+Inf"} `) {
+		t.Errorf("metrics missing +Inf bucket:\n%s", text)
+	}
+
+	// Post-load sanity: new sessions see the reloaded language set.
+	status, body, err := post("/sessions", createSessionJSON{Language: "java-subset", Text: "class A { }"})
+	if err != nil || status != http.StatusCreated {
+		t.Fatalf("post-reload java-subset session: status %d err %v (%s)", status, err, body)
+	}
+}
+
+// TestShardDistribution sanity-checks that session IDs spread across
+// shards rather than collapsing onto one goroutine.
+func TestShardDistribution(t *testing.T) {
+	p := newShardPool(8)
+	defer p.close()
+	counts := make([]int, 8)
+	for i := 0; i < 1024; i++ {
+		counts[p.indexFor(fmt.Sprintf("s%08x", i))]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("shard %d got no sessions out of 1024", i)
+		}
+	}
+}

@@ -1,0 +1,611 @@
+package daemon
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	incremental "iglr"
+	"iglr/engine"
+	"iglr/internal/dag"
+)
+
+// ---- wire types ----------------------------------------------------------
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+type editJSON struct {
+	Offset int    `json:"offset"`
+	Remove int    `json:"remove"`
+	Insert string `json:"insert"`
+}
+
+type createSessionJSON struct {
+	Language string `json:"language"`
+	Text     string `json:"text"`
+	Tenant   string `json:"tenant,omitempty"`
+	// Tolerant makes every parse of this session run under two-tier error
+	// recovery: syntax errors are quarantined as diagnostics instead of
+	// failing the parse.
+	Tolerant bool `json:"tolerant,omitempty"`
+}
+
+type diagnosticJSON struct {
+	Offset   int      `json:"offset"`
+	Length   int      `json:"length"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Expected []string `json:"expected,omitempty"`
+	Region   string   `json:"region,omitempty"`
+}
+
+// outcomeJSON is the wire form of one parse outcome. Parse-level failures
+// (syntax errors, budget trips) are data, not HTTP errors: the request
+// itself succeeded.
+type outcomeJSON struct {
+	Clean        bool             `json:"clean"`
+	Isolated     bool             `json:"isolated,omitempty"`
+	ErrorRegions int              `json:"error_regions,omitempty"`
+	Degraded     bool             `json:"degraded,omitempty"`
+	BudgetTrip   bool             `json:"budget_trip,omitempty"`
+	Error        string           `json:"error,omitempty"`
+	Diagnostics  []diagnosticJSON `json:"diagnostics,omitempty"`
+	ParseMicros  int64            `json:"parse_micros"`
+	TextLen      int              `json:"text_len"`
+}
+
+type sessionJSON struct {
+	ID       string      `json:"id"`
+	Language string      `json:"language"`
+	Tenant   string      `json:"tenant,omitempty"`
+	Tolerant bool        `json:"tolerant,omitempty"`
+	Outcome  outcomeJSON `json:"outcome"`
+}
+
+type editsRequestJSON struct {
+	Edits []editJSON `json:"edits"`
+}
+
+type subtreeJSON struct {
+	Symbol  string `json:"symbol"`
+	Kind    string `json:"kind"`
+	Offset  int    `json:"offset"`
+	Length  int    `json:"length"`
+	Outline string `json:"outline,omitempty"`
+}
+
+type batchFileJSON struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+}
+
+type batchRequestJSON struct {
+	Language string          `json:"language"`
+	Tolerant bool            `json:"tolerant,omitempty"`
+	Files    []batchFileJSON `json:"files"`
+}
+
+type batchResultJSON struct {
+	Name        string           `json:"name"`
+	OK          bool             `json:"ok"`
+	Error       string           `json:"error,omitempty"`
+	Degraded    bool             `json:"degraded,omitempty"`
+	BudgetTrips int              `json:"budget_trips,omitempty"`
+	Diagnostics []diagnosticJSON `json:"diagnostics,omitempty"`
+	Micros      int64            `json:"micros"`
+}
+
+type batchResponseJSON struct {
+	Files      []batchResultJSON `json:"files"`
+	Failed     int               `json:"failed"`
+	WallMicros int64             `json:"wall_micros"`
+}
+
+// ---- helpers -------------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+func toDiagJSON(ds []incremental.Diagnostic) []diagnosticJSON {
+	out := make([]diagnosticJSON, len(ds))
+	for i, d := range ds {
+		out[i] = diagnosticJSON{
+			Offset: d.Offset, Length: d.Length, Line: d.Line, Col: d.Col,
+			Expected: d.Expected, Region: d.Region,
+		}
+	}
+	return out
+}
+
+func kindString(k dag.Kind) string {
+	switch k {
+	case dag.KindTerminal:
+		return "terminal"
+	case dag.KindProduction:
+		return "production"
+	case dag.KindChoice:
+		return "choice"
+	case dag.KindSeq:
+		return "sequence"
+	case dag.KindError:
+		return "error"
+	default:
+		return fmt.Sprintf("kind(%d)", k)
+	}
+}
+
+// parseSession runs one parse of sess on its shard, updating metrics and
+// the idle clock, and renders the outcome. The bool reports whether the
+// session was still open.
+func (d *Daemon) parseSession(r *http.Request, sess *session) (outcomeJSON, bool, error) {
+	var (
+		oj   outcomeJSON
+		open bool
+	)
+	err := d.pool.run(r.Context(), sess.shard, func() {
+		if sess.closed {
+			return
+		}
+		open = true
+		sess.lastUsed = time.Now()
+		start := time.Now()
+		var out incremental.Outcome
+		if sess.tolerant {
+			out = sess.s.Do(r.Context(), incremental.Tolerant())
+		} else {
+			out = sess.s.Do(r.Context())
+		}
+		dur := time.Since(start)
+		diags := sess.s.Diagnostics()
+		d.mets.observeParse(&out, dur, len(diags))
+		oj = outcomeJSON{
+			Clean:        out.Clean,
+			Isolated:     out.Isolated,
+			ErrorRegions: out.ErrorRegions,
+			Degraded:     out.Stats.BudgetPruned > 0,
+			ParseMicros:  dur.Microseconds(),
+			TextLen:      sess.s.Len(),
+			Diagnostics:  toDiagJSON(diags),
+		}
+		if out.Err != nil {
+			oj.Error = out.Err.Error()
+			oj.BudgetTrip = errors.Is(out.Err, incremental.ErrBudget)
+		}
+	})
+	return oj, open, err
+}
+
+// ---- data plane ----------------------------------------------------------
+
+// Handler returns the data-plane HTTP handler: session lifecycle, edits,
+// diagnostics, subtree queries, and one-shot batch parses.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sessions", d.handleCreateSession)
+	mux.HandleFunc("GET /sessions/{id}", d.handleGetSession)
+	mux.HandleFunc("DELETE /sessions/{id}", d.handleDeleteSession)
+	mux.HandleFunc("POST /sessions/{id}/edits", d.handleEdits)
+	mux.HandleFunc("GET /sessions/{id}/diagnostics", d.handleDiagnostics)
+	mux.HandleFunc("GET /sessions/{id}/subtree", d.handleSubtree)
+	mux.HandleFunc("POST /parse", d.handleBatchParse)
+	mux.HandleFunc("GET /languages", d.handleLanguages)
+	return mux
+}
+
+func (d *Daemon) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req createSessionJSON
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	sn := d.snap.Load()
+	lang, ok := sn.langs[req.Language]
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown language %q (serving %v)",
+			req.Language, sn.languageNames())
+		return
+	}
+	ten := sn.tenant(req.Tenant)
+	sess := &session{
+		tenant:   req.Tenant,
+		langName: req.Language,
+		lang:     lang,
+		tolerant: req.Tolerant,
+		lastUsed: time.Now(),
+	}
+	sess.s = incremental.NewSession(lang, req.Text, incremental.WithBudget(ten.Budget))
+	if !d.sessions.add(sess, d.pool, sn.cfg.MaxSessions, ten.MaxSessions) {
+		d.mets.sessionsDenied.Add(1)
+		httpError(w, http.StatusTooManyRequests, "session quota exhausted (tenant %q)", req.Tenant)
+		return
+	}
+	d.mets.sessionsOpen.Add(1)
+	d.mets.sessionsOpened.Add(1)
+
+	oj, open, err := d.parseSession(r, sess)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "shard unavailable: %v", err)
+		return
+	}
+	if !open {
+		// Evicted between add and first parse — only possible with a TTL of
+		// ~0; report it like any other vanished session.
+		httpError(w, http.StatusNotFound, "session expired before first parse")
+		return
+	}
+	writeJSON(w, http.StatusCreated, sessionJSON{
+		ID: sess.id, Language: sess.langName, Tenant: sess.tenant,
+		Tolerant: sess.tolerant, Outcome: oj,
+	})
+}
+
+// lookup resolves {id} or writes a 404.
+func (d *Daemon) lookup(w http.ResponseWriter, r *http.Request) (*session, bool) {
+	id := r.PathValue("id")
+	sess, ok := d.sessions.get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no session %q", id)
+		return nil, false
+	}
+	return sess, true
+}
+
+func (d *Daemon) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	sess, ok := d.lookup(w, r)
+	if !ok {
+		return
+	}
+	var (
+		textLen int
+		diags   int
+		open    bool
+	)
+	err := d.pool.run(r.Context(), sess.shard, func() {
+		if sess.closed {
+			return
+		}
+		open = true
+		sess.lastUsed = time.Now()
+		textLen = sess.s.Len()
+		diags = len(sess.s.Diagnostics())
+	})
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "shard unavailable: %v", err)
+		return
+	}
+	if !open {
+		httpError(w, http.StatusNotFound, "no session %q", sess.id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": sess.id, "language": sess.langName, "tenant": sess.tenant,
+		"tolerant": sess.tolerant, "text_len": textLen, "diagnostics": diags,
+	})
+}
+
+func (d *Daemon) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	sess, ok := d.lookup(w, r)
+	if !ok {
+		return
+	}
+	err := d.pool.run(r.Context(), sess.shard, func() {
+		if sess.closed {
+			return
+		}
+		sess.closed = true
+		if _, removed := d.sessions.remove(sess.id); removed {
+			d.mets.sessionsOpen.Add(-1)
+			d.mets.sessionsClosed.Add(1)
+		}
+	})
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "shard unavailable: %v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (d *Daemon) handleEdits(w http.ResponseWriter, r *http.Request) {
+	sess, ok := d.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req editsRequestJSON
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	var (
+		applied bool
+		badEdit error
+	)
+	err := d.pool.run(r.Context(), sess.shard, func() {
+		if sess.closed {
+			return
+		}
+		applied = true
+		n := sess.s.Len()
+		for i, e := range req.Edits {
+			if e.Offset < 0 || e.Remove < 0 || e.Offset+e.Remove > n {
+				badEdit = fmt.Errorf("edit %d: range [%d,%d) outside document of %d bytes",
+					i, e.Offset, e.Offset+e.Remove, n)
+				return
+			}
+			sess.s.Edit(e.Offset, e.Remove, e.Insert)
+			n += len(e.Insert) - e.Remove
+		}
+	})
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "shard unavailable: %v", err)
+		return
+	}
+	if !applied {
+		httpError(w, http.StatusNotFound, "no session %q", sess.id)
+		return
+	}
+	if badEdit != nil {
+		httpError(w, http.StatusBadRequest, "%v", badEdit)
+		return
+	}
+	d.mets.edits.Add(int64(len(req.Edits)))
+
+	oj, open, err := d.parseSession(r, sess)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "shard unavailable: %v", err)
+		return
+	}
+	if !open {
+		httpError(w, http.StatusNotFound, "no session %q", sess.id)
+		return
+	}
+	writeJSON(w, http.StatusOK, oj)
+}
+
+func (d *Daemon) handleDiagnostics(w http.ResponseWriter, r *http.Request) {
+	sess, ok := d.lookup(w, r)
+	if !ok {
+		return
+	}
+	var (
+		diags []incremental.Diagnostic
+		open  bool
+	)
+	err := d.pool.run(r.Context(), sess.shard, func() {
+		if sess.closed {
+			return
+		}
+		open = true
+		sess.lastUsed = time.Now()
+		diags = sess.s.Diagnostics()
+	})
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "shard unavailable: %v", err)
+		return
+	}
+	if !open {
+		httpError(w, http.StatusNotFound, "no session %q", sess.id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"diagnostics": toDiagJSON(diags)})
+}
+
+// maxOutlineBytes caps the rendered subtree outline; deep dags can render
+// arbitrarily large.
+const maxOutlineBytes = 64 << 10
+
+func (d *Daemon) handleSubtree(w http.ResponseWriter, r *http.Request) {
+	sess, ok := d.lookup(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	offset, err1 := strconv.Atoi(q.Get("offset"))
+	length, err2 := strconv.Atoi(q.Get("length"))
+	if err1 != nil || err2 != nil || offset < 0 || length < 0 {
+		httpError(w, http.StatusBadRequest, "subtree needs non-negative integer offset= and length=")
+		return
+	}
+	var (
+		resp  subtreeJSON
+		found bool
+		open  bool
+	)
+	err := d.pool.run(r.Context(), sess.shard, func() {
+		if sess.closed {
+			return
+		}
+		open = true
+		sess.lastUsed = time.Now()
+		n := sess.s.Subtree(offset, length)
+		if n == nil {
+			return
+		}
+		off, ln, ok := sess.s.NodeSpan(n)
+		if !ok {
+			return
+		}
+		found = true
+		outline := incremental.FormatDag(sess.lang, n)
+		if len(outline) > maxOutlineBytes {
+			outline = outline[:maxOutlineBytes] + "\n… (truncated)\n"
+		}
+		resp = subtreeJSON{
+			Symbol:  sess.lang.SymName(n.Sym),
+			Kind:    kindString(n.Kind),
+			Offset:  off,
+			Length:  ln,
+			Outline: outline,
+		}
+	})
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "shard unavailable: %v", err)
+		return
+	}
+	if !open {
+		httpError(w, http.StatusNotFound, "no session %q", sess.id)
+		return
+	}
+	if !found {
+		httpError(w, http.StatusNotFound, "no committed subtree covers [%d,%d) (parse first?)",
+			offset, offset+length)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (d *Daemon) handleBatchParse(w http.ResponseWriter, r *http.Request) {
+	var req batchRequestJSON
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	sn := d.snap.Load()
+	lang, ok := sn.langs[req.Language]
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown language %q (serving %v)",
+			req.Language, sn.languageNames())
+		return
+	}
+	if len(req.Files) == 0 {
+		httpError(w, http.StatusBadRequest, "no files")
+		return
+	}
+	d.mets.batchRequests.Add(1)
+	inputs := make([]engine.Input, len(req.Files))
+	for i, f := range req.Files {
+		inputs[i] = engine.Input{Name: f.Name, Source: f.Source}
+	}
+	policy := sn.cfg.Batch
+	if req.Tolerant {
+		policy.Tolerant = true
+	}
+	batch, err := engine.ParseAll(r.Context(), lang, inputs, engine.WithPolicy(policy))
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "batch aborted: %v", err)
+		return
+	}
+	resp := batchResponseJSON{
+		Files:      make([]batchResultJSON, len(batch.Results)),
+		Failed:     batch.Aggregate.Failed,
+		WallMicros: batch.Aggregate.Wall.Microseconds(),
+	}
+	for i := range batch.Results {
+		res := &batch.Results[i]
+		out := batchResultJSON{
+			Name:        res.Name,
+			OK:          res.Err == nil,
+			Degraded:    res.Degraded,
+			BudgetTrips: res.BudgetTrips,
+			Diagnostics: toDiagJSON(res.Diagnostics),
+			Micros:      res.Duration.Microseconds(),
+		}
+		if res.Err != nil {
+			out.Error = res.Err.Error()
+		}
+		if errors.Is(res.Err, incremental.ErrBudget) {
+			d.mets.budgetTrips.Add(1)
+		}
+		resp.Files[i] = out
+	}
+	d.mets.batchFiles.Add(int64(batch.Aggregate.Files))
+	d.mets.batchFailed.Add(int64(batch.Aggregate.Failed))
+	d.mets.degraded.Add(int64(batch.Aggregate.Degraded))
+	d.mets.diagnostics.Add(int64(batch.Aggregate.Diagnostics))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (d *Daemon) handleLanguages(w http.ResponseWriter, r *http.Request) {
+	sn := d.snap.Load()
+	writeJSON(w, http.StatusOK, map[string]any{"languages": sn.languageNames()})
+}
+
+// ---- admin plane ---------------------------------------------------------
+
+// AdminHandler returns the admin-plane HTTP handler: health, config
+// introspection, hot reload, and metrics. Bind it to loopback only.
+func (d *Daemon) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	mux.HandleFunc("GET /config", d.handleGetConfig)
+	mux.HandleFunc("POST /config", d.handlePostConfig)
+	mux.HandleFunc("POST /reload", d.handleReload)
+	mux.HandleFunc("GET /metrics", d.handleMetrics)
+	return mux
+}
+
+func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	sn := d.snap.Load()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":        true,
+		"version":   sn.version,
+		"sessions":  d.sessions.len(),
+		"languages": len(sn.langs),
+	})
+}
+
+func (d *Daemon) handleGetConfig(w http.ResponseWriter, r *http.Request) {
+	sn := d.snap.Load()
+	writeJSON(w, http.StatusOK, map[string]any{"version": sn.version, "config": sn.cfg})
+}
+
+func (d *Daemon) handlePostConfig(w http.ResponseWriter, r *http.Request) {
+	var cfg Config
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		httpError(w, http.StatusBadRequest, "bad config: %v", err)
+		return
+	}
+	version, err := d.Reload(cfg)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "reload rejected: %v (config v%d still active)", err, version)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"version": version})
+}
+
+func (d *Daemon) handleReload(w http.ResponseWriter, r *http.Request) {
+	var cfg Config
+	if d.ConfigPath != "" {
+		data, err := os.ReadFile(d.ConfigPath)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, "reload rejected: %v", err)
+			return
+		}
+		if err := json.Unmarshal(data, &cfg); err != nil {
+			httpError(w, http.StatusUnprocessableEntity, "reload rejected: %s: %v", d.ConfigPath, err)
+			return
+		}
+	} else {
+		// No config file: re-apply the active config, which re-reads the
+		// artifact directories (the operator's path for shipping new
+		// languages without editing config).
+		cfg, _ = d.Snapshot()
+	}
+	version, err := d.Reload(cfg)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "reload rejected: %v (config v%d still active)", err, version)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"version": version})
+}
+
+func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	d.mets.write(w)
+}

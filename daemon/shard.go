@@ -1,0 +1,166 @@
+package daemon
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	incremental "iglr"
+)
+
+// session is one live editing session. The incremental.Session inside is
+// single-goroutine by contract, so every operation on it runs as a task on
+// the owning shard's goroutine — fields below the comment are owned by
+// that goroutine after publication and need no locks.
+type session struct {
+	id       string
+	tenant   string
+	langName string
+	lang     *incremental.Language
+	shard    int
+	tolerant bool
+
+	// Shard-goroutine-owned after the session is published.
+	s        *incremental.Session
+	lastUsed time.Time
+	closed   bool
+}
+
+// shardPool is the fixed set of worker goroutines sessions are routed
+// over. Each shard is one goroutine draining a task channel; a session's
+// ID hash pins it to one shard for life, so its operations are totally
+// ordered without a session lock — the paper's single-goroutine session
+// contract scaled out by sharding instead of locking.
+type shardPool struct {
+	tasks []chan func()
+	wg    sync.WaitGroup
+}
+
+func newShardPool(n int) *shardPool {
+	p := &shardPool{tasks: make([]chan func(), n)}
+	for i := range p.tasks {
+		ch := make(chan func())
+		p.tasks[i] = ch
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for task := range ch {
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+// indexFor pins a session ID to a shard.
+func (p *shardPool) indexFor(id string) int {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32() % uint32(len(p.tasks)))
+}
+
+// run executes fn on shard i and waits for it to finish. The enqueue is
+// abandoned if ctx is done first (the shard is wedged on a long parse);
+// once enqueued, run always waits — fn's closure owns response state, so
+// returning early would race. Long parses are interrupted through the
+// context instead: session tasks thread ctx into Do, which polls it.
+func (p *shardPool) run(ctx context.Context, i int, fn func()) error {
+	done := make(chan struct{})
+	task := func() {
+		defer close(done)
+		fn()
+	}
+	select {
+	case p.tasks[i] <- task:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	<-done
+	return nil
+}
+
+// close shuts the pool down after all producers have stopped.
+func (p *shardPool) close() {
+	for _, ch := range p.tasks {
+		close(ch)
+	}
+	p.wg.Wait()
+}
+
+// registry tracks live sessions and per-tenant open counts. It guards only
+// the maps — session state is shard-owned.
+type registry struct {
+	mu      sync.Mutex
+	byID    map[string]*session
+	perTen  map[string]int
+	nextSeq uint64
+}
+
+func newRegistry() *registry {
+	return &registry{byID: map[string]*session{}, perTen: map[string]int{}}
+}
+
+// add admits a session under the global and tenant quotas, assigning its
+// ID. It returns false when a quota is exhausted.
+func (r *registry) add(sess *session, pool *shardPool, globalMax, tenantMax int) (ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if globalMax > 0 && len(r.byID) >= globalMax {
+		return false
+	}
+	if tenantMax > 0 && r.perTen[sess.tenant] >= tenantMax {
+		return false
+	}
+	r.nextSeq++
+	sess.id = fmt.Sprintf("s%08x", r.nextSeq)
+	sess.shard = pool.indexFor(sess.id)
+	r.byID[sess.id] = sess
+	r.perTen[sess.tenant]++
+	return true
+}
+
+func (r *registry) get(id string) (*session, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.byID[id]
+	return s, ok
+}
+
+// remove unlinks a session; the caller must also mark it closed on its
+// shard goroutine. Idempotent.
+func (r *registry) remove(id string) (*session, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.byID[id]
+	if !ok {
+		return nil, false
+	}
+	delete(r.byID, id)
+	if r.perTen[s.tenant] > 1 {
+		r.perTen[s.tenant]--
+	} else {
+		delete(r.perTen, s.tenant)
+	}
+	return s, true
+}
+
+func (r *registry) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byID)
+}
+
+// byShard snapshots the sessions currently routed to shard i.
+func (r *registry) byShard(i int) []*session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []*session
+	for _, s := range r.byID {
+		if s.shard == i {
+			out = append(out, s)
+		}
+	}
+	return out
+}

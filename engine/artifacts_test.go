@@ -91,3 +91,82 @@ func TestLoadLanguagesRejectsDuplicateNames(t *testing.T) {
 		t.Fatalf("duplicate names must error, got %v", err)
 	}
 }
+
+// The daemon points LoadLanguages at operator-supplied directories, so the
+// failure paths below are its startup/reload error surface.
+
+func TestLoadLanguagesEmptyDir(t *testing.T) {
+	langs, err := LoadLanguages(t.TempDir())
+	if err != nil {
+		t.Fatalf("an empty artifact dir is a valid (if useless) deployment: %v", err)
+	}
+	if len(langs) != 0 {
+		t.Fatalf("loaded %d languages from an empty dir", len(langs))
+	}
+}
+
+func TestLoadLanguagesMissingDir(t *testing.T) {
+	if _, err := LoadLanguages(filepath.Join(t.TempDir(), "no-such-dir")); err == nil {
+		t.Fatal("a missing artifact dir must be a deployment error")
+	}
+}
+
+// A corrupt artifact must fail the whole load even when valid artifacts
+// surround it — a daemon must refuse to start (or reload) half-configured
+// rather than silently drop a language.
+func TestLoadLanguagesMixedValidAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	writeArtifacts(t, dir, "expr", "c-subset", "java-subset")
+	bad := filepath.Join(dir, "c-subset"+incremental.CompiledExt)
+	data, err := os.ReadFile(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0x40
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadLanguages(dir); err == nil {
+		t.Fatal("one corrupt artifact among valid ones must fail the load")
+	} else if !strings.Contains(err.Error(), "c-subset") {
+		t.Fatalf("error must name the corrupt artifact, got %v", err)
+	}
+}
+
+// A truncated artifact (partial write, torn deploy) is corrupt too.
+func TestLoadLanguagesTruncatedArtifact(t *testing.T) {
+	dir := t.TempDir()
+	writeArtifacts(t, dir, "expr")
+	path := filepath.Join(dir, "expr"+incremental.CompiledExt)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadLanguages(dir); err == nil {
+		t.Fatal("truncated artifact must be a deployment error")
+	}
+}
+
+// Subdirectories are not traversed: artifact dirs are flat by contract.
+func TestLoadLanguagesIgnoresSubdirectories(t *testing.T) {
+	dir := t.TempDir()
+	writeArtifacts(t, dir, "expr")
+	sub := filepath.Join(dir, "nested")
+	if err := os.Mkdir(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeArtifacts(t, sub, "java-subset")
+	langs, err := LoadLanguages(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(langs) != 1 {
+		t.Fatalf("loaded %d languages, want 1 (nested dir must be ignored)", len(langs))
+	}
+	if _, ok := langs["expr"]; !ok {
+		t.Fatal("top-level expr artifact missing")
+	}
+}

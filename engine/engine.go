@@ -120,52 +120,66 @@ type Batch struct {
 type Option func(*config)
 
 type config struct {
-	workers int
 	analyze bool
 	policy  Policy
 }
 
 // WithWorkers bounds the worker pool (default runtime.GOMAXPROCS(0);
-// values < 1 select the default).
+// values < 1 select the default). It is shorthand for setting
+// Policy.Workers — the policy struct is the one knobs surface, so a
+// service can unmarshal a whole batch configuration from JSON.
 func WithWorkers(n int) Option {
-	return func(c *config) { c.workers = n }
+	return func(c *config) { c.policy.Workers = n }
 }
 
-// Policy governs per-file resource use and failure handling. The zero
-// Policy is the permissive default: no budget, no timeout, one attempt.
+// Policy governs a batch run: the worker pool, per-file resource use, and
+// failure handling. The zero Policy is the permissive default: default
+// worker count, no budget, no timeout, one attempt. Policy marshals to
+// JSON (durations as nanoseconds), so a daemon's reloadable config can
+// carry one straight into the engine.
 type Policy struct {
+	// Workers bounds the worker pool (default runtime.GOMAXPROCS(0);
+	// values < 1 select the default).
+	Workers int `json:"workers,omitempty"`
 	// Budget bounds every parse attempt's resources (see
 	// incremental.Budget; the zero value is unlimited).
-	Budget incremental.Budget
+	Budget incremental.Budget `json:"budget,omitempty"`
 	// FileTimeout bounds each attempt's wall time via a per-file context
 	// deadline (0 = none). It composes with Budget.MaxDuration: the
 	// timeout covers the whole attempt, the budget just the parse.
-	FileTimeout time.Duration
+	FileTimeout time.Duration `json:"file_timeout_ns,omitempty"`
 	// Retries is how many extra attempts a file gets after a retryable
 	// failure — a budget trip, a FileTimeout expiry, or a recovered
 	// panic. Batch-context cancellation is never retried.
-	Retries int
+	Retries int `json:"retries,omitempty"`
 	// Backoff is slept between attempts (cancellable by the batch
 	// context).
-	Backoff time.Duration
+	Backoff time.Duration `json:"backoff_ns,omitempty"`
 	// DegradedBudget, when non-nil, replaces Budget on retry attempts.
 	// The intended shape trades fidelity for completion — e.g. a small
 	// MaxAlternatives so ambiguous regions are pruned to their preferred
 	// interpretation instead of exhausting the forest budget. Results
 	// produced under it are marked Degraded.
-	DegradedBudget *incremental.Budget
+	DegradedBudget *incremental.Budget `json:"degraded_budget,omitempty"`
 	// Tolerant makes syntax errors non-fatal per file: the session's
 	// tier-1 error isolation quarantines the damage and the Result
 	// carries a valid Root plus Diagnostics instead of an Err. Files
 	// whose damage cannot be bounded still fail. Budget trips, timeouts
 	// and cancellation are unaffected — they stay errors (and stay
 	// retryable).
-	Tolerant bool
+	Tolerant bool `json:"tolerant,omitempty"`
 }
 
-// WithPolicy sets the batch's per-file policy.
+// WithPolicy sets the batch's policy. A zero p.Workers preserves a worker
+// count set by an earlier WithWorkers, so the two options compose in
+// either order.
 func WithPolicy(p Policy) Option {
-	return func(c *config) { c.policy = p }
+	return func(c *config) {
+		if p.Workers == 0 {
+			p.Workers = c.policy.Workers
+		}
+		c.policy = p
+	}
 }
 
 // ParseAll parses every input over the shared language with a bounded
@@ -188,11 +202,12 @@ func run(ctx context.Context, lang *incremental.Language, inputs []Input, analyz
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if cfg.workers < 1 {
-		cfg.workers = runtime.GOMAXPROCS(0)
+	workers := cfg.policy.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	if cfg.workers > len(inputs) && len(inputs) > 0 {
-		cfg.workers = len(inputs)
+	if workers > len(inputs) && len(inputs) > 0 {
+		workers = len(inputs)
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -202,7 +217,7 @@ func run(ctx context.Context, lang *incremental.Language, inputs []Input, analyz
 	results := make([]Result, len(inputs))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
-	for w := 0; w < cfg.workers; w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -316,7 +331,7 @@ func attemptOne(ctx context.Context, lang *incremental.Language, in Input, idx i
 	var root *incremental.Node
 	var err error
 	if cfg.policy.Tolerant {
-		out := s.ParseWithRecoveryContext(ctx)
+		out := s.Do(ctx, incremental.Tolerant())
 		root, err = out.Root, out.Err
 		if err == nil && root == nil {
 			err = fmt.Errorf("engine: %s: recovery produced no tree", in.Name)
@@ -325,7 +340,8 @@ func attemptOne(ctx context.Context, lang *incremental.Language, in Input, idx i
 			res.Diagnostics = s.Diagnostics()
 		}
 	} else {
-		root, err = s.ParseContext(ctx)
+		out := s.Do(ctx)
+		root, err = out.Root, out.Err
 	}
 	res.Stats = s.Stats()
 	res.Degraded = res.Stats.BudgetPruned > 0

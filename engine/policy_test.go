@@ -2,8 +2,10 @@ package engine
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -185,5 +187,63 @@ func TestPolicyPanicIsolationAcrossStages(t *testing.T) {
 				t.Fatal("healthy files' analysis missing from aggregates")
 			}
 		})
+	}
+}
+
+// Policy is the one knobs struct a daemon config marshals into the
+// engine: the worker count folds in, JSON round-trips losslessly, and
+// WithWorkers/WithPolicy compose in either order.
+func TestPolicyIsTheOneKnobsStruct(t *testing.T) {
+	degraded := incremental.Budget{MaxAlternatives: 2}
+	p := Policy{
+		Workers:        3,
+		Budget:         incremental.Budget{MaxGSSLinks: 1024, MaxDuration: 50 * time.Millisecond},
+		FileTimeout:    time.Second,
+		Retries:        2,
+		Backoff:        5 * time.Millisecond,
+		DegradedBudget: &degraded,
+		Tolerant:       true,
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Policy
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, back) {
+		t.Fatalf("Policy JSON round-trip lost data:\nin:  %+v\nout: %+v", p, back)
+	}
+
+	// The daemon-side spelling: a config file sets workers inside the
+	// policy, nothing else needed.
+	var fromJSON Policy
+	if err := json.Unmarshal([]byte(`{"workers":2,"tolerant":true,"budget":{"max_gss_links":64}}`), &fromJSON); err != nil {
+		t.Fatal(err)
+	}
+	if fromJSON.Workers != 2 || !fromJSON.Tolerant || fromJSON.Budget.MaxGSSLinks != 64 {
+		t.Fatalf("unmarshal = %+v", fromJSON)
+	}
+
+	// Option composition: either order yields workers=4 + tolerant.
+	for _, opts := range [][]Option{
+		{WithWorkers(4), WithPolicy(Policy{Tolerant: true})},
+		{WithPolicy(Policy{Tolerant: true}), WithWorkers(4)},
+	} {
+		var c config
+		for _, o := range opts {
+			o(&c)
+		}
+		if c.policy.Workers != 4 || !c.policy.Tolerant {
+			t.Fatalf("composed policy = %+v", c.policy)
+		}
+	}
+	// An explicit Policy.Workers wins over an earlier WithWorkers.
+	var c config
+	WithWorkers(4)(&c)
+	WithPolicy(Policy{Workers: 8})(&c)
+	if c.policy.Workers != 8 {
+		t.Fatalf("explicit Policy.Workers overridden: %+v", c.policy)
 	}
 }

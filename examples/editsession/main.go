@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -24,13 +25,14 @@ func main() {
 	}
 	src, nAmb := corpus.Generate(spec)
 	lang := incremental.CSubset()
+	ctx := context.Background()
 	s := incremental.NewSession(lang, src)
 
-	tree, err := s.Parse()
-	if err != nil {
-		log.Fatal(err)
+	first0 := s.Do(ctx)
+	if first0.Err != nil {
+		log.Fatal(first0.Err)
 	}
-	st := incremental.Measure(tree)
+	st := incremental.Measure(first0.Root)
 	fmt.Printf("program: %d lines, %d tokens, %d dag nodes, %d ambiguous constructs\n",
 		spec.Lines, st.Terminals, st.DagNodes, nAmb)
 	first := s.Stats()
@@ -59,8 +61,8 @@ func main() {
 		}
 		off++ // inside the match
 		s.Edit(off, stp.rem, stp.ins)
-		if _, err := s.Parse(); err != nil {
-			log.Fatalf("%s: %v", stp.desc, err)
+		if out := s.Do(ctx); out.Err != nil {
+			log.Fatalf("%s: %v", stp.desc, out.Err)
 		}
 		ps := s.Stats()
 		fmt.Printf("%-26s relexed %3d token(s); reparse: %3d terminals, %3d subtrees, %4d reductions\n",
@@ -79,7 +81,7 @@ func main() {
 	bad := strings.LastIndex(s.Text(), "= ")
 	s.Edit(bad, 2, ")) ")
 	brokenLen := len(s.Text())
-	out := s.ParseWithRecovery()
+	out := s.Do(ctx, incremental.Tolerant())
 	if out.Err != nil {
 		log.Fatal(out.Err)
 	}
@@ -95,8 +97,8 @@ func main() {
 	// Repairing the broken span clears the quarantine: the next parse has
 	// no error nodes and the tree converges to a from-scratch parse.
 	s.Edit(bad, 3, "= ") // isolation kept the text, so the offset still holds
-	if _, err := s.Parse(); err != nil {
-		log.Fatal(err)
+	if repaired := s.Do(ctx); repaired.Err != nil {
+		log.Fatal(repaired.Err)
 	}
 	fmt.Printf("after repair: %d diagnostic(s), %d error node(s) — converged\n",
 		len(s.Diagnostics()), len(s.ErrorNodes()))

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,16 +21,18 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	src := "a+b*c-d*e+f"
 	ops := incremental.Operators{Prec: map[string]int{"+": 1, "-": 1, "*": 2, "/": 2}}
 
 	// 1. Static filtering: precedence resolved at table-construction time.
 	static := incremental.ExprLanguage()
 	s1 := incremental.NewSession(static, src)
-	t1, err := s1.Parse()
-	if err != nil {
-		log.Fatal(err)
+	o1 := s1.Do(ctx)
+	if o1.Err != nil {
+		log.Fatal(o1.Err)
 	}
+	t1 := o1.Root
 	fmt.Printf("static  : %2d parse(s), %3d dag nodes, %d conflicts in the table\n",
 		incremental.CountParses(t1), incremental.Measure(t1).DagNodes, static.Conflicts())
 
@@ -37,10 +40,11 @@ func main() {
 	// structural filter picks afterwards.
 	dynamic := incremental.AmbiguousExprLanguage()
 	s2 := incremental.NewSession(dynamic, src)
-	t2, err := s2.Parse()
-	if err != nil {
-		log.Fatal(err)
+	o2 := s2.Do(ctx)
+	if o2.Err != nil {
+		log.Fatal(o2.Err)
 	}
+	t2 := o2.Root
 	before := incremental.CountParses(t2)
 	nodesBefore := incremental.Measure(t2).DagNodes
 	filtered, discarded := incremental.ApplyFilter(t2, ops.Filter())
@@ -50,10 +54,11 @@ func main() {
 	// 3. Semantic filtering: reversible selection by binding information.
 	cpp := incremental.CPPSubset()
 	s3 := incremental.NewSession(cpp, "typedef int a; a(b); c(d);")
-	t3, err := s3.Parse()
-	if err != nil {
-		log.Fatal(err)
+	o3 := s3.Do(ctx)
+	if o3.Err != nil {
+		log.Fatal(o3.Err)
 	}
+	t3 := o3.Root
 	res := s3.Resolve()
 	fmt.Printf("semantic: %d region(s) → declaration, %d unresolved (retained for future edits)\n",
 		res.ResolvedDecl, res.Unresolved)
@@ -62,10 +67,11 @@ func main() {
 	// The "prefer declaration" rule of C++ (§4.1) as a *syntactic* filter:
 	// no semantic information, losing readings discarded outright.
 	s4 := incremental.NewSession(cpp, "a(b); c(d);")
-	t4, err := s4.Parse()
-	if err != nil {
-		log.Fatal(err)
+	o4 := s4.Do(ctx)
+	if o4.Err != nil {
+		log.Fatal(o4.Err)
 	}
+	t4 := o4.Root
 	preferDecl := incremental.Prefer(func(n *incremental.Node) bool {
 		return !n.IsTerminal() && len(n.Kids) > 0 &&
 			cpp.SymName(n.Kids[0].Sym) == "Decl"

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,12 +20,14 @@ func main() {
 	fmt.Printf("the table has %d conflict(s): on input x, lookahead z cannot decide U vs V\n\n",
 		lang.Conflicts())
 
-	s := incremental.NewSession(lang, "x z c")
-	s.Trace(func(f string, args ...any) { fmt.Printf("  "+f+"\n", args...) })
-	tree, err := s.Parse()
-	if err != nil {
-		log.Fatal(err)
+	ctx := context.Background()
+	s := incremental.NewSession(lang, "x z c",
+		incremental.WithTrace(func(f string, args ...any) { fmt.Printf("  "+f+"\n", args...) }))
+	out := s.Do(ctx)
+	if out.Err != nil {
+		log.Fatal(out.Err)
 	}
+	tree := out.Root
 	s.Trace(nil)
 
 	fmt.Printf("\n\"x z c\": %d parse (unambiguous), max %d simultaneous parsers\n",
@@ -47,10 +50,11 @@ func main() {
 	// region reparses and the D/V interpretation wins this time.
 	fmt.Println("\nedit: c → e, then reparse incrementally")
 	s.Edit(4, 1, "e")
-	tree, err = s.Parse()
-	if err != nil {
-		log.Fatal(err)
+	out = s.Do(ctx)
+	if out.Err != nil {
+		log.Fatal(out.Err)
 	}
+	tree = out.Root
 	fmt.Println("new structure:")
 	fmt.Print(incremental.FormatDag(lang, tree))
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -47,11 +48,13 @@ host = "example.org";
 retries = 3;
 timeout = 30;
 `
+	ctx := context.Background()
 	s := incremental.NewSession(lang, src)
-	tree, err := s.Parse()
-	if err != nil {
-		log.Fatal(err)
+	out := s.Do(ctx)
+	if out.Err != nil {
+		log.Fatal(out.Err)
 	}
+	tree := out.Root
 	fmt.Printf("initial parse: %d entries, %d dag nodes\n",
 		countEntries(lang, tree), incremental.Measure(tree).DagNodes)
 	fmt.Printf("  %d terminal shifts (everything lexed fresh)\n\n", s.Stats().TerminalShifts)
@@ -62,25 +65,26 @@ timeout = 30;
 	fmt.Println(`editing "8080" -> "9090" ...`)
 	off := 30 // offset of 8080
 	s.Edit(off, 4, "9090")
-	tree, err = s.Parse()
-	if err != nil {
-		log.Fatal(err)
+	out = s.Do(ctx)
+	if out.Err != nil {
+		log.Fatal(out.Err)
 	}
 	st := s.Stats()
 	fmt.Printf("incremental reparse: relexed %d token(s), shifted %d terminal(s) and %d whole subtree(s)\n",
 		s.Relexed(), st.TerminalShifts, st.SubtreeShifts)
 
-	// A syntax error keeps the previous tree; recovery reverts the
-	// offending edit and flags it as unincorporated (§4.3).
+	// A syntax error keeps the previous tree; a tolerant reparse
+	// quarantines the broken span (or, failing that, reverts the offending
+	// edit and flags it as unincorporated — §4.3).
 	fmt.Println("\nbreaking the file (deleting the first '='), then recovering ...")
 	eq := strings.Index(s.Text(), "=")
 	s.Edit(eq, 1, "")
-	if _, err := s.Parse(); err != nil {
-		fmt.Println("  parse failed as expected:", err)
+	if failed := s.Do(ctx); failed.Err != nil {
+		fmt.Println("  parse failed as expected:", failed.Err)
 	}
-	out := s.ParseWithRecovery()
-	fmt.Printf("  recovery: %d edit(s) reverted, document consistent again: %v\n",
-		len(out.Unincorporated), out.Err == nil)
+	rec := s.Do(ctx, incremental.Tolerant())
+	fmt.Printf("  recovery: isolated=%v, %d edit(s) reverted, document consistent again: %v\n",
+		rec.Isolated, len(rec.Unincorporated), rec.Err == nil)
 }
 
 func countEntries(lang *incremental.Language, tree *incremental.Node) int {

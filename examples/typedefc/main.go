@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -26,11 +27,13 @@ j = 2;
 	fmt.Println("source (the paper's Figure 1):")
 	fmt.Print(indent(src))
 
+	ctx := context.Background()
 	s := incremental.NewSession(lang, src)
-	tree, err := s.Parse()
-	if err != nil {
-		log.Fatal(err)
+	out := s.Do(ctx)
+	if out.Err != nil {
+		log.Fatal(out.Err)
 	}
+	tree := out.Root
 	st := incremental.Measure(tree)
 	fmt.Printf("\nafter context-free analysis: %d ambiguous region(s), %d interpretations total\n",
 		st.AmbiguousRegions, incremental.CountParses(tree))
@@ -48,8 +51,8 @@ j = 2;
 	// Declare c as a variable: its call site resolves.
 	fmt.Println("\nedit: declare c with `int c;` at the top")
 	s.Edit(0, 0, "int c; ")
-	if _, err := s.Parse(); err != nil {
-		log.Fatal(err)
+	if out := s.Do(ctx); out.Err != nil {
+		log.Fatal(out.Err)
 	}
 	res = s.Resolve()
 	fmt.Printf("  now: %d declaration(s), %d call(s), %d unresolved\n",
@@ -64,8 +67,8 @@ j = 2;
 	text := s.Text()
 	off := strings.Index(text, "typedef int a;")
 	s.Edit(off, len("typedef int a;"), "int a;")
-	if _, err := s.Parse(); err != nil {
-		log.Fatal(err)
+	if out := s.Do(ctx); out.Err != nil {
+		log.Fatal(out.Err)
 	}
 	res2, flips := s.ResolveTracked()
 	fmt.Printf("  now: %d declaration(s), %d call(s); %d region(s) re-interpreted\n",

@@ -32,7 +32,6 @@ import (
 	"iglr/internal/grammar"
 	"iglr/internal/guard"
 	"iglr/internal/iglr"
-	"iglr/internal/isolate"
 	"iglr/internal/langs"
 	"iglr/internal/langs/cppsub"
 	"iglr/internal/langs/csub"
@@ -352,6 +351,9 @@ func (s *Session) Edit(offset, removed int, inserted string) {
 // Parse (re)parses the document incrementally, committing on success. The
 // previous tree is retained on failure; the returned error carries the
 // line/column of the offending token (as a *ParseError).
+//
+// Deprecated: use Do, the context-first session API. Parse is equivalent
+// to Do(nil) with Root/Err unpacked.
 func (s *Session) Parse() (*Node, error) {
 	return s.ParseContext(nil)
 }
@@ -361,13 +363,12 @@ func (s *Session) Parse() (*Node, error) {
 // errors.Is(err, ctx.Err()) once the context is done. The document and its
 // committed tree are left exactly as before the call, so a cancelled parse
 // can simply be retried. A nil ctx disables the checks.
+//
+// Deprecated: use Do, the context-first session API. ParseContext is
+// equivalent to Do(ctx) with Root/Err unpacked.
 func (s *Session) ParseContext(ctx context.Context) (*Node, error) {
-	root, err := s.parseOnce(ctx)
-	if err != nil {
-		return nil, s.locate(err)
-	}
-	s.doc.Commit(root)
-	return root, nil
+	out := s.Do(ctx)
+	return out.Root, out.Err
 }
 
 // isDetSyntax reports whether err is a deterministic-parser syntax error.
@@ -414,35 +415,29 @@ func (s *Session) parseOnce(ctx context.Context) (*Node, error) {
 // reverted and reported as unincorporated. Infrastructure failures
 // (ErrBudget, cancellation) abort with pending edits intact and trigger
 // neither tier.
+//
+// Deprecated: use Do with the Tolerant option, which reports the same
+// result as an Outcome.
 func (s *Session) ParseWithRecovery() RecoveryOutcome {
 	return s.ParseWithRecoveryContext(nil)
 }
 
 // ParseWithRecoveryContext is ParseWithRecovery with cooperative
 // cancellation (see ParseContext).
+//
+// Deprecated: use Do with the Tolerant option, which reports the same
+// result as an Outcome.
 func (s *Session) ParseWithRecoveryContext(ctx context.Context) RecoveryOutcome {
-	pending := s.doc.PendingEdits()
-	root, err := s.parseOnce(ctx)
-	if err == nil {
-		s.doc.Commit(root)
-		return RecoveryOutcome{Root: root, Incorporated: pending, Clean: true}
+	out := s.Do(ctx, Tolerant())
+	return RecoveryOutcome{
+		Root:           out.Root,
+		Incorporated:   out.Incorporated,
+		Unincorporated: out.Unincorporated,
+		Clean:          out.Clean,
+		Isolated:       out.Isolated,
+		ErrorRegions:   out.ErrorRegions,
+		Err:            out.Err,
 	}
-	if recovery.IsInfrastructure(err) {
-		return RecoveryOutcome{Err: err}
-	}
-	// Tier 1: text-preserving isolation, always driven by the GLR parser
-	// (deterministic sessions hand their syntax errors over anyway).
-	if res, ierr := isolate.Reparse(ctx, s.doc, s.parser); ierr == nil {
-		s.doc.Commit(res.Root)
-		return RecoveryOutcome{Root: res.Root, Incorporated: pending,
-			Isolated: true, ErrorRegions: len(res.Errors)}
-	} else if recovery.IsInfrastructure(ierr) {
-		return RecoveryOutcome{Err: ierr}
-	}
-	// Tier 2: history-sensitive edit replay.
-	return recovery.Parse(s.doc, func(d *document.Document) (*Node, error) {
-		return s.parseOnce(ctx)
-	})
 }
 
 // Resolve runs semantic disambiguation (§4.2) over the committed tree with
@@ -491,4 +486,20 @@ func (s *Session) Relexed() int { return s.doc.LastRelexed }
 
 // Trace installs a parser trace callback (the Appendix B facility);
 // pass nil to disable.
+//
+// Trace writes the parser's callback field unsynchronized, so it must be
+// called from the goroutine that runs the session's parses — never after
+// the session has been handed to another goroutine (e.g. a daemon worker
+// shard) that may be parsing concurrently. To trace a session that will be
+// handed off, install the callback at construction with WithTrace.
 func (s *Session) Trace(f func(format string, args ...any)) { s.parser.Trace = f }
+
+// WithTrace installs a parser trace callback at construction time — the
+// race-safe spelling of Session.Trace for sessions that are created on one
+// goroutine and then handed to another (a worker shard, an engine pool):
+// the callback is in place before the session is published, so no
+// goroutine ever observes it being written. The callback itself must be
+// safe for whatever goroutine runs the parses.
+func WithTrace(f func(format string, args ...any)) SessionOption {
+	return func(s *Session) { s.parser.Trace = f }
+}

@@ -24,30 +24,31 @@ import (
 
 // Budget bounds the resources one parse may consume. The zero value is
 // unlimited; each field is independent and a zero field disables that
-// check.
+// check. Budget marshals to JSON (MaxDuration as nanoseconds) so
+// service configs can carry per-tenant quotas directly.
 type Budget struct {
 	// MaxGSSNodes caps graph-structured-stack nodes per parse. The GSS
 	// grows with non-determinism, not input size, so this bounds fork
 	// explosion from conflicted tables on adversarial input.
-	MaxGSSNodes int
+	MaxGSSNodes int `json:"max_gss_nodes,omitempty"`
 	// MaxGSSLinks caps GSS links (edges) per parse — the quantity that
 	// actually grows super-linearly in pathological GLR regions.
-	MaxGSSLinks int
+	MaxGSSLinks int `json:"max_gss_links,omitempty"`
 	// MaxArenaNodes caps dag-arena node allocations per parse (measured as
 	// growth over the arena's size when the parse began, so a long editing
 	// session is not charged for its committed history).
-	MaxArenaNodes int
+	MaxArenaNodes int `json:"max_arena_nodes,omitempty"`
 	// MaxAlternatives caps the interpretations retained per ambiguous
 	// region (choice node). Because parse counts multiply through nested
 	// regions, bounding the per-region fan-out bounds the forest. Unlike
 	// the other budgets this one does not abort: the IGLR parser prunes
 	// the region to its statically preferred alternative, marks the node
 	// BudgetPruned, and continues.
-	MaxAlternatives int
+	MaxAlternatives int `json:"max_alternatives,omitempty"`
 	// MaxDuration caps a single parse's wall-clock time. Unlike context
 	// cancellation (which is external), the deadline travels with the
 	// budget so per-file policies need no timer plumbing.
-	MaxDuration time.Duration
+	MaxDuration time.Duration `json:"max_duration_ns,omitempty"`
 }
 
 // Unlimited reports whether every check is disabled (the zero Budget).

@@ -1,0 +1,325 @@
+package incremental_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	incremental "iglr"
+)
+
+// twin drives two sessions over the same language and source through the
+// same edit script: one via the deprecated four-way API, one via Do. Every
+// step asserts the results are identical — the differential contract that
+// lets the old methods be thin wrappers.
+type twin struct {
+	t        *testing.T
+	old, new *incremental.Session
+}
+
+func newTwin(t *testing.T, lang *incremental.Language, src string, opts ...incremental.SessionOption) *twin {
+	return &twin{
+		t:   t,
+		old: incremental.NewSession(lang, src, opts...),
+		new: incremental.NewSession(lang, src, opts...),
+	}
+}
+
+func (tw *twin) edit(offset, removed int, inserted string) {
+	tw.old.Edit(offset, removed, inserted)
+	tw.new.Edit(offset, removed, inserted)
+}
+
+// sameErr compares error identity loosely: both nil, or both non-nil with
+// equal strings (located ParseErrors carry positions in the message).
+func sameErr(t *testing.T, step string, oldErr, newErr error) {
+	t.Helper()
+	switch {
+	case (oldErr == nil) != (newErr == nil):
+		t.Fatalf("%s: error mismatch: old=%v new=%v", step, oldErr, newErr)
+	case oldErr != nil && oldErr.Error() != newErr.Error():
+		t.Fatalf("%s: error text mismatch: old=%q new=%q", step, oldErr, newErr)
+	}
+}
+
+// parse runs ParseContext on old and Do on new and asserts equivalence.
+func (tw *twin) parse(ctx context.Context, step string) {
+	tw.t.Helper()
+	oldRoot, oldErr := tw.old.ParseContext(ctx)
+	out := tw.new.Do(ctx)
+	sameErr(tw.t, step, oldErr, out.Err)
+	if (oldRoot == nil) != (out.Root == nil) {
+		tw.t.Fatalf("%s: root presence mismatch", step)
+	}
+	if oldErr == nil && !out.Clean {
+		tw.t.Fatalf("%s: successful Do must report Clean", step)
+	}
+	tw.sameState(step)
+}
+
+// recover runs ParseWithRecoveryContext on old and Do(Tolerant()) on new.
+func (tw *twin) recover(ctx context.Context, step string) {
+	tw.t.Helper()
+	oldOut := tw.old.ParseWithRecoveryContext(ctx)
+	out := tw.new.Do(ctx, incremental.Tolerant())
+	sameErr(tw.t, step, oldOut.Err, out.Err)
+	if oldOut.Clean != out.Clean || oldOut.Isolated != out.Isolated ||
+		oldOut.ErrorRegions != out.ErrorRegions {
+		tw.t.Fatalf("%s: outcome shape mismatch: old={clean:%v isolated:%v regions:%d} new={clean:%v isolated:%v regions:%d}",
+			step, oldOut.Clean, oldOut.Isolated, oldOut.ErrorRegions,
+			out.Clean, out.Isolated, out.ErrorRegions)
+	}
+	if len(oldOut.Incorporated) != len(out.Incorporated) ||
+		len(oldOut.Unincorporated) != len(out.Unincorporated) {
+		tw.t.Fatalf("%s: edit bookkeeping mismatch: old=%d/%d new=%d/%d", step,
+			len(oldOut.Incorporated), len(oldOut.Unincorporated),
+			len(out.Incorporated), len(out.Unincorporated))
+	}
+	tw.sameState(step)
+}
+
+// sameState asserts both sessions converged to the same document and
+// diagnostic state.
+func (tw *twin) sameState(step string) {
+	tw.t.Helper()
+	if tw.old.Text() != tw.new.Text() {
+		tw.t.Fatalf("%s: text diverged:\nold: %q\nnew: %q", step, tw.old.Text(), tw.new.Text())
+	}
+	oldD, newD := tw.old.Diagnostics(), tw.new.Diagnostics()
+	if !reflect.DeepEqual(oldD, newD) {
+		tw.t.Fatalf("%s: diagnostics diverged:\nold: %v\nnew: %v", step, oldD, newD)
+	}
+	if tw.old.Stats() != tw.new.Stats() {
+		tw.t.Fatalf("%s: stats diverged:\nold: %+v\nnew: %+v", step, tw.old.Stats(), tw.new.Stats())
+	}
+}
+
+// TestDoDifferentialClean drives clean edit scripts over several bundled
+// languages through both APIs.
+func TestDoDifferentialClean(t *testing.T) {
+	cases := []struct {
+		name string
+		lang *incremental.Language
+		src  string
+		edit func(tw *twin)
+	}{
+		{"expr", incremental.ExprLanguage(), "1+2*3", func(tw *twin) {
+			tw.edit(0, 0, "9*")
+			tw.edit(2, 1, "7")
+		}},
+		{"c-subset", incremental.CSubset(), "int a = 1; { a = a + 2; }", func(tw *twin) {
+			tw.edit(4, 1, "b")
+			tw.edit(13, 1, "b")
+			tw.edit(17, 1, "b")
+		}},
+		{"java-subset", incremental.JavaSubset(), "class A { int f() { return 1; } }", func(tw *twin) {
+			tw.edit(27, 1, "42")
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tw := newTwin(t, tc.lang, tc.src)
+			tw.parse(context.Background(), "initial")
+			tc.edit(tw)
+			tw.parse(context.Background(), "after edits")
+			tw.recover(context.Background(), "tolerant on clean text")
+		})
+	}
+}
+
+// TestDoDifferentialSyntaxError covers the failing plain path (located
+// *ParseError) and the tolerant tier-1 isolation path.
+func TestDoDifferentialSyntaxError(t *testing.T) {
+	lang := incremental.CSubset()
+	src := "int a = 1; int b = 2; int c = 3;"
+	tw := newTwin(t, lang, src)
+	tw.parse(nil, "baseline")
+
+	// Break the middle statement.
+	tw.edit(15, 1, "= @@")
+	oldRoot, oldErr := tw.old.ParseContext(nil)
+	out := tw.new.Do(nil)
+	if oldErr == nil || out.Err == nil {
+		t.Fatalf("broken text must fail the plain path: old=%v new=%v", oldErr, out.Err)
+	}
+	sameErr(t, "plain failure", oldErr, out.Err)
+	var pe *incremental.ParseError
+	if !errors.As(out.Err, &pe) {
+		t.Fatalf("Do must locate syntax errors as *ParseError, got %T", out.Err)
+	}
+	if oldRoot != nil || out.Root != nil {
+		t.Fatal("failed plain parse must not return a root")
+	}
+
+	// Tolerant: both isolate the damage, text preserved.
+	tw.recover(nil, "tolerant isolation")
+	if tw.new.Text() == src {
+		t.Fatal("tolerant parse must preserve the broken text")
+	}
+	if len(tw.new.Diagnostics()) == 0 {
+		t.Fatal("isolation must surface diagnostics")
+	}
+
+	// Repair (undo the break) converges both back to clean.
+	tw.edit(15, 4, "b")
+	tw.recover(nil, "after repair")
+	if len(tw.new.Diagnostics()) != 0 {
+		t.Fatal("repaired text must clear diagnostics")
+	}
+}
+
+// TestDoDifferentialBudget asserts budget trips surface identically and
+// leave both committed trees intact.
+func TestDoDifferentialBudget(t *testing.T) {
+	lang := incremental.AmbiguousExprLanguage()
+	tw := newTwin(t, lang, "1+2", incremental.WithBudget(incremental.Budget{MaxGSSLinks: 8}))
+	// Hostile edit: a long undisambiguated chain.
+	chain := ""
+	for i := 0; i < 40; i++ {
+		chain += "+1"
+	}
+	tw.edit(3, 0, chain)
+	oldRoot, oldErr := tw.old.ParseContext(nil)
+	out := tw.new.Do(nil)
+	if !errors.Is(oldErr, incremental.ErrBudget) || !errors.Is(out.Err, incremental.ErrBudget) {
+		t.Fatalf("want budget trips from both: old=%v new=%v", oldErr, out.Err)
+	}
+	if oldRoot != nil || out.Root != nil {
+		t.Fatal("tripped parse must not return a root")
+	}
+	// Tolerant treats budget trips as infrastructure: aborts, pending intact.
+	oldOut := tw.old.ParseWithRecoveryContext(nil)
+	newOut := tw.new.Do(nil, incremental.Tolerant())
+	if !errors.Is(oldOut.Err, incremental.ErrBudget) || !errors.Is(newOut.Err, incremental.ErrBudget) {
+		t.Fatalf("tolerant budget trip mismatch: old=%v new=%v", oldOut.Err, newOut.Err)
+	}
+	if newOut.Isolated || newOut.Clean {
+		t.Fatal("infrastructure failure must not claim recovery")
+	}
+}
+
+// TestDoDifferentialCancellation asserts a cancelled context aborts both
+// APIs with the context error and a retry succeeds.
+func TestDoDifferentialCancellation(t *testing.T) {
+	lang := incremental.CSubset()
+	src := "int a = 1;"
+	tw := newTwin(t, lang, src)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, oldErr := tw.old.ParseContext(ctx)
+	out := tw.new.Do(ctx)
+	if !errors.Is(oldErr, context.Canceled) || !errors.Is(out.Err, context.Canceled) {
+		t.Fatalf("want context.Canceled from both: old=%v new=%v", oldErr, out.Err)
+	}
+	tw.parse(context.Background(), "retry after cancel")
+}
+
+// TestDoDeterministic exercises the Deterministic option against the
+// UseDeterministic spelling, including the conflicted-table failure.
+func TestDoDeterministic(t *testing.T) {
+	lang := incremental.Modula2Subset()
+	oldS := incremental.NewSession(lang, "MODULE m; BEGIN END m.")
+	if err := oldS.UseDeterministic(); err != nil {
+		t.Fatal(err)
+	}
+	newS := incremental.NewSession(lang, "MODULE m; BEGIN END m.")
+	oldRoot, oldErr := oldS.ParseContext(nil)
+	out := newS.Do(nil, incremental.Deterministic())
+	if oldErr != nil || out.Err != nil {
+		t.Fatalf("deterministic parse failed: old=%v new=%v", oldErr, out.Err)
+	}
+	if (oldRoot == nil) != (out.Root == nil) {
+		t.Fatal("root presence mismatch")
+	}
+
+	// A conflicted table must reject the option with an error, not a panic.
+	amb := incremental.AmbiguousExprLanguage()
+	s := incremental.NewSession(amb, "1+2")
+	if out := s.Do(nil, incremental.Deterministic()); out.Err == nil {
+		t.Fatal("Deterministic over a conflicted table must fail")
+	}
+	// The failure is sticky-free: a plain Do still works.
+	if out := s.Do(nil); out.Err != nil {
+		t.Fatalf("plain Do after rejected Deterministic: %v", out.Err)
+	}
+}
+
+// TestDoTimeoutDeadline asserts Budget.MaxDuration trips surface through
+// Do the same as through the wrappers.
+func TestDoTimeoutDeadline(t *testing.T) {
+	lang := incremental.AmbiguousExprLanguage()
+	chain := "1"
+	for i := 0; i < 200; i++ {
+		chain += "+1"
+	}
+	s := incremental.NewSession(lang, chain,
+		incremental.WithBudget(incremental.Budget{MaxDuration: time.Nanosecond}))
+	out := s.Do(nil)
+	if !errors.Is(out.Err, incremental.ErrBudget) {
+		t.Fatalf("want deadline budget trip, got %v", out.Err)
+	}
+}
+
+// TestWithTrace asserts the construction-time trace option delivers
+// callbacks for the first parse (the handed-off-session use case).
+func TestWithTrace(t *testing.T) {
+	var lines int
+	s := incremental.NewSession(incremental.ExprLanguage(), "1+2",
+		incremental.WithTrace(func(format string, args ...any) { lines++ }))
+	if out := s.Do(nil); out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if lines == 0 {
+		t.Fatal("WithTrace callback never fired")
+	}
+}
+
+// TestSubtree covers the session-level subtree query the daemon's
+// /subtree endpoint is built on.
+func TestSubtree(t *testing.T) {
+	lang := incremental.CSubset()
+	src := "int a = 1; int b = 2;"
+	s := incremental.NewSession(lang, src)
+	if out := s.Do(nil); out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	// The span of "int b = 2;" — the subtree must cover it and be smaller
+	// than the whole program.
+	second := s.Subtree(11, 10)
+	if second == nil {
+		t.Fatal("no subtree for second statement")
+	}
+	off, ln, ok := s.NodeSpan(second)
+	if !ok {
+		t.Fatal("subtree has no span")
+	}
+	if off > 11 || off+ln < 21 {
+		t.Fatalf("subtree span [%d,%d) does not cover [11,21)", off, off+ln)
+	}
+	if root := s.Tree(); second == root {
+		rOff, rLn, _ := s.NodeSpan(root)
+		if rOff != off || rLn != ln {
+			t.Fatal("expected a narrower subtree than the root")
+		}
+	}
+	// A single byte inside the first statement narrows further.
+	first := s.Subtree(4, 1)
+	if first == nil {
+		t.Fatal("no subtree for first identifier")
+	}
+	fOff, fLn, _ := s.NodeSpan(first)
+	if fLn >= len(src) {
+		t.Fatalf("single-byte query returned the whole program [%d,%d)", fOff, fOff+fLn)
+	}
+	// Out-of-range queries return nil.
+	if n := s.Subtree(len(src)+5, 1); n != nil {
+		t.Fatal("out-of-range subtree must be nil")
+	}
+	// Before the first parse there is no tree to query.
+	fresh := incremental.NewSession(lang, src)
+	if n := fresh.Subtree(0, 1); n != nil {
+		t.Fatal("subtree before first parse must be nil")
+	}
+}
