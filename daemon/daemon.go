@@ -7,6 +7,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -15,8 +16,12 @@ import (
 // Start (or mount Handler/AdminHandler yourself), reconfigure at runtime
 // with Reload, and stop with Shutdown.
 type Daemon struct {
-	snap     atomic.Pointer[snapshot]
-	version  atomic.Int64
+	snap atomic.Pointer[snapshot]
+	// reloadMu serializes snapshot publication (Reload from POST /config,
+	// POST /reload, and SIGHUP race on different goroutines): snapshots
+	// always publish in version order, so a slow build can never clobber
+	// a config accepted after it.
+	reloadMu sync.Mutex
 	mets     metrics
 	pool     *shardPool
 	sessions *registry
@@ -34,6 +39,7 @@ type Daemon struct {
 	dataLn, adminLn   net.Listener
 	janitorStop       chan struct{}
 	janitorDone       chan struct{}
+	stopJanitor       sync.Once
 }
 
 // New builds a daemon from cfg: the config is compiled into the first
@@ -51,7 +57,6 @@ func New(cfg Config) (*Daemon, error) {
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 	}
-	d.version.Store(1)
 	d.mets.configVersion.Store(1)
 	d.snap.Store(sn)
 	go d.janitor()
@@ -72,12 +77,18 @@ func (d *Daemon) Snapshot() (Config, int64) {
 // language and budget they were created with. On error the active config
 // is untouched.
 //
+// Reloads are serialized: concurrent callers (POST /config, POST /reload,
+// SIGHUP) publish in version order, a later-accepted config always wins,
+// and a rejected build consumes no version number.
+//
 // The shard pool is fixed at startup: a reload with a different Shards
 // value keeps the running pool and reports the effective count in the
 // active config.
 func (d *Daemon) Reload(cfg Config) (int64, error) {
+	d.reloadMu.Lock()
+	defer d.reloadMu.Unlock()
 	cur := d.snap.Load()
-	version := d.version.Add(1)
+	version := cur.version + 1
 	sn, err := buildSnapshot(cfg, version)
 	if err != nil {
 		d.mets.reloadErrors.Add(1)
@@ -115,11 +126,14 @@ func (d *Daemon) Start() error {
 	d.dataLn, d.adminLn = dataLn, adminLn
 
 	// Publish the bound addresses (":0" resolves on bind) so /config
-	// reports reality.
-	bound := *sn
+	// reports reality. Under reloadMu: this is a snapshot publication
+	// like any other and must not clobber a concurrent Reload.
+	d.reloadMu.Lock()
+	bound := *d.snap.Load()
 	bound.cfg.Listen = dataLn.Addr().String()
 	bound.cfg.AdminListen = adminLn.Addr().String()
 	d.snap.Store(&bound)
+	d.reloadMu.Unlock()
 
 	d.dataSrv = &http.Server{Handler: d.Handler()}
 	d.adminSrv = &http.Server{Handler: d.AdminHandler()}
@@ -145,7 +159,8 @@ func (d *Daemon) AdminAddr() net.Addr { return d.adminLn.Addr() }
 
 // Shutdown stops the daemon: listeners drain gracefully under ctx, the
 // eviction janitor stops, and the shard pool exits once every in-flight
-// task has finished. Safe to call whether or not Start was called.
+// task has finished. Safe to call whether or not Start was called, and
+// safe to call more than once.
 func (d *Daemon) Shutdown(ctx context.Context) error {
 	var firstErr error
 	for _, srv := range []*http.Server{d.dataSrv, d.adminSrv} {
@@ -156,10 +171,27 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 			firstErr = err
 		}
 	}
-	close(d.janitorStop)
+	d.stopJanitor.Do(func() { close(d.janitorStop) })
 	<-d.janitorDone
-	// All producers (handlers, janitor) have stopped; drain the shards.
-	d.pool.close()
+	// srv.Shutdown can return early (drain deadline expired) with
+	// handlers still in flight — say, wedged on a long unbudgeted parse.
+	// pool.close excludes concurrent producers itself (a straggler gets
+	// errPoolClosed instead of a send on a closed channel), but that same
+	// exclusion means it can block behind a wedged enqueue, so bound it
+	// by the drain deadline too and leave the pool running if it expires:
+	// the process is exiting anyway.
+	closed := make(chan struct{})
+	go func() {
+		d.pool.close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-ctx.Done():
+		if firstErr == nil {
+			firstErr = ctx.Err()
+		}
+	}
 	d.Logf("daemon: shut down (%d sessions open at exit)", d.sessions.len())
 	return firstErr
 }

@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -526,5 +529,258 @@ func TestDurationJSON(t *testing.T) {
 	}
 	if err := json.Unmarshal([]byte(`{"session_ttl":"fast"}`), &cfg); err == nil {
 		t.Fatal("bad duration accepted")
+	}
+}
+
+// TestOverflowEditRejected: an edit whose Offset+Remove wraps negative
+// must be rejected with a 400, not slip past validation into a panic that
+// takes the shard goroutine (and with it the daemon) down.
+func TestOverflowEditRejected(t *testing.T) {
+	d := testDaemon(t, Config{Bundled: []string{"expr"}})
+	var created sessionJSON
+	if s := doJSON(t, "POST", dataURL(d, "/sessions"),
+		createSessionJSON{Language: "expr", Text: "1+2"}, &created); s != http.StatusCreated {
+		t.Fatalf("create: status %d", s)
+	}
+	for _, e := range []editJSON{
+		{Offset: 1, Remove: math.MaxInt - 1},
+		{Offset: math.MaxInt - 1, Remove: 2},
+		{Offset: math.MaxInt, Remove: math.MaxInt},
+	} {
+		if s := doJSON(t, "POST", dataURL(d, "/sessions/"+created.ID+"/edits"),
+			editsRequestJSON{Edits: []editJSON{e}}, nil); s != http.StatusBadRequest {
+			t.Fatalf("overflow edit %+v: status %d, want 400", e, s)
+		}
+	}
+	// The daemon survived and the document is untouched.
+	var out outcomeJSON
+	if s := doJSON(t, "POST", dataURL(d, "/sessions/"+created.ID+"/edits"),
+		editsRequestJSON{Edits: []editJSON{{Offset: 3, Insert: "*4"}}}, &out); s != http.StatusOK {
+		t.Fatalf("edit after overflow attempts: status %d", s)
+	}
+	if !out.Clean || out.TextLen != len("1+2*4") {
+		t.Fatalf("document diverged: %+v", out)
+	}
+}
+
+// TestEditBatchAtomicOnInvalid: when any edit in a batch fails validation
+// the whole batch must be a no-op — a 400 implies no mutation, so the
+// client's view of the document never silently diverges.
+func TestEditBatchAtomicOnInvalid(t *testing.T) {
+	d := testDaemon(t, Config{Bundled: []string{"expr"}})
+	var created sessionJSON
+	if s := doJSON(t, "POST", dataURL(d, "/sessions"),
+		createSessionJSON{Language: "expr", Text: "1+2"}, &created); s != http.StatusCreated {
+		t.Fatalf("create: status %d", s)
+	}
+	// First edit valid, second out of range: neither may apply.
+	if s := doJSON(t, "POST", dataURL(d, "/sessions/"+created.ID+"/edits"),
+		editsRequestJSON{Edits: []editJSON{
+			{Offset: 0, Insert: "("},
+			{Offset: 99, Remove: 5},
+		}}, nil); s != http.StatusBadRequest {
+		t.Fatalf("mixed batch: status %d, want 400", s)
+	}
+	var info struct {
+		TextLen int `json:"text_len"`
+	}
+	if s := doJSON(t, "GET", dataURL(d, "/sessions/"+created.ID), nil, &info); s != http.StatusOK {
+		t.Fatalf("get: status %d", s)
+	}
+	if info.TextLen != len("1+2") {
+		t.Fatalf("text_len = %d after rejected batch, want %d", info.TextLen, len("1+2"))
+	}
+	// A clean parse of "1+2*4" proves the stray "(" never landed.
+	var out outcomeJSON
+	if s := doJSON(t, "POST", dataURL(d, "/sessions/"+created.ID+"/edits"),
+		editsRequestJSON{Edits: []editJSON{{Offset: 3, Insert: "*4"}}}, &out); s != http.StatusOK || !out.Clean {
+		t.Fatalf("follow-up edit: status %d, outcome %+v", s, out)
+	}
+}
+
+// TestShardPanicContained: a panic inside a shard task must fail that one
+// request — the shard goroutine survives, the poisoned session is closed,
+// and the daemon keeps serving.
+func TestShardPanicContained(t *testing.T) {
+	d := testDaemon(t, Config{Bundled: []string{"expr"}})
+	var created sessionJSON
+	if s := doJSON(t, "POST", dataURL(d, "/sessions"),
+		createSessionJSON{Language: "expr", Text: "1+2"}, &created); s != http.StatusCreated {
+		t.Fatalf("create: status %d", s)
+	}
+	sess, ok := d.sessions.get(created.ID)
+	if !ok {
+		t.Fatal("session not registered")
+	}
+	err := d.runSession(context.Background(), sess, func() { panic("poisoned parse state") })
+	if !errors.Is(err, errShardPanic) {
+		t.Fatalf("runSession after panic: err = %v, want errShardPanic", err)
+	}
+	// The poisoned session is gone; the daemon is not.
+	if s := doJSON(t, "GET", dataURL(d, "/sessions/"+created.ID), nil, nil); s != http.StatusNotFound {
+		t.Fatalf("poisoned session still served: status %d", s)
+	}
+	var next sessionJSON
+	if s := doJSON(t, "POST", dataURL(d, "/sessions"),
+		createSessionJSON{Language: "expr", Text: "3+4"}, &next); s != http.StatusCreated || !next.Outcome.Clean {
+		t.Fatalf("daemon did not survive the panic: status %d", s)
+	}
+	text := scrapeMetrics(t, d)
+	if got := metricValue(t, text, "iglrd_recovered_panics_total"); got != 1 {
+		t.Errorf("recovered_panics_total = %d, want 1", got)
+	}
+	if got := metricValue(t, text, "iglrd_sessions_open"); got != 1 {
+		t.Errorf("sessions_open = %d, want 1", got)
+	}
+}
+
+func TestShardPoolPanicAndCloseSemantics(t *testing.T) {
+	p := newShardPool(1)
+	if err := p.run(context.Background(), 0, func() { panic("boom") }); !errors.Is(err, errShardPanic) {
+		t.Fatalf("panicking task: err = %v, want errShardPanic", err)
+	}
+	ran := false
+	if err := p.run(context.Background(), 0, func() { ran = true }); err != nil || !ran {
+		t.Fatalf("worker died: err = %v, ran = %v", err, ran)
+	}
+	p.close()
+	p.close() // idempotent, must not re-close channels
+	if err := p.run(context.Background(), 0, func() {}); !errors.Is(err, errPoolClosed) {
+		t.Fatalf("run after close: err = %v, want errPoolClosed", err)
+	}
+}
+
+// TestConcurrentReloadsSerialized: POST /config, POST /reload, and SIGHUP
+// race on different goroutines; snapshots must publish in version order
+// with no accepted config silently lost, and a rejected build must not
+// consume a version.
+func TestConcurrentReloadsSerialized(t *testing.T) {
+	d := testDaemon(t, Config{Bundled: []string{"expr"}})
+	const goroutines, per = 4, 4
+	sets := [][]string{{"expr"}, {"expr", "c-subset"}}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := d.Reload(Config{Bundled: sets[(g+i)%2]}); err != nil {
+					t.Errorf("reload: %v", err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	_, version := d.Snapshot()
+	if want := int64(1 + goroutines*per); version != want {
+		t.Fatalf("version after %d reloads = %d, want %d (a snapshot was lost or double-published)",
+			goroutines*per, version, want)
+	}
+	if v, err := d.Reload(Config{Bundled: []string{"no-such-language"}}); err == nil || v != version {
+		t.Fatalf("rejected reload: version %d, err %v; want %d and an error", v, err, version)
+	}
+	if _, again := d.Snapshot(); again != version {
+		t.Fatalf("rejected reload moved the version: %d -> %d", version, again)
+	}
+	if got := metricValue(t, scrapeMetrics(t, d), "iglrd_config_version"); got != version {
+		t.Errorf("config_version metric = %d, want %d", got, version)
+	}
+}
+
+// TestAbortedCreateDoesNotLeakQuota: a client that disconnects before the
+// initial parse is enqueued never learns the session ID, so the daemon
+// must unregister the session itself or repeated aborted creates exhaust
+// the quota forever (the default TTL of 0 never evicts).
+func TestAbortedCreateDoesNotLeakQuota(t *testing.T) {
+	d := testDaemon(t, Config{Bundled: []string{"expr"}, Shards: 1, MaxSessions: 1})
+
+	// Wedge the only shard so the create's initial parse cannot enqueue.
+	block := make(chan struct{})
+	wedged := make(chan struct{})
+	go d.pool.run(context.Background(), 0, func() { close(wedged); <-block })
+	<-wedged
+
+	body := `{"language":"expr","text":"1+2"}`
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "POST", dataURL(d, "/sessions"), strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+		t.Fatalf("create on a wedged shard: status %d, want client timeout", resp.StatusCode)
+	}
+
+	// The handler notices the abort and must free the slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for d.sessions.len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("aborted create leaked: %d sessions registered", d.sessions.len())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(block)
+
+	// The single quota slot is usable again.
+	var created sessionJSON
+	if s := doJSON(t, "POST", dataURL(d, "/sessions"),
+		createSessionJSON{Language: "expr", Text: "1+2"}, &created); s != http.StatusCreated {
+		t.Fatalf("create after aborted create: status %d, want 201 (quota leaked)", s)
+	}
+	if got := metricValue(t, scrapeMetrics(t, d), "iglrd_sessions_open"); got != 1 {
+		t.Errorf("sessions_open = %d, want 1", got)
+	}
+}
+
+// TestShutdownExpiredDrainAndDoubleShutdown: when the drain deadline
+// expires with a handler still wedged on a busy shard, Shutdown must
+// report the deadline — not panic the handler on a closed task channel —
+// and a second Shutdown must be safe.
+func TestShutdownExpiredDrainAndDoubleShutdown(t *testing.T) {
+	d, err := New(Config{
+		Bundled: []string{"expr"}, Shards: 1,
+		Listen: "127.0.0.1:0", AdminListen: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Logf = t.Logf
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var created sessionJSON
+	if s := doJSON(t, "POST", dataURL(d, "/sessions"),
+		createSessionJSON{Language: "expr", Text: "1+2"}, &created); s != http.StatusCreated {
+		t.Fatalf("create: status %d", s)
+	}
+
+	// Wedge the only shard, then park a request in the enqueue select.
+	block := make(chan struct{})
+	wedged := make(chan struct{})
+	go d.pool.run(context.Background(), 0, func() { close(wedged); <-block })
+	<-wedged
+	reqDone := make(chan struct{})
+	go func() {
+		defer close(reqDone)
+		if resp, err := http.Get(dataURL(d, "/sessions/"+created.ID)); err == nil {
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(100 * time.Millisecond) // let the handler block on the shard
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	err = d.Shutdown(ctx)
+	cancel()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown with wedged handler: err = %v, want deadline exceeded", err)
+	}
+
+	close(block)
+	<-reqDone
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := d.Shutdown(ctx2); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
 	}
 }

@@ -68,6 +68,8 @@ type metrics struct {
 	sessionsEvicted atomic.Int64
 	sessionsDenied  atomic.Int64
 
+	panics atomic.Int64
+
 	edits        atomic.Int64
 	parses       atomic.Int64
 	parseErrors  atomic.Int64
@@ -121,6 +123,8 @@ func (m *metrics) write(w io.Writer) {
 	c("iglrd_sessions_closed_total", "Sessions closed by the client.", m.sessionsClosed.Load())
 	c("iglrd_sessions_evicted_total", "Sessions evicted after exceeding the idle TTL.", m.sessionsEvicted.Load())
 	c("iglrd_sessions_denied_total", "Session creations denied by a quota.", m.sessionsDenied.Load())
+
+	c("iglrd_recovered_panics_total", "Shard tasks that panicked and were recovered (the offending session is closed).", m.panics.Load())
 
 	c("iglrd_edits_total", "Text edits applied across all sessions.", m.edits.Load())
 	c("iglrd_parses_total", "Parses run (incremental and initial).", m.parses.Load())

@@ -1,6 +1,7 @@
 package daemon
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -149,6 +150,46 @@ func kindString(k dag.Kind) string {
 	}
 }
 
+// runSession executes fn on sess's shard. A panic inside fn — a poisoned
+// parse state, a library bug — is contained to this one request: the shard
+// goroutine survives (see shardPool.run), the session, whose state can no
+// longer be trusted, is closed and unregistered, and the caller gets an
+// error wrapping errShardPanic.
+func (d *Daemon) runSession(ctx context.Context, sess *session, fn func()) error {
+	err := d.pool.run(ctx, sess.shard, fn)
+	if errors.Is(err, errShardPanic) {
+		d.mets.panics.Add(1)
+		d.Logf("daemon: session %s poisoned, closing: %v", sess.id, err)
+		d.dropSession(sess)
+	}
+	return err
+}
+
+// dropSession closes and unregisters a session outside the normal DELETE
+// path (panic containment, aborted creates). The closed flag is flipped on
+// the session's shard; if the shard is wedged the registry entry still
+// goes away, so the slot is freed either way.
+func (d *Daemon) dropSession(sess *session) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	d.pool.run(ctx, sess.shard, func() { sess.closed = true })
+	if _, ok := d.sessions.remove(sess.id); ok {
+		d.mets.sessionsOpen.Add(-1)
+		d.mets.sessionsClosed.Add(1)
+	}
+}
+
+// writeShardError renders a shard-task failure: 503 when the request gave
+// up waiting for the shard (or the pool is shutting down), 500 when the
+// task itself panicked. Panic details stay in the log, not the response.
+func writeShardError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errShardPanic) {
+		httpError(w, http.StatusInternalServerError, "internal error; session closed")
+		return
+	}
+	httpError(w, http.StatusServiceUnavailable, "shard unavailable: %v", err)
+}
+
 // parseSession runs one parse of sess on its shard, updating metrics and
 // the idle clock, and renders the outcome. The bool reports whether the
 // session was still open.
@@ -157,7 +198,7 @@ func (d *Daemon) parseSession(r *http.Request, sess *session) (outcomeJSON, bool
 		oj   outcomeJSON
 		open bool
 	)
-	err := d.pool.run(r.Context(), sess.shard, func() {
+	err := d.runSession(r.Context(), sess, func() {
 		if sess.closed {
 			return
 		}
@@ -239,7 +280,12 @@ func (d *Daemon) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 
 	oj, open, err := d.parseSession(r, sess)
 	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, "shard unavailable: %v", err)
+		// The client is getting an error, so it never learns the ID and
+		// can never DELETE it: drop the session now (idempotent if the
+		// panic path already did) or an aborted create leaks its quota
+		// slot forever.
+		d.dropSession(sess)
+		writeShardError(w, err)
 		return
 	}
 	if !open {
@@ -275,7 +321,7 @@ func (d *Daemon) handleGetSession(w http.ResponseWriter, r *http.Request) {
 		diags   int
 		open    bool
 	)
-	err := d.pool.run(r.Context(), sess.shard, func() {
+	err := d.runSession(r.Context(), sess, func() {
 		if sess.closed {
 			return
 		}
@@ -285,7 +331,7 @@ func (d *Daemon) handleGetSession(w http.ResponseWriter, r *http.Request) {
 		diags = len(sess.s.Diagnostics())
 	})
 	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, "shard unavailable: %v", err)
+		writeShardError(w, err)
 		return
 	}
 	if !open {
@@ -303,7 +349,7 @@ func (d *Daemon) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	err := d.pool.run(r.Context(), sess.shard, func() {
+	err := d.runSession(r.Context(), sess, func() {
 		if sess.closed {
 			return
 		}
@@ -314,7 +360,7 @@ func (d *Daemon) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 		}
 	})
 	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, "shard unavailable: %v", err)
+		writeShardError(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -331,30 +377,37 @@ func (d *Daemon) handleEdits(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var (
-		applied bool
+		open    bool
 		badEdit error
 	)
-	err := d.pool.run(r.Context(), sess.shard, func() {
+	err := d.runSession(r.Context(), sess, func() {
 		if sess.closed {
 			return
 		}
-		applied = true
+		open = true
+		// Validate the whole batch against the running document length
+		// before touching the text: a 400 must imply no mutation, or the
+		// client's view silently diverges from the server's document.
+		// The comparisons are overflow-safe — a huge Offset or Remove
+		// must not wrap negative and slip past the check into a panic.
 		n := sess.s.Len()
 		for i, e := range req.Edits {
-			if e.Offset < 0 || e.Remove < 0 || e.Offset+e.Remove > n {
-				badEdit = fmt.Errorf("edit %d: range [%d,%d) outside document of %d bytes",
-					i, e.Offset, e.Offset+e.Remove, n)
+			if e.Offset < 0 || e.Remove < 0 || e.Offset > n || e.Remove > n-e.Offset {
+				badEdit = fmt.Errorf("edit %d: range [%d,+%d) outside document of %d bytes",
+					i, e.Offset, e.Remove, n)
 				return
 			}
-			sess.s.Edit(e.Offset, e.Remove, e.Insert)
 			n += len(e.Insert) - e.Remove
+		}
+		for _, e := range req.Edits {
+			sess.s.Edit(e.Offset, e.Remove, e.Insert)
 		}
 	})
 	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, "shard unavailable: %v", err)
+		writeShardError(w, err)
 		return
 	}
-	if !applied {
+	if !open {
 		httpError(w, http.StatusNotFound, "no session %q", sess.id)
 		return
 	}
@@ -385,7 +438,7 @@ func (d *Daemon) handleDiagnostics(w http.ResponseWriter, r *http.Request) {
 		diags []incremental.Diagnostic
 		open  bool
 	)
-	err := d.pool.run(r.Context(), sess.shard, func() {
+	err := d.runSession(r.Context(), sess, func() {
 		if sess.closed {
 			return
 		}
@@ -394,7 +447,7 @@ func (d *Daemon) handleDiagnostics(w http.ResponseWriter, r *http.Request) {
 		diags = sess.s.Diagnostics()
 	})
 	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, "shard unavailable: %v", err)
+		writeShardError(w, err)
 		return
 	}
 	if !open {
@@ -425,7 +478,7 @@ func (d *Daemon) handleSubtree(w http.ResponseWriter, r *http.Request) {
 		found bool
 		open  bool
 	)
-	err := d.pool.run(r.Context(), sess.shard, func() {
+	err := d.runSession(r.Context(), sess, func() {
 		if sess.closed {
 			return
 		}
@@ -453,7 +506,7 @@ func (d *Daemon) handleSubtree(w http.ResponseWriter, r *http.Request) {
 		}
 	})
 	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, "shard unavailable: %v", err)
+		writeShardError(w, err)
 		return
 	}
 	if !open {

@@ -2,13 +2,23 @@ package daemon
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	incremental "iglr"
 )
+
+// errShardPanic reports that a shard task panicked. The panic is recovered
+// on the shard goroutine itself, so one poisoned request can never take
+// down the daemon; the caller that submitted the task sees it as an error.
+var errShardPanic = errors.New("daemon: shard task panicked")
+
+// errPoolClosed reports a task submitted after Shutdown closed the pool.
+var errPoolClosed = errors.New("daemon: shard pool shut down")
 
 // session is one live editing session. The incremental.Session inside is
 // single-goroutine by contract, so every operation on it runs as a task on
@@ -36,6 +46,12 @@ type session struct {
 type shardPool struct {
 	tasks []chan func()
 	wg    sync.WaitGroup
+
+	// mu excludes close from concurrent producers: run holds it shared
+	// for the enqueue, close holds it exclusively to flip closed, so a
+	// handler can never send on a closed task channel.
+	mu     sync.RWMutex
+	closed bool
 }
 
 func newShardPool(n int) *shardPool {
@@ -66,25 +82,50 @@ func (p *shardPool) indexFor(id string) int {
 // once enqueued, run always waits — fn's closure owns response state, so
 // returning early would race. Long parses are interrupted through the
 // context instead: session tasks thread ctx into Do, which polls it.
+//
+// A panic inside fn is recovered on the shard goroutine and reported as an
+// error wrapping errShardPanic: the shard keeps serving other sessions.
 func (p *shardPool) run(ctx context.Context, i int, fn func()) error {
 	done := make(chan struct{})
+	var panicked error
 	task := func() {
 		defer close(done)
+		defer func() {
+			if r := recover(); r != nil {
+				panicked = fmt.Errorf("%w: %v\n%s", errShardPanic, r, debug.Stack())
+			}
+		}()
 		fn()
+	}
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return errPoolClosed
 	}
 	select {
 	case p.tasks[i] <- task:
+		p.mu.RUnlock()
 	case <-ctx.Done():
+		p.mu.RUnlock()
 		return ctx.Err()
 	}
 	<-done
-	return nil
+	return panicked
 }
 
-// close shuts the pool down after all producers have stopped.
+// close shuts the pool down and waits for the workers to drain. Safe
+// against concurrent run calls (stragglers get errPoolClosed) and
+// idempotent; it can block behind a producer wedged mid-enqueue on a busy
+// shard, so callers with a deadline should apply it themselves.
 func (p *shardPool) close() {
-	for _, ch := range p.tasks {
-		close(ch)
+	p.mu.Lock()
+	already := p.closed
+	p.closed = true
+	p.mu.Unlock()
+	if !already {
+		for _, ch := range p.tasks {
+			close(ch)
+		}
 	}
 	p.wg.Wait()
 }

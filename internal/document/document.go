@@ -192,7 +192,10 @@ func (d *Document) Replace(offset, removed int, inserted string) {
 }
 
 func (d *Document) replace(offset, removed int, inserted string, record bool) {
-	if offset < 0 || offset+removed > d.buf.Len() {
+	// Overflow-safe: a huge removed count must not wrap offset+removed
+	// negative and slip past the check into a buffer panic with a
+	// misleading message.
+	if offset < 0 || removed < 0 || offset > d.buf.Len() || removed > d.buf.Len()-offset {
 		panic(fmt.Sprintf("document: edit @%d -%d out of range (len %d)", offset, removed, d.buf.Len()))
 	}
 	if record {

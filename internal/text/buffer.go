@@ -116,7 +116,9 @@ func (b *Buffer) grow(n int) {
 
 // Apply performs the edit, logs it, and bumps the version.
 func (b *Buffer) Apply(e Edit) {
-	if e.Offset < 0 || e.Offset+e.Removed > b.Len() {
+	// Overflow-safe: Offset+Removed can wrap negative for adversarial
+	// values; compare without the addition.
+	if e.Offset < 0 || e.Removed < 0 || e.Offset > b.Len() || e.Removed > b.Len()-e.Offset {
 		panic(fmt.Sprintf("text: edit %v out of range (len %d)", e, b.Len()))
 	}
 	b.moveGap(e.Offset)

@@ -1,6 +1,7 @@
 package text
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -128,5 +129,25 @@ func TestQuickInsertDelete(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestApplyOverflowPanicsCleanly: adversarial Offset/Removed values whose
+// sum wraps negative must still hit the range check, not a confusing slice
+// panic deeper in.
+func TestApplyOverflowPanicsCleanly(t *testing.T) {
+	for _, e := range []Edit{
+		{Offset: 1, Removed: int(^uint(0) >> 1)},
+		{Offset: int(^uint(0) >> 1), Removed: 2},
+		{Offset: 0, Removed: -1},
+	} {
+		func() {
+			defer func() {
+				if r := recover(); r == nil || !strings.Contains(fmt.Sprint(r), "out of range") {
+					t.Errorf("Apply(%+v): want out-of-range panic, got %v", e, r)
+				}
+			}()
+			NewBuffer("abc").Apply(e)
+		}()
 	}
 }
