@@ -68,6 +68,9 @@ type BenchReport struct {
 	// Daemon is the iglrd parse-service workload: concurrent editing
 	// sessions over loopback HTTP with a mid-load config reload.
 	Daemon *DaemonBench `json:"daemon"`
+	// ColdCorpus is the Table 1 batch-throughput sweep over lex-worker
+	// counts (raw lexer MB/s and end-to-end engine MB/s).
+	ColdCorpus *ColdCorpusBench `json:"cold_corpus"`
 }
 
 func runArtifactBench(outPath string) error {
@@ -163,16 +166,23 @@ func runArtifactBench(outPath string) error {
 			row.ParseNsPerOp = parse.NsPerOp()
 			row.ParseAllocsPerOp = parse.AllocsPerOp()
 
+			// Best of three: one testing.Benchmark pass lands wherever the
+			// GC and scheduler put it, and the committed numbers flapped
+			// run to run until the repeats took the fastest.
 			lexSrc := strings.Repeat(strings.Join(e.Samples, "\n")+"\n", 256)
-			lex := testing.Benchmark(func(b *testing.B) {
-				b.SetBytes(int64(len(lexSrc)))
-				for i := 0; i < b.N; i++ {
-					l.Spec.Scan(lexSrc)
+			for rep := 0; rep < 3; rep++ {
+				lex := testing.Benchmark(func(b *testing.B) {
+					b.SetBytes(int64(len(lexSrc)))
+					for i := 0; i < b.N; i++ {
+						l.Spec.Scan(lexSrc)
+					}
+				})
+				if d := lex.T; d > 0 {
+					bytes := float64(len(lexSrc)) * float64(lex.N)
+					if mbs := bytes / d.Seconds() / 1e6; mbs > row.LexMBPerSec {
+						row.LexMBPerSec = mbs
+					}
 				}
-			})
-			if d := lex.T; d > 0 {
-				bytes := float64(len(lexSrc)) * float64(lex.N)
-				row.LexMBPerSec = bytes / d.Seconds() / 1e6
 			}
 		}
 
@@ -203,6 +213,13 @@ func runArtifactBench(outPath string) error {
 	fmt.Fprintf(os.Stderr, "daemon %d sessions x %d rounds: %.0f req/s  p50 %s  p99 %s\n",
 		db.Sessions, db.EditRounds, db.RequestsPerSec,
 		time.Duration(db.P50Micros)*time.Microsecond, time.Duration(db.P99Micros)*time.Microsecond)
+
+	cc, err := runColdCorpus(0.05, []int{1, 2, 4, 8})
+	if err != nil {
+		return fmt.Errorf("cold-corpus workload: %w", err)
+	}
+	report.ColdCorpus = cc
+	fmt.Fprint(os.Stderr, formatColdCorpus(cc))
 
 	out, err := json.MarshalIndent(&report, "", "  ")
 	if err != nil {

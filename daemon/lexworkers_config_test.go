@@ -1,0 +1,34 @@
+package daemon
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestConfigThreadsLexWorkers: the batch policy's lex_workers knob rides
+// the daemon's JSON config straight into engine.Policy, round-trip intact.
+func TestConfigThreadsLexWorkers(t *testing.T) {
+	raw := []byte(`{
+		"bundled": ["expr"],
+		"batch": {"workers": 2, "lex_workers": 4, "tolerant": true}
+	}`)
+	var cfg Config
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Batch.LexWorkers != 4 || cfg.Batch.Workers != 2 || !cfg.Batch.Tolerant {
+		t.Fatalf("batch policy = %+v", cfg.Batch)
+	}
+
+	out, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Config
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Batch.LexWorkers != 4 {
+		t.Fatalf("lex_workers lost in round-trip: %+v", back.Batch)
+	}
+}

@@ -141,6 +141,12 @@ type Policy struct {
 	// Workers bounds the worker pool (default runtime.GOMAXPROCS(0);
 	// values < 1 select the default).
 	Workers int `json:"workers,omitempty"`
+	// LexWorkers sets the goroutine count for each file's initial chunked
+	// lex (see incremental.WithLexWorkers; clamped to GOMAXPROCS, 0 or 1
+	// lexes sequentially). Worth setting above 1 when the batch has fewer
+	// big files than cores — with Workers already saturating the machine,
+	// file-level parallelism is the better first knob.
+	LexWorkers int `json:"lex_workers,omitempty"`
 	// Budget bounds every parse attempt's resources (see
 	// incremental.Budget; the zero value is unlimited).
 	Budget incremental.Budget `json:"budget,omitempty"`
@@ -216,13 +222,18 @@ func run(ctx context.Context, lang *incremental.Language, inputs []Input, analyz
 	start := time.Now()
 	results := make([]Result, len(inputs))
 	jobs := make(chan int)
+	// One session pool per batch: workers recycle parser arenas, sharer
+	// tables and document buffers across files instead of reallocating
+	// them per file. Parse trees live in per-session arenas that are never
+	// recycled, so Results stay valid after the batch returns.
+	pool := incremental.NewPool(lang)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = analyzeOne(ctx, lang, inputs[i], i, &cfg)
+				results[i] = analyzeOne(ctx, lang, pool, inputs[i], i, &cfg)
 			}
 		}()
 	}
@@ -256,7 +267,7 @@ feed:
 // per-file timeouts, recovered panics) are retried up to Retries times —
 // under DegradedBudget when one is configured — and batch cancellation
 // stops the attempt loop immediately.
-func analyzeOne(ctx context.Context, lang *incremental.Language, in Input, idx int, cfg *config) Result {
+func analyzeOne(ctx context.Context, lang *incremental.Language, pool *incremental.Pool, in Input, idx int, cfg *config) Result {
 	var (
 		res      Result
 		trips    int
@@ -267,7 +278,7 @@ func analyzeOne(ctx context.Context, lang *incremental.Language, in Input, idx i
 		if attempt > 0 && cfg.policy.DegradedBudget != nil {
 			budget, degraded = *cfg.policy.DegradedBudget, true
 		}
-		res = attemptOne(ctx, lang, in, idx, cfg, budget)
+		res = attemptOne(ctx, lang, pool, in, idx, cfg, budget)
 		res.Attempts = attempt + 1
 		res.Degraded = res.Degraded || degraded
 		duration += res.Duration
@@ -306,13 +317,15 @@ func retryable(err error) bool {
 // attemptOne runs the pipeline once for one input, converting panics into
 // a *PanicError so a poisoned file cannot take down the batch (or its own
 // later attempts).
-func attemptOne(ctx context.Context, lang *incremental.Language, in Input, idx int,
+func attemptOne(ctx context.Context, lang *incremental.Language, pool *incremental.Pool, in Input, idx int,
 	cfg *config, budget incremental.Budget) (res Result) {
 	res = Result{Name: in.Name, Index: idx, Bytes: len(in.Source)}
 	start := time.Now()
 	defer func() {
 		res.Duration = time.Since(start)
 		if r := recover(); r != nil {
+			// The session is deliberately NOT recycled on panic: its parser
+			// may be mid-flight in an arbitrary state.
 			buf := make([]byte, 16<<10)
 			buf = buf[:runtime.Stack(buf, false)]
 			res = Result{
@@ -327,7 +340,9 @@ func attemptOne(ctx context.Context, lang *incremental.Language, in Input, idx i
 		defer cancel()
 	}
 
-	s := incremental.NewSession(lang, in.Source, incremental.WithBudget(budget))
+	s := pool.NewSession(in.Source,
+		incremental.WithBudget(budget),
+		incremental.WithLexWorkers(cfg.policy.LexWorkers))
 	var root *incremental.Node
 	var err error
 	if cfg.policy.Tolerant {
@@ -347,6 +362,7 @@ func attemptOne(ctx context.Context, lang *incremental.Language, in Input, idx i
 	res.Degraded = res.Stats.BudgetPruned > 0
 	if err != nil {
 		res.Err = err
+		pool.Recycle(s)
 		return res
 	}
 	res.Root = root
@@ -354,6 +370,7 @@ func attemptOne(ctx context.Context, lang *incremental.Language, in Input, idx i
 		res.Semantics = s.Resolve()
 		res.Dag = incremental.Measure(root)
 	}
+	pool.Recycle(s)
 	return res
 }
 

@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	incremental "iglr"
+	"iglr/internal/corpus"
+)
+
+// TestLexWorkersDifferential: a batch parsed with parallel per-file lexing
+// commits trees byte-identical to the sequential batch — the engine-level
+// spelling of the chunked-vs-sequential oracle.
+func TestLexWorkersDifferential(t *testing.T) {
+	// ScanParallel clamps to GOMAXPROCS; raise it so single-CPU machines
+	// still exercise real chunk stitching.
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+
+	lang := incremental.CSubset()
+	// Files must clear the lexer's per-chunk minimum to actually chunk.
+	inputs := make([]Input, 4)
+	for i := range inputs {
+		src, _ := corpus.Generate(corpus.Spec{
+			Name: fmt.Sprintf("big%d", i), Lines: 6000, Lang: "c",
+			AmbiguousPerKLoC: 10, Seed: int64(i + 1),
+		})
+		if len(src) < 64<<10 {
+			t.Fatalf("generated file too small to chunk: %d bytes", len(src))
+		}
+		inputs[i] = Input{Name: fmt.Sprintf("big%d.c", i), Source: src}
+	}
+
+	seq, err := ParseAll(context.Background(), lang, inputs, WithPolicy(Policy{Workers: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ParseAll(context.Background(), lang, inputs, WithPolicy(Policy{Workers: 2, LexWorkers: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inputs {
+		a, b := seq.Results[i], par.Results[i]
+		if (a.Err == nil) != (b.Err == nil) {
+			t.Fatalf("%s: sequential err %v, parallel err %v", inputs[i].Name, a.Err, b.Err)
+		}
+		if a.Err != nil {
+			continue
+		}
+		if incremental.FormatDag(lang, a.Root) != incremental.FormatDag(lang, b.Root) {
+			t.Fatalf("%s: parallel-lex tree diverges from sequential", inputs[i].Name)
+		}
+	}
+}

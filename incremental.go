@@ -281,6 +281,13 @@ type Session struct {
 	resolver *semantics.Resolver
 	stats    ParseStats // snapshot of the most recent IGLR parse
 	budget   Budget
+
+	// docOpts collects batch construction options (parallel lex workers,
+	// donated buffers); consumed once when NewSession builds the document.
+	docOpts document.Options
+	// spareDet is a recycled deterministic parser donated by a Pool,
+	// activated only if the caller asks via UseDeterministic.
+	spareDet *detparse.Parser
 }
 
 // SessionOption configures a Session at creation time.
@@ -295,16 +302,29 @@ func WithBudget(b Budget) SessionOption {
 	return func(s *Session) { s.SetBudget(b) }
 }
 
+// WithLexWorkers sets the goroutine count for the initial lex of the
+// session's source: large inputs are speculatively lexed in chunks and
+// stitched (see DESIGN.md, "Parallel lexing & arena pooling"). The count
+// is clamped to GOMAXPROCS; 0 or 1 lexes sequentially. Incremental relex
+// after edits is always sequential — edits damage O(1) tokens.
+func WithLexWorkers(n int) SessionOption {
+	return func(s *Session) { s.docOpts.LexWorkers = n }
+}
+
 // NewSession creates an editing session over source.
 func NewSession(lang *Language, source string, opts ...SessionOption) *Session {
+	// The document is built last: options may set batch construction
+	// parameters (WithLexWorkers, pool-donated buffers) that must be in
+	// place before the initial lex, while the parser exists first so
+	// options like WithBudget and WithTrace can configure it.
 	s := &Session{
 		lang:   lang,
-		doc:    lang.def.NewDocument(source),
 		parser: iglr.New(lang.def.Table),
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	s.doc = lang.def.NewDocumentOpts(source, s.docOpts)
 	return s
 }
 
@@ -324,6 +344,12 @@ func (s *Session) BudgetLimits() Budget { return s.budget }
 // UseDeterministic switches the session to the deterministic incremental
 // parser (§3.2 baseline). It fails if the language's table has conflicts.
 func (s *Session) UseDeterministic() error {
+	if s.spareDet != nil {
+		// A pool donated an already-built parser for this same table.
+		s.det, s.spareDet = s.spareDet, nil
+		s.det.Budget = s.budget
+		return nil
+	}
 	p, err := detparse.New(s.lang.def.Table)
 	if err != nil {
 		return err

@@ -1,0 +1,10 @@
+package detparse
+
+// Scrub drops the dag pointers retained in the parser's recycled stack so
+// a pooled parser doesn't pin the last parse's tree or arena. Capacities
+// are preserved.
+func (p *Parser) Scrub() {
+	clear(p.stack[:cap(p.stack)])
+	p.stack = p.stack[:0]
+	p.arena = nil
+}

@@ -63,6 +63,21 @@ type Document struct {
 	LexErrorCount int
 }
 
+// Options tunes document construction for the batch path. The zero value
+// is the default sequential behavior.
+type Options struct {
+	// LexWorkers sets the goroutine count for the initial chunked lex of
+	// large inputs (see lexer.ScanParallel). 0 or 1 lexes sequentially.
+	LexWorkers int
+	// Toks, Nodes, Spare and Terms donate storage from a retired document
+	// (see ReleaseBuffers) so a batch run over many files stops paying the
+	// token/node array allocations per file.
+	Toks  []lexer.Token
+	Nodes []*dag.Node
+	Spare []*dag.Node
+	Terms []*dag.Node
+}
+
 // New creates a document over the initial text, lexing it in full.
 func New(spec *lexer.Spec, g *grammar.Grammar, mapTok TokenMapper, initial string) *Document {
 	return NewInArena(dag.NewArena(), spec, g, mapTok, initial)
@@ -74,15 +89,45 @@ func New(spec *lexer.Spec, g *grammar.Grammar, mapTok TokenMapper, initial strin
 // documents and spliced into a host sequence) — node IDs stay unique
 // across the combined structure.
 func NewInArena(a *dag.Arena, spec *lexer.Spec, g *grammar.Grammar, mapTok TokenMapper, initial string) *Document {
-	d := &Document{spec: spec, g: g, mapTok: mapTok, buf: text.NewBuffer(initial), arena: a}
-	d.eof = d.arena.Terminal(grammar.EOF, "")
-	d.toks = spec.Scan(initial)
-	d.nodes = make([]*dag.Node, len(d.toks))
-	for i, t := range d.toks {
-		d.nodes[i] = d.newTerminal(t)
+	return NewInArenaOpts(a, spec, g, mapTok, initial, Options{})
+}
+
+// NewOpts is New with batch options.
+func NewOpts(spec *lexer.Spec, g *grammar.Grammar, mapTok TokenMapper, initial string, opts Options) *Document {
+	return NewInArenaOpts(dag.NewArena(), spec, g, mapTok, initial, opts)
+}
+
+// NewInArenaOpts is NewInArena with batch options: a parallel initial lex
+// and donated buffer storage.
+func NewInArenaOpts(a *dag.Arena, spec *lexer.Spec, g *grammar.Grammar, mapTok TokenMapper, initial string, opts Options) *Document {
+	d := &Document{
+		spec: spec, g: g, mapTok: mapTok, buf: text.NewBuffer(initial), arena: a,
+		spareNodes: opts.Spare[:0], terms: opts.Terms[:0],
 	}
+	d.eof = d.arena.Terminal(grammar.EOF, "")
+	d.toks = spec.ScanParallelInto(initial, opts.LexWorkers, opts.Toks)
+	nodes := opts.Nodes[:0]
+	for _, t := range d.toks {
+		nodes = append(nodes, d.newTerminal(t))
+	}
+	d.nodes = nodes
 	d.recountErrors()
 	return d
+}
+
+// ReleaseBuffers strips the document's large reusable arrays — token
+// stream, node array, spare and terminal buffers — for donation to a
+// future document via Options. Every element is cleared first so recycled
+// storage pins neither retired dag nodes nor the old text. The document
+// must not be used afterwards.
+func (d *Document) ReleaseBuffers() (toks []lexer.Token, nodes, spare, terms []*dag.Node) {
+	toks, nodes, spare, terms = d.toks, d.nodes, d.spareNodes, d.terms
+	d.toks, d.nodes, d.spareNodes, d.terms = nil, nil, nil, nil
+	clear(toks[:cap(toks)])
+	clear(nodes[:cap(nodes)])
+	clear(spare[:cap(spare)])
+	clear(terms[:cap(terms)])
+	return toks[:0], nodes[:0], spare[:0], terms[:0]
 }
 
 // newTerminal builds a fresh (uncommitted, changed) terminal node for tok,

@@ -1,0 +1,34 @@
+package iglr
+
+// Scrub drops every dag/stream pointer retained in the parser's recycled
+// storage — GSS arena chunks, the sharer tables, scratch buffers — so a
+// parser parked in a pool pins neither the last parse's tree nor its
+// document. Chunk, slice and map capacities are preserved: a scrubbed
+// parser re-parses as allocation-free as a warm one.
+func (p *Parser) Scrub() {
+	for _, chunk := range p.gssNodes.chunks {
+		for i := range chunk {
+			n := &chunk[i]
+			// extra's backing array holds *gssLink beyond the live length;
+			// clear through the capacity so no path to a dag node survives.
+			clear(n.extra[:cap(n.extra)])
+			*n = gssNode{extra: n.extra[:0]}
+		}
+	}
+	for _, chunk := range p.gssLinks.chunks {
+		clear(chunk)
+	}
+	clear(p.kidsBuf[:cap(p.kidsBuf)])
+	clear(p.active[:cap(p.active)])
+	clear(p.forActor[:cap(p.forActor)])
+	clear(p.forShifter[:cap(p.forShifter)])
+	p.active, p.forActor, p.forShifter = p.active[:0], p.forActor[:0], p.forShifter[:0]
+	clear(p.sh.nodes)
+	clear(p.sh.symbols)
+	p.sh.dirty = false
+	p.accepting = nil
+	p.stream = nil
+	p.arena = nil
+	p.ctx = nil
+	p.Trace = nil
+}

@@ -81,6 +81,12 @@ func (l *Language) NewDocumentInArena(a *dag.Arena, src string) *document.Docume
 	return document.NewInArena(a, l.Spec, l.Grammar, l.Map, src)
 }
 
+// NewDocumentOpts is NewDocument with batch options (parallel initial lex,
+// donated buffers).
+func (l *Language) NewDocumentOpts(src string, opts document.Options) *document.Document {
+	return document.NewOpts(l.Spec, l.Grammar, l.Map, src, opts)
+}
+
 // Sym resolves a grammar symbol by name, panicking if missing (languages
 // are static definitions, so a miss is a programming error).
 func (l *Language) Sym(name string) grammar.Sym {

@@ -169,24 +169,7 @@ func (s *Spec) scanOne(text string, pos int) (length, rule, examined int, open b
 
 // Scan lexes the whole text, returning every token including skip tokens.
 func (s *Spec) Scan(text string) []Token {
-	var out []Token
-	pos := 0
-	for pos < len(text) {
-		length, rule, examined, open := s.scanOne(text, pos)
-		tok := Token{
-			Type:      rule,
-			Offset:    pos,
-			Text:      text[pos : pos+length],
-			Lookahead: examined - length,
-			Open:      open,
-		}
-		if rule >= 0 {
-			tok.Skip = s.rules[rule].Skip
-		}
-		out = append(out, tok)
-		pos += length
-	}
-	return out
+	return s.ScanInto(text, nil)
 }
 
 // Significant filters out skip tokens.

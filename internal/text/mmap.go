@@ -1,0 +1,42 @@
+package text
+
+// Mapped is a read-only file mapping (or, on platforms without mmap and for
+// empty files, a plain in-memory read). Its bytes back a Buffer zero-copy
+// via NewBufferBytes; keep it open while any unedited buffer or string view
+// over it is still in use.
+type Mapped struct {
+	data   []byte
+	mapped bool // true when data came from the OS mapper and needs unmapping
+}
+
+// Bytes returns the mapped contents. Read-only: writing through it faults
+// on a real mapping.
+func (m *Mapped) Bytes() []byte { return m.data }
+
+// Text returns the mapped contents as a zero-copy string.
+func (m *Mapped) Text() string { return unsafeString(m.data) }
+
+// Len returns the mapped length in bytes.
+func (m *Mapped) Len() int { return len(m.data) }
+
+// Buffer returns a new zero-copy Buffer over the mapping.
+func (m *Mapped) Buffer() *Buffer { return NewBufferBytes(m.data) }
+
+// Close releases the mapping. Views obtained before Close (Bytes, Text, an
+// unedited Buffer) must not be used afterwards. Safe to call twice.
+func (m *Mapped) Close() error {
+	data, mapped := m.data, m.mapped
+	m.data, m.mapped = nil, false
+	if !mapped {
+		return nil
+	}
+	return munmap(data)
+}
+
+// MapFile maps the file at path read-only for zero-copy lexing of large
+// cold inputs. Empty files (mmap of length 0 is an error on Linux) and
+// platforms without a mapper fall back to an ordinary read; callers never
+// need to distinguish the two.
+func MapFile(path string) (*Mapped, error) {
+	return mapFile(path)
+}

@@ -1,0 +1,42 @@
+//go:build linux
+
+package text
+
+import (
+	"os"
+	"syscall"
+)
+
+func mapFile(path string) (*Mapped, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	// Zero-length mmap fails with EINVAL; non-regular files (pipes, /proc)
+	// have no meaningful size — read both the ordinary way.
+	if size == 0 || !st.Mode().IsRegular() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return &Mapped{data: data}, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		// mmap can fail on exotic filesystems; degrade to a read.
+		fallback, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, err
+		}
+		return &Mapped{data: fallback}, nil
+	}
+	return &Mapped{data: data, mapped: true}, nil
+}
+
+func munmap(data []byte) error { return syscall.Munmap(data) }

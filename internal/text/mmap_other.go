@@ -1,0 +1,15 @@
+//go:build !linux
+
+package text
+
+import "os"
+
+func mapFile(path string) (*Mapped, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapped{data: data}, nil
+}
+
+func munmap(data []byte) error { return nil }
