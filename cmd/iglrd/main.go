@@ -13,6 +13,11 @@
 // -admin, which should stay on loopback. SIGHUP re-reads -config and
 // applies it with zero downtime, exactly like POST /reload; SIGINT/SIGTERM
 // drain and exit.
+//
+// With -persist-dir the daemon is crash-safe: acknowledged edits are
+// journaled to disk before they apply, sessions snapshot on eviction and
+// shutdown, and a restart over the same directory restores each session
+// on its first touch (see DESIGN.md, "Durability & crash recovery").
 package main
 
 import (
@@ -47,6 +52,7 @@ func run(args []string) error {
 		langDirs   = fs.String("langs", "", "comma-separated *.cclang artifact directories (overrides config)")
 		bundled    = fs.String("bundled", "", "comma-separated bundled language names, or '*' (overrides config)")
 		ttl        = fs.Duration("session-ttl", 0, "evict sessions idle longer than this (overrides config)")
+		persistDir = fs.String("persist-dir", "", "session durability directory: snapshots + write-ahead journals, crash-safe restarts (overrides config)")
 	)
 	fs.Parse(args)
 
@@ -68,6 +74,9 @@ func run(args []string) error {
 	}
 	if *ttl > 0 {
 		cfg.SessionTTL = daemon.Duration(*ttl)
+	}
+	if *persistDir != "" {
+		cfg.Persist.Dir = *persistDir
 	}
 
 	d, err := daemon.New(cfg)

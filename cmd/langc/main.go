@@ -94,12 +94,38 @@ func compile(args []string) {
 		}
 		data := langcodec.Encode(l)
 		path := filepath.Join(*out, e.Name+langcodec.FileExt)
-		if err := os.WriteFile(path, data, 0o644); err != nil {
+		if err := writeFileAtomic(path, data); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("%s: %d bytes (%v, %d states)\n",
 			path, len(data), l.Table.Method(), l.Table.NumStates())
 	}
+}
+
+// writeFileAtomic replaces path via temp-file-plus-rename, so a serving
+// process loading the artifact directory (engine.LoadLanguages, an iglrd
+// reload) can never observe a partially written artifact — the same
+// discipline as the library's disk cache.
+func writeFileAtomic(path string, data []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".tmp-*"+langcodec.FileExt)
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 func parseMethod(s string) (lr.Method, error) {

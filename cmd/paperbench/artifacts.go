@@ -1,9 +1,11 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -54,6 +56,28 @@ type LangBench struct {
 	LexMBPerSec      float64 `json:"lex_mb_per_sec,omitempty"`
 }
 
+// SessionRestoreBench is one language's row in the session durability
+// benchmark: the cost of serializing a parsed session to a .ccsess
+// artifact, the cost of waking one back up with RestoreSession, and how
+// that restore compares to paying the cold lex+parse again. Only
+// languages with bundled samples appear.
+type SessionRestoreBench struct {
+	Name     string `json:"name"`
+	Sessions int    `json:"sessions"`
+	// Total artifact size across the language's sample sessions.
+	SnapshotBytes int `json:"snapshot_bytes"`
+	// One op = snapshotting / restoring every sample session.
+	SnapshotNsPerOp    int64 `json:"snapshot_ns_per_op"`
+	RestoreNsPerOp     int64 `json:"restore_ns_per_op"`
+	RestoreAllocsPerOp int64 `json:"restore_allocs_per_op"`
+	// The cold baseline: NewSession + Do over the same sources (the
+	// parse_ns_per_op measured above).
+	ColdParseNsPerOp int64 `json:"cold_parse_ns_per_op"`
+	// ColdParse / Restore: how many times cheaper waking a session from
+	// its artifact is than re-lexing and re-parsing its text.
+	ColdOverRestore float64 `json:"cold_over_restore"`
+}
+
 // BenchReport is the top-level JSON document.
 type BenchReport struct {
 	GoVersion string      `json:"go_version"`
@@ -62,6 +86,9 @@ type BenchReport struct {
 	NumCPU    int         `json:"num_cpu"`
 	Format    int         `json:"artifact_format_version"`
 	Languages []LangBench `json:"languages"`
+	// SessionRestore measures the durability path: session snapshot
+	// serialization, RestoreSession wake-up, and restore vs cold reparse.
+	SessionRestore []SessionRestoreBench `json:"session_restore"`
 	// ErrorDensity measures tier-1 error isolation cost at increasing
 	// numbers of seeded syntax errors per file (0 is the control).
 	ErrorDensity []ErrorDensityBench `json:"error_density"`
@@ -178,12 +205,73 @@ func runArtifactBench(outPath string) error {
 					}
 				})
 				if d := lex.T; d > 0 {
-					bytes := float64(len(lexSrc)) * float64(lex.N)
-					if mbs := bytes / d.Seconds() / 1e6; mbs > row.LexMBPerSec {
+					lexed := float64(len(lexSrc)) * float64(lex.N)
+					if mbs := lexed / d.Seconds() / 1e6; mbs > row.LexMBPerSec {
 						row.LexMBPerSec = mbs
 					}
 				}
 			}
+
+			// Session durability: snapshot the parsed sample sessions,
+			// then measure RestoreSession against the cold reparse above.
+			// The ratio is the headline durability number — how much
+			// cheaper waking a session from its artifact is than
+			// re-lexing and re-parsing its text.
+			sessions := make([]*incremental.Session, len(e.Samples))
+			snaps := make([][]byte, len(e.Samples))
+			snapBytes := 0
+			for i, src := range e.Samples {
+				s := incremental.NewSession(pub, src)
+				if out := s.Do(context.Background()); out.Err != nil {
+					return fmt.Errorf("%s sample %d: %w", e.Name, i, out.Err)
+				}
+				var buf bytes.Buffer
+				if err := s.Snapshot(&buf); err != nil {
+					return fmt.Errorf("%s sample %d snapshot: %w", e.Name, i, err)
+				}
+				sessions[i] = s
+				snaps[i] = buf.Bytes()
+				snapBytes += buf.Len()
+			}
+			snapBench := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					for _, s := range sessions {
+						if err := s.Snapshot(io.Discard); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+			restBench := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					for _, raw := range snaps {
+						if _, err := incremental.RestoreSession(bytes.NewReader(raw), pub); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+			sr := SessionRestoreBench{
+				Name:               e.Name,
+				Sessions:           len(e.Samples),
+				SnapshotBytes:      snapBytes,
+				SnapshotNsPerOp:    snapBench.NsPerOp(),
+				RestoreNsPerOp:     restBench.NsPerOp(),
+				RestoreAllocsPerOp: restBench.AllocsPerOp(),
+				ColdParseNsPerOp:   row.ParseNsPerOp,
+			}
+			if sr.RestoreNsPerOp > 0 {
+				sr.ColdOverRestore = float64(sr.ColdParseNsPerOp) / float64(sr.RestoreNsPerOp)
+			}
+			fmt.Fprintf(os.Stderr, "%-16s snapshot %s  restore %s  cold %s  %.1fx  %d B\n",
+				e.Name+" (sess)",
+				time.Duration(sr.SnapshotNsPerOp),
+				time.Duration(sr.RestoreNsPerOp),
+				time.Duration(sr.ColdParseNsPerOp),
+				sr.ColdOverRestore, sr.SnapshotBytes)
+			report.SessionRestore = append(report.SessionRestore, sr)
 		}
 
 		fmt.Fprintf(os.Stderr, "%-16s cold %s  decode %s  disk hit %s  %.0fx  %d B\n",

@@ -72,6 +72,25 @@ type Tenant struct {
 	MaxSessions int `json:"max_sessions,omitempty"`
 }
 
+// Persist configures session durability. When Dir is set every session is
+// continuously persisted: accepted edit batches are appended (and fsynced)
+// to a per-session write-ahead journal before they are applied, the
+// journal is periodically rolled into a snapshot artifact, idle evictions
+// park the session on disk instead of destroying it, and a restart —
+// graceful or kill -9 — transparently restores a session the next time it
+// is touched. Unusable artifacts (corrupt, truncated, version-skewed)
+// degrade to a 404 and the client re-creates the session from source; the
+// daemon never serves a wrong tree and never fails to start because of
+// persistence state.
+type Persist struct {
+	// Dir is the durability directory ("" disables persistence). Fixed at
+	// startup, like Shards: a reload keeps the running store.
+	Dir string `json:"dir,omitempty"`
+	// JournalMaxBytes rolls a session's journal into a fresh snapshot once
+	// it grows past this size (default 256 KiB).
+	JournalMaxBytes int64 `json:"journal_max_bytes,omitempty"`
+}
+
 // Config is the daemon's complete, versioned configuration. It marshals
 // to/from JSON; the admin plane serves the active config at GET /config
 // and accepts a replacement at POST /config (or re-reads the config file
@@ -111,6 +130,9 @@ type Config struct {
 	// Batch is the engine policy for POST /parse one-shot batches —
 	// Policy.Workers bounds that pool independently of Shards.
 	Batch engine.Policy `json:"batch,omitempty"`
+	// Persist enables crash-safe session durability (see Persist). Fixed
+	// at startup.
+	Persist Persist `json:"persist,omitempty"`
 }
 
 // withDefaults returns a copy of c with unset knobs resolved.

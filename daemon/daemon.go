@@ -25,6 +25,9 @@ type Daemon struct {
 	mets     metrics
 	pool     *shardPool
 	sessions *registry
+	// persist is the session durability store (nil when persistence is
+	// disabled). Fixed at startup, like the shard pool.
+	persist *persistStore
 
 	// ConfigPath, when set, is the file POST /reload re-reads. The
 	// command-line wrapper sets it; embedded daemons may leave it empty
@@ -59,6 +62,20 @@ func New(cfg Config) (*Daemon, error) {
 	}
 	d.mets.configVersion.Store(1)
 	d.snap.Store(sn)
+	if d.persist, err = newPersistStore(sn.cfg.Persist); err != nil {
+		return nil, err
+	}
+	if d.persist != nil {
+		// Inventory what a previous process left behind: sessions restore
+		// lazily on first touch, but the ID sequence must clear every
+		// persisted ID now, or a new session could be issued one and
+		// shadow (or be shadowed by) the artifacts on disk.
+		floor, n := d.persist.scanSessions()
+		d.sessions.floorSeq(floor)
+		if n > 0 {
+			d.Logf("daemon: %d persisted sessions available in %s", n, d.persist.dir)
+		}
+	}
 	go d.janitor()
 	return d, nil
 }
@@ -98,6 +115,10 @@ func (d *Daemon) Reload(cfg Config) (int64, error) {
 		d.Logf("daemon: shards fixed at %d until restart (config asked for %d)",
 			cur.cfg.Shards, sn.cfg.Shards)
 		sn.cfg.Shards = cur.cfg.Shards
+	}
+	if sn.cfg.Persist != cur.cfg.Persist {
+		d.Logf("daemon: persistence fixed at startup (dir %q) until restart", cur.cfg.Persist.Dir)
+		sn.cfg.Persist = cur.cfg.Persist
 	}
 	// Listeners are bound once; keep the effective addresses visible.
 	sn.cfg.Listen, sn.cfg.AdminListen = cur.cfg.Listen, cur.cfg.AdminListen
@@ -173,6 +194,9 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 	}
 	d.stopJanitor.Do(func() { close(d.janitorStop) })
 	<-d.janitorDone
+	// Park every live session on disk (bounded by the drain deadline) so
+	// a graceful restart restores each one without journal replay.
+	d.persistAll(ctx)
 	// srv.Shutdown can return early (drain deadline expired) with
 	// handlers still in flight — say, wedged on a long unbudgeted parse.
 	// pool.close excludes concurrent producers itself (a straggler gets
@@ -226,10 +250,17 @@ func (d *Daemon) janitor() {
 					if sess.closed || sess.lastUsed.After(cutoff) {
 						continue
 					}
+					// Park the session on disk before dropping it: with
+					// persistence on, eviction demotes to cold storage
+					// (the next touch restores) instead of destroying.
+					toDisk := d.persistPark(sess, "evict")
 					sess.closed = true
 					if _, ok := d.sessions.remove(sess.id); ok {
 						d.mets.sessionsOpen.Add(-1)
 						d.mets.sessionsEvicted.Add(1)
+						if toDisk {
+							d.mets.evictedToDisk.Add(1)
+						}
 					}
 				}
 			})

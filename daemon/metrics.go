@@ -82,6 +82,15 @@ type metrics struct {
 	batchRequests atomic.Int64
 	batchFiles    atomic.Int64
 	batchFailed   atomic.Int64
+
+	restoreHits      atomic.Int64
+	restoreMisses    atomic.Int64
+	evictedToDisk    atomic.Int64
+	journalRecords   atomic.Int64
+	journalReplayed  atomic.Int64
+	journalTorn      atomic.Int64
+	snapshotsWritten atomic.Int64
+	persistErrors    atomic.Int64
 }
 
 // observeParse folds one session parse outcome into the counters.
@@ -140,4 +149,13 @@ func (m *metrics) write(w io.Writer) {
 	c("iglrd_batch_requests_total", "One-shot POST /parse batch requests.", m.batchRequests.Load())
 	c("iglrd_batch_files_total", "Files parsed by batch requests.", m.batchFiles.Load())
 	c("iglrd_batch_failed_files_total", "Batch files that failed.", m.batchFailed.Load())
+
+	c("iglrd_sessions_restored_total", "Sessions restored from disk on first touch after an eviction or restart.", m.restoreHits.Load())
+	c("iglrd_session_restore_misses_total", "Restore attempts that fell back to 404 (missing, corrupt, or unreplayable artifacts).", m.restoreMisses.Load())
+	c("iglrd_sessions_evicted_to_disk_total", "Idle evictions whose full session state was made durable first.", m.evictedToDisk.Load())
+	c("iglrd_journal_records_total", "Write-ahead journal records appended (one per accepted edit batch).", m.journalRecords.Load())
+	c("iglrd_journal_replayed_total", "Journal records replayed while restoring sessions.", m.journalReplayed.Load())
+	c("iglrd_journal_torn_total", "Torn journal tails detected on restore (the crash-mid-append signature); the intact prefix was replayed.", m.journalTorn.Load())
+	c("iglrd_snapshots_written_total", "Session snapshots written (first parse, journal rotation, eviction, shutdown).", m.snapshotsWritten.Load())
+	c("iglrd_persist_errors_total", "Disk failures that disabled persistence for one session (the live session is unaffected).", m.persistErrors.Load())
 }

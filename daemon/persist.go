@@ -1,0 +1,547 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	incremental "iglr"
+	"iglr/internal/faultinject"
+	"iglr/internal/sesscodec"
+)
+
+// Session durability. When Config.Persist.Dir is set, every session is
+// continuously persisted as three files named by its ID:
+//
+//	<id>.json    immutable metadata (language name, tenant, tolerance)
+//	<id>.ccsess  the last snapshot artifact (incremental.Snapshot), tagged
+//	             with the journal sequence it covers
+//	<id>.wal     the write-ahead edit journal since that snapshot
+//
+// The protocol is journal-before-apply: an accepted edit batch is framed,
+// appended, and fsynced before the first edit touches the document, so any
+// state a client has seen acknowledged is on disk. Snapshots are written
+// with temp-file-plus-rename (never a partial artifact under the final
+// name) and carry the sequence of the last journal record they include;
+// replay after a crash skips covered records, which makes the journal
+// truncation that follows a snapshot an optimization rather than a
+// correctness requirement.
+//
+// Every disk failure degrades, never corrupts: a persist error disables
+// persistence for that one session and deletes its artifacts (a client may
+// have to re-create it after a restart — stale-and-absent, never wrong),
+// and an unreadable artifact at restore time is removed and reported as a
+// 404. The daemon never fails to start because of persistence state.
+
+// defaultJournalMaxBytes is the snapshot-rotation threshold when the
+// config does not set one.
+const defaultJournalMaxBytes = 256 << 10
+
+// persistStore is the daemon-wide durability configuration: the directory
+// and the journal rotation threshold. Per-session state lives in
+// sessPersist on the session's shard.
+type persistStore struct {
+	dir        string
+	journalMax int64
+}
+
+// newPersistStore builds the store, creating the directory; nil when
+// persistence is disabled.
+func newPersistStore(p Persist) (*persistStore, error) {
+	if p.Dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(p.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("daemon: persist dir: %w", err)
+	}
+	max := p.JournalMaxBytes
+	if max <= 0 {
+		max = defaultJournalMaxBytes
+	}
+	return &persistStore{dir: p.Dir, journalMax: max}, nil
+}
+
+func (ps *persistStore) metaPath(id string) string { return filepath.Join(ps.dir, id+".json") }
+func (ps *persistStore) snapPath(id string) string {
+	return filepath.Join(ps.dir, id+sesscodec.FileExt)
+}
+func (ps *persistStore) walPath(id string) string { return filepath.Join(ps.dir, id+".wal") }
+
+// removeArtifacts deletes all of a session's files, best-effort.
+func (ps *persistStore) removeArtifacts(id string) {
+	os.Remove(ps.walPath(id))
+	os.Remove(ps.snapPath(id))
+	os.Remove(ps.metaPath(id))
+}
+
+// writeFileAtomic writes data under path via temp-file-plus-rename, so a
+// reader (or a crash) never observes a partial file. When sync is set the
+// data is fsynced before the rename and the directory after it, making the
+// replacement durable, not just atomic.
+func (ps *persistStore) writeFileAtomic(path string, data []byte, sync bool) error {
+	f, err := os.CreateTemp(ps.dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if sync {
+		if err := persistFault(faultinject.PersistSync, path); err == nil {
+			err = f.Sync()
+		}
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if sync {
+		if dir, err := os.Open(ps.dir); err == nil {
+			dir.Sync()
+			dir.Close()
+		}
+	}
+	return nil
+}
+
+// scanSessions inventories the directory at startup: the highest numeric
+// session ID on disk (the registry's ID floor, so restarted daemons never
+// reissue a persisted ID to a new session) and how many session meta
+// records exist.
+func (ps *persistStore) scanSessions() (floor uint64, count int) {
+	entries, err := os.ReadDir(ps.dir)
+	if err != nil {
+		return 0, 0
+	}
+	for _, e := range entries {
+		id, ok := strings.CutSuffix(e.Name(), ".json")
+		if !ok {
+			continue
+		}
+		n, ok := sessionSeqFromID(id)
+		if !ok {
+			continue
+		}
+		count++
+		if n > floor {
+			floor = n
+		}
+	}
+	return floor, count
+}
+
+// validSessionID reports whether id has the registry's "s%08x" shape.
+// Restore paths derive file names from request-supplied IDs; anything
+// else (path separators, dots) must never reach the filesystem.
+func validSessionID(id string) bool {
+	if len(id) != 9 || id[0] != 's' {
+		return false
+	}
+	for i := 1; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// sessionSeqFromID recovers the numeric sequence from a session ID.
+func sessionSeqFromID(id string) (uint64, bool) {
+	if !validSessionID(id) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(id[1:], 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// sessPersist is one session's durability state. Shard-goroutine-owned,
+// like the session fields it sits next to.
+type sessPersist struct {
+	store *persistStore
+	// wal is the open journal, nil until the first append (and after the
+	// session is parked or persistence breaks).
+	wal      *os.File
+	walBytes int64
+	// seq is the sequence of the last journaled record; snapSeq is the
+	// sequence the on-disk snapshot covers. seq == snapSeq means the
+	// snapshot alone is complete.
+	seq      uint64
+	snapSeq  uint64
+	haveSnap bool
+	// broken latches a disk failure: persistence is off for this session,
+	// its artifacts are gone, and the live session carries on.
+	broken bool
+}
+
+// sessionMetaJSON is the immutable per-session metadata record.
+type sessionMetaJSON struct {
+	Language string `json:"language"`
+	Tenant   string `json:"tenant,omitempty"`
+	Tolerant bool   `json:"tolerant,omitempty"`
+}
+
+// persistFault consults the fault-injection plan for the persistence
+// layer's points, turning ActError into an injected disk error.
+func persistFault(p faultinject.Point, detail string) error {
+	if !faultinject.Enabled() {
+		return nil
+	}
+	if faultinject.Fire(p, detail) == faultinject.ActError {
+		return fmt.Errorf("faultinject: injected %s failure", p)
+	}
+	return nil
+}
+
+// ---- shard-side operations ----------------------------------------------
+//
+// Everything below that touches a *session runs on its shard goroutine.
+
+// persistFail disables persistence for sess after a disk failure and
+// removes its artifacts: a half-durable session must never be restored
+// stale after a restart. The live session is unaffected.
+func (d *Daemon) persistFail(sess *session, op string, err error) {
+	p := sess.p
+	if p == nil || p.broken {
+		return
+	}
+	p.broken = true
+	d.mets.persistErrors.Add(1)
+	d.Logf("daemon: session %s persistence disabled (%s: %v)", sess.id, op, err)
+	if p.wal != nil {
+		p.wal.Close()
+		p.wal = nil
+	}
+	p.store.removeArtifacts(sess.id)
+}
+
+// persistAfterParse runs after every successful shard parse: it adopts a
+// new session into the persistence layer (meta record + first snapshot)
+// and rolls an oversized journal into a fresh snapshot.
+func (d *Daemon) persistAfterParse(sess *session) {
+	if d.persist == nil {
+		return
+	}
+	if sess.p == nil {
+		sess.p = &sessPersist{store: d.persist}
+		meta, err := json.Marshal(sessionMetaJSON{
+			Language: sess.langName, Tenant: sess.tenant, Tolerant: sess.tolerant,
+		})
+		if err == nil {
+			err = d.persist.writeFileAtomic(d.persist.metaPath(sess.id), meta, true)
+		}
+		if err != nil {
+			d.persistFail(sess, "meta", err)
+			return
+		}
+	}
+	p := sess.p
+	if p.broken || (p.haveSnap && p.walBytes < p.store.journalMax) {
+		return
+	}
+	if err := d.writeSnapshot(sess); err != nil {
+		d.persistFail(sess, "snapshot", err)
+	}
+}
+
+// persistAppend journals an accepted edit batch. Called after validation
+// and before the first edit is applied: once applied, the client may see
+// state the disk does not have. A failure degrades persistence for the
+// session; the edits are still applied.
+func (d *Daemon) persistAppend(sess *session, edits []editJSON) {
+	p := sess.p
+	if p == nil || p.broken {
+		return
+	}
+	if err := d.appendRecord(sess, edits); err != nil {
+		d.persistFail(sess, "journal append", err)
+	}
+}
+
+func (d *Daemon) appendRecord(sess *session, edits []editJSON) error {
+	p := sess.p
+	if p.wal == nil {
+		f, err := os.OpenFile(p.store.walPath(sess.id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		p.wal = f
+	}
+	rec := sesscodec.JournalRecord{Seq: p.seq + 1, Edits: make([]sesscodec.JournalEdit, len(edits))}
+	for i, e := range edits {
+		rec.Edits[i] = sesscodec.JournalEdit{Offset: e.Offset, Remove: e.Remove, Insert: e.Insert}
+	}
+	frame := sesscodec.AppendJournalRecord(nil, rec)
+	if err := persistFault(faultinject.PersistAppend, sess.id); err != nil {
+		return err
+	}
+	if _, err := p.wal.Write(frame); err != nil {
+		return err
+	}
+	if err := persistFault(faultinject.PersistSync, sess.id); err != nil {
+		return err
+	}
+	if err := p.wal.Sync(); err != nil {
+		return err
+	}
+	p.seq = rec.Seq
+	p.walBytes += int64(len(frame))
+	d.mets.journalRecords.Add(1)
+	return nil
+}
+
+// writeSnapshot captures sess's full state (committed tree, pending
+// edits) as the session's snapshot artifact, tagged with the journal
+// sequence it covers, then truncates the now-covered journal.
+func (d *Daemon) writeSnapshot(sess *session) error {
+	p := sess.p
+	if err := persistFault(faultinject.PersistSnapshot, sess.id); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := sess.s.SnapshotTagged(&buf, p.seq); err != nil {
+		return err
+	}
+	if err := p.store.writeFileAtomic(p.store.snapPath(sess.id), buf.Bytes(), true); err != nil {
+		return err
+	}
+	p.haveSnap = true
+	p.snapSeq = p.seq
+	d.mets.snapshotsWritten.Add(1)
+	// The snapshot covers every journaled record, so dropping the journal
+	// is an optimization; a crash between the rename above and the
+	// truncate below double-applies nothing (replay skips by sequence).
+	if p.wal != nil {
+		if err := p.wal.Truncate(0); err == nil {
+			p.walBytes = 0
+		}
+	} else if p.walBytes > 0 {
+		if err := os.Remove(p.store.walPath(sess.id)); err == nil || os.IsNotExist(err) {
+			p.walBytes = 0
+		}
+	}
+	return nil
+}
+
+// persistPark makes sess fully durable and releases its file handles, so
+// the in-memory session can be dropped (idle eviction, shutdown) and
+// restored later. Reports whether the state is safely on disk.
+func (d *Daemon) persistPark(sess *session, when string) bool {
+	p := sess.p
+	if p == nil || p.broken {
+		return false
+	}
+	if !p.haveSnap || p.snapSeq != p.seq {
+		if err := d.writeSnapshot(sess); err != nil {
+			d.persistFail(sess, when+" snapshot", err)
+			return false
+		}
+	}
+	if p.wal != nil {
+		p.wal.Close()
+		p.wal = nil
+	}
+	return true
+}
+
+// persistRemove deletes sess's artifacts (client DELETE, panic
+// containment): an explicitly closed or poisoned session must not
+// resurrect after a restart.
+func (d *Daemon) persistRemove(sess *session) {
+	p := sess.p
+	if p == nil {
+		return
+	}
+	if p.wal != nil {
+		p.wal.Close()
+		p.wal = nil
+	}
+	if !p.broken {
+		p.store.removeArtifacts(sess.id)
+		p.broken = true
+	}
+}
+
+// persistAll parks every live session at shutdown, shard by shard, so a
+// graceful restart restores without journal replay.
+func (d *Daemon) persistAll(ctx context.Context) {
+	if d.persist == nil {
+		return
+	}
+	for i := range d.pool.tasks {
+		sessions := d.sessions.byShard(i)
+		if len(sessions) == 0 {
+			continue
+		}
+		d.pool.run(ctx, i, func() {
+			for _, sess := range sessions {
+				if sess.closed {
+					continue
+				}
+				d.persistPark(sess, "shutdown")
+			}
+		})
+	}
+}
+
+// ---- restore -------------------------------------------------------------
+
+// restoreSession rebuilds a session from its on-disk artifacts: snapshot
+// load, then replay of every journal record the snapshot does not cover,
+// each batch applied and parsed exactly as the live daemon did. Any
+// unusable state fails the restore, removes the artifacts, and reports a
+// miss — the caller 404s and the client re-creates the session from
+// source. Runs on the request goroutine; the session is private until
+// restoreAdd publishes it.
+func (d *Daemon) restoreSession(id string) (*session, bool) {
+	ps := d.persist
+	seqID, ok := sessionSeqFromID(id)
+	if !ok {
+		return nil, false
+	}
+	metaRaw, err := os.ReadFile(ps.metaPath(id))
+	if err != nil {
+		return nil, false // never persisted: a plain 404, not a miss
+	}
+	var meta sessionMetaJSON
+	if err := json.Unmarshal(metaRaw, &meta); err != nil {
+		d.restoreFailed(id, "meta", err)
+		return nil, false
+	}
+	sn := d.snap.Load()
+	lang, ok := sn.langs[meta.Language]
+	if !ok {
+		// Not an artifact problem: the language left the config. Keep the
+		// files — a reload may bring it back.
+		d.mets.restoreMisses.Add(1)
+		d.Logf("daemon: session %s not restored: language %q not in active config", id, meta.Language)
+		return nil, false
+	}
+	snapRaw, err := os.ReadFile(ps.snapPath(id))
+	if err != nil {
+		d.restoreFailed(id, "snapshot", err)
+		return nil, false
+	}
+	ten := sn.tenant(meta.Tenant)
+	s, tag, err := incremental.RestoreSessionTagged(bytes.NewReader(snapRaw), lang,
+		incremental.WithBudget(ten.Budget))
+	if err != nil {
+		d.restoreFailed(id, "snapshot decode", err)
+		return nil, false
+	}
+
+	seq := tag
+	walBytes := int64(0)
+	if walRaw, err := os.ReadFile(ps.walPath(id)); err == nil && len(walRaw) > 0 {
+		recs, torn := sesscodec.DecodeJournal(walRaw)
+		for _, rec := range recs {
+			if rec.Seq <= tag {
+				continue // already inside the snapshot
+			}
+			if err := replayRecord(s, rec, meta.Tolerant); err != nil {
+				d.restoreFailed(id, "journal replay", err)
+				return nil, false
+			}
+			seq = rec.Seq
+			d.mets.journalReplayed.Add(1)
+		}
+		if torn {
+			// The crash-mid-append signature: everything before the torn
+			// tail was fsynced and is now replayed. Cut the tail off so
+			// future appends extend an intact journal; the framing is
+			// canonical, so re-encoding the intact records gives the exact
+			// intact prefix length.
+			d.mets.journalTorn.Add(1)
+			var intact []byte
+			for _, rec := range recs {
+				intact = sesscodec.AppendJournalRecord(intact, rec)
+			}
+			if err := os.Truncate(ps.walPath(id), int64(len(intact))); err != nil {
+				d.restoreFailed(id, "journal truncate", err)
+				return nil, false
+			}
+			walBytes = int64(len(intact))
+		} else {
+			walBytes = int64(len(walRaw))
+		}
+	}
+
+	sess := &session{
+		id:       id,
+		tenant:   meta.Tenant,
+		langName: meta.Language,
+		lang:     lang,
+		shard:    d.pool.indexFor(id),
+		tolerant: meta.Tolerant,
+		s:        s,
+		lastUsed: time.Now(),
+		p: &sessPersist{
+			store: ps, walBytes: walBytes, seq: seq, snapSeq: tag, haveSnap: true,
+		},
+	}
+	d.sessions.floorSeq(seqID)
+	winner, inserted := d.sessions.restoreAdd(sess)
+	if !inserted {
+		// Two requests raced the restore; the published session wins and
+		// this copy (which opened no files) is garbage-collected.
+		return winner, true
+	}
+	d.mets.sessionsOpen.Add(1)
+	d.mets.restoreHits.Add(1)
+	d.Logf("daemon: session %s restored from disk (%s, seq %d)", id, meta.Language, seq)
+	return sess, true
+}
+
+// restoreFailed counts a failed restore and removes the artifacts so the
+// unusable state is never retried: the client sees a 404 and re-creates
+// the session from source — absent, never wrong.
+func (d *Daemon) restoreFailed(id, op string, err error) {
+	d.mets.restoreMisses.Add(1)
+	d.Logf("daemon: session %s restore failed (%s), falling back: %v", id, op, err)
+	d.persist.removeArtifacts(id)
+}
+
+// replayRecord re-applies one journaled edit batch exactly as the live
+// daemon did: validate against the running length, apply, parse. A parse
+// outcome error (syntax error, budget trip) is data, as it was live; only
+// an edit that no longer fits the document fails the replay.
+func replayRecord(s *incremental.Session, rec sesscodec.JournalRecord, tolerant bool) error {
+	n := s.Len()
+	for i, e := range rec.Edits {
+		if e.Offset < 0 || e.Remove < 0 || e.Offset > n || e.Remove > n-e.Offset {
+			return fmt.Errorf("record %d edit %d: range [%d,+%d) outside document of %d bytes",
+				rec.Seq, i, e.Offset, e.Remove, n)
+		}
+		n += len(e.Insert) - e.Remove
+	}
+	for _, e := range rec.Edits {
+		s.Edit(e.Offset, e.Remove, e.Insert)
+	}
+	if tolerant {
+		s.Do(nil, incremental.Tolerant())
+	} else {
+		s.Do(nil)
+	}
+	return nil
+}

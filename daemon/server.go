@@ -172,7 +172,10 @@ func (d *Daemon) runSession(ctx context.Context, sess *session, fn func()) error
 func (d *Daemon) dropSession(sess *session) {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 	defer cancel()
-	d.pool.run(ctx, sess.shard, func() { sess.closed = true })
+	d.pool.run(ctx, sess.shard, func() {
+		sess.closed = true
+		d.persistRemove(sess)
+	})
 	if _, ok := d.sessions.remove(sess.id); ok {
 		d.mets.sessionsOpen.Add(-1)
 		d.mets.sessionsClosed.Add(1)
@@ -227,6 +230,7 @@ func (d *Daemon) parseSession(r *http.Request, sess *session) (outcomeJSON, bool
 			oj.Error = out.Err.Error()
 			oj.BudgetTrip = errors.Is(out.Err, incremental.ErrBudget)
 		}
+		d.persistAfterParse(sess)
 	})
 	return oj, open, err
 }
@@ -300,10 +304,15 @@ func (d *Daemon) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// lookup resolves {id} or writes a 404.
+// lookup resolves {id} or writes a 404, transparently restoring the
+// session from the persistence directory when it is not live (evicted to
+// disk, or persisted by a previous process before a restart).
 func (d *Daemon) lookup(w http.ResponseWriter, r *http.Request) (*session, bool) {
 	id := r.PathValue("id")
 	sess, ok := d.sessions.get(id)
+	if !ok && d.persist != nil {
+		sess, ok = d.restoreSession(id)
+	}
 	if !ok {
 		httpError(w, http.StatusNotFound, "no session %q", id)
 		return nil, false
@@ -354,6 +363,7 @@ func (d *Daemon) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		sess.closed = true
+		d.persistRemove(sess)
 		if _, removed := d.sessions.remove(sess.id); removed {
 			d.mets.sessionsOpen.Add(-1)
 			d.mets.sessionsClosed.Add(1)
@@ -399,6 +409,10 @@ func (d *Daemon) handleEdits(w http.ResponseWriter, r *http.Request) {
 			}
 			n += len(e.Insert) - e.Remove
 		}
+		// Journal the accepted batch — appended and fsynced — before the
+		// first edit is applied: any state a client sees acknowledged is
+		// on disk, and a kill -9 between here and the response replays it.
+		d.persistAppend(sess, req.Edits)
 		for _, e := range req.Edits {
 			sess.s.Edit(e.Offset, e.Remove, e.Insert)
 		}

@@ -36,6 +36,10 @@ type session struct {
 	s        *incremental.Session
 	lastUsed time.Time
 	closed   bool
+	// p is the session's durability state (nil until the persistence
+	// layer adopts the session on its shard; always nil when persistence
+	// is disabled). Shard-owned like the fields above.
+	p *sessPersist
 }
 
 // shardPool is the fixed set of worker goroutines sessions are routed
@@ -160,6 +164,34 @@ func (r *registry) add(sess *session, pool *shardPool, globalMax, tenantMax int)
 	r.byID[sess.id] = sess
 	r.perTen[sess.tenant]++
 	return true
+}
+
+// restoreAdd re-registers a restored session under its original ID. It
+// bypasses the session quotas — the session was admitted under quota when
+// it was created, and a restart must not strand a client's acknowledged
+// session behind a 429 — but still counts toward its tenant, so future
+// creates see it. When the ID is already live (two requests raced the
+// same restore) the existing session wins and the caller discards its
+// copy.
+func (r *registry) restoreAdd(sess *session) (*session, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cur, ok := r.byID[sess.id]; ok {
+		return cur, false
+	}
+	r.byID[sess.id] = sess
+	r.perTen[sess.tenant]++
+	return sess, true
+}
+
+// floorSeq raises the ID sequence to at least n, so IDs found on disk at
+// startup (or restored later) are never reissued to new sessions.
+func (r *registry) floorSeq(n uint64) {
+	r.mu.Lock()
+	if r.nextSeq < n {
+		r.nextSeq = n
+	}
+	r.mu.Unlock()
 }
 
 func (r *registry) get(id string) (*session, bool) {

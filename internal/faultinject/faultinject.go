@@ -47,6 +47,16 @@ const (
 	// Resolve fires at the start of a semantic resolution pass; detail is
 	// empty.
 	Resolve
+	// PersistAppend fires before a write-ahead journal append in the
+	// daemon's persistence layer; detail is the session ID. ActError fails
+	// the append (persistence degrades; the session stays live).
+	PersistAppend
+	// PersistSync fires before an fsync of a journal or snapshot file;
+	// detail is the session ID or target path. ActError fails the sync.
+	PersistSync
+	// PersistSnapshot fires before a session snapshot is captured; detail
+	// is the session ID. ActError fails the snapshot.
+	PersistSnapshot
 	numPoints
 )
 
@@ -62,6 +72,12 @@ func (p Point) String() string {
 		return "reduce"
 	case Resolve:
 		return "resolve"
+	case PersistAppend:
+		return "persist-append"
+	case PersistSync:
+		return "persist-sync"
+	case PersistSnapshot:
+		return "persist-snapshot"
 	default:
 		return "unknown"
 	}

@@ -139,8 +139,13 @@ func TestPanicErrorText(t *testing.T) {
 	if p.Error() != "faultinject: injected panic at reduce tok" {
 		t.Fatalf("got %q", p.Error())
 	}
-	if numPoints != 5 {
+	if numPoints != 8 {
 		t.Fatalf("update Point.String when adding points (have %d)", numPoints)
+	}
+	for p := Point(0); p < numPoints; p++ {
+		if p.String() == "unknown" {
+			t.Fatalf("point %d has no String case", p)
+		}
 	}
 	if (Point(99)).String() != "unknown" {
 		t.Fatal("out-of-range points should stringify as unknown")
