@@ -28,7 +28,8 @@ check: vet race
 # (tier-1 recovery preserves text; repairing converges to the batch parse),
 # and the session-snapshot codec plus its write-ahead journal framing
 # (arbitrary bytes never panic; accepted snapshots restore and re-encode
-# canonically).
+# canonically), and the chunked-parallel-parse oracle (chunked parse ≡
+# sequential parse under adversarial seam placement).
 fuzz-smoke:
 	$(GO) test -run FuzzParseOracle -fuzz FuzzParseOracle -fuzztime 30s ./internal/earley/
 	$(GO) test -run FuzzRecoveryConverges -fuzz FuzzRecoveryConverges -fuzztime 30s ./internal/recovery/
@@ -36,6 +37,7 @@ fuzz-smoke:
 	$(GO) test -run FuzzErrorIsolationConverges -fuzz FuzzErrorIsolationConverges -fuzztime 30s .
 	$(GO) test -run FuzzSessCodecRoundTrip -fuzz FuzzSessCodecRoundTrip -fuzztime 30s ./internal/sesscodec/
 	$(GO) test -run FuzzJournalDecode -fuzz FuzzJournalDecode -fuzztime 15s ./internal/sesscodec/
+	$(GO) test -run FuzzChunkedParse -fuzz FuzzChunkedParse -fuzztime 30s .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -43,9 +43,9 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "scale factor for program sizes")
 	budget := flag.Bool("budget", false, "run the resource-budget sweep (trips/degradations under per-file policies)")
 	jsonOut := flag.String("json", "", "write the compiled-artifact benchmark suite (cold vs cached language loads, lexer MB/s, table footprints) as JSON to this file and exit")
-	corpusOnly := flag.Bool("corpus", false, "run only the cold-corpus throughput workload (lex + end-to-end MB/s per lex-worker count) and exit; with -json, write its report there")
+	corpusOnly := flag.Bool("corpus", false, "run only the cold-corpus throughput workload (lex, parse-stage, and end-to-end MB/s per worker count) and exit; with -json, write its report there")
 	corpusScale := flag.Float64("corpus-scale", 0.05, "fraction of Table 1 line counts for the cold-corpus workload")
-	corpusWorkers := flag.String("corpus-workers", "1,2,4,8", "comma-separated lex-worker counts for the cold-corpus sweep")
+	corpusWorkers := flag.String("corpus-workers", "1,2,4,8", "comma-separated worker counts (lex and parse) for the cold-corpus sweep")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()

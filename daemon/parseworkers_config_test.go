@@ -1,0 +1,35 @@
+package daemon
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestConfigThreadsParseWorkers: the batch policy's parse_workers knob
+// rides the daemon's JSON config straight into engine.Policy, round-trip
+// intact, alongside its lex_workers sibling.
+func TestConfigThreadsParseWorkers(t *testing.T) {
+	raw := []byte(`{
+		"bundled": ["csub"],
+		"batch": {"workers": 2, "lex_workers": 4, "parse_workers": 8}
+	}`)
+	var cfg Config
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Batch.ParseWorkers != 8 || cfg.Batch.LexWorkers != 4 {
+		t.Fatalf("batch policy = %+v", cfg.Batch)
+	}
+
+	out, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Config
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Batch.ParseWorkers != 8 {
+		t.Fatalf("parse_workers lost in round-trip: %+v", back.Batch)
+	}
+}

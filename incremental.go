@@ -285,6 +285,11 @@ type Session struct {
 	// docOpts collects batch construction options (parallel lex workers,
 	// donated buffers); consumed once when NewSession builds the document.
 	docOpts document.Options
+	// parseWorkers is the goroutine count for the cold (first) parse: when
+	// >1 and the language's top level is an associative sequence, the token
+	// stream is chunked at element boundaries and the chunks are parsed in
+	// parallel (see WithParseWorkers).
+	parseWorkers int
 	// spareDet is a recycled deterministic parser donated by a Pool,
 	// activated only if the caller asks via UseDeterministic.
 	spareDet *detparse.Parser
@@ -309,6 +314,19 @@ func WithBudget(b Budget) SessionOption {
 // after edits is always sequential — edits damage O(1) tokens.
 func WithLexWorkers(n int) SessionOption {
 	return func(s *Session) { s.docOpts.LexWorkers = n }
+}
+
+// WithParseWorkers sets the goroutine count for the cold (first) parse of
+// the session's source. When the language's top level is an associative
+// sequence (§3.4), the token stream is split at proven element boundaries
+// and the pieces are parsed concurrently, then spliced — the resulting tree
+// is byte-identical to a sequential parse, and any input where a safe split
+// cannot be established falls back to the sequential path automatically.
+// The count is clamped to GOMAXPROCS; 0 or 1 parses sequentially.
+// Incremental reparses after edits are always sequential — they are already
+// proportional to the damage, not the document.
+func WithParseWorkers(n int) SessionOption {
+	return func(s *Session) { s.parseWorkers = n }
 }
 
 // NewSession creates an editing session over source.
@@ -417,8 +435,19 @@ func (s *Session) locate(err error) error {
 }
 
 func (s *Session) parseOnce(ctx context.Context) (*Node, error) {
+	// A cold parse (nothing committed yet) consumes exactly the significant
+	// terminals plus EOF, so it can skip the incremental stream machinery:
+	// the deterministic parser runs its batch kernel, and the GLR parser may
+	// chunk the input across parseWorkers goroutines.
+	cold := s.doc.Root() == nil
 	if s.det != nil {
-		root, err := s.det.ParseContext(ctx, s.doc.Stream())
+		var root *Node
+		var err error
+		if cold {
+			root, err = s.det.ParseBatch(ctx, s.doc.Terminals(), s.doc.EOFNode(), s.doc.Arena())
+		} else {
+			root, err = s.det.ParseContext(ctx, s.doc.Stream())
+		}
 		if err == nil || !isDetSyntax(err) {
 			return root, err
 		}
@@ -426,6 +455,18 @@ func (s *Session) parseOnce(ctx context.Context) (*Node, error) {
 		// the GLR parser, whose failure carries the same detail but is the
 		// one the error-isolation machinery consumes. Infrastructure
 		// failures (budget, cancellation) are not re-run.
+	}
+	if cold && s.parseWorkers > 1 && s.budget.Unlimited() && s.parser.Trace == nil {
+		root, stats, ok, err := iglr.ParseChunked(ctx, s.lang.def.Table,
+			s.doc.Terminals(), s.doc.EOFNode(), s.doc.Arena(), s.parseWorkers)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			s.stats = stats
+			return root, nil
+		}
+		// No safe chunking for this input; parse sequentially below.
 	}
 	root, err := s.parser.ParseContext(ctx, s.doc.Stream())
 	s.stats = s.parser.Stats

@@ -27,6 +27,10 @@ type Arena struct {
 	// the duration of one parse (start count + budget) and disarm it on
 	// exit, so document maintenance outside a parse is never capped.
 	limit int32
+	// kidsBuf is the current chunk of the kid-slice bump allocator (Kids):
+	// production nodes own a capacity-capped subslice of it, so one heap
+	// allocation per kidsChunk pointers replaces one per reduction.
+	kidsBuf []*Node
 }
 
 // arenaChunk is the nodes-per-chunk batch size: large enough to amortize
@@ -36,6 +40,45 @@ const arenaChunk = 256
 
 // NewArena creates an empty arena.
 func NewArena() *Arena { return &Arena{} }
+
+// NewArenaAt creates an empty arena whose first node receives ID firstID.
+// The chunked batch parser gives each worker arena the host document's
+// current ID watermark, so worker-built nodes never collide with the
+// document's terminals; after splicing, the fragments are renumbered densely
+// and the host arena advanced past them (AdvanceTo).
+func NewArenaAt(firstID int) *Arena { return &Arena{n: int32(firstID)} }
+
+// AdvanceTo raises the arena's next-ID watermark to at least next. Callers
+// that adopt externally built (and renumbered) nodes into this arena's dag
+// use it to keep future IDs unique and the ID space dense.
+func (a *Arena) AdvanceTo(next int) {
+	if int32(next) > a.n {
+		a.n = int32(next)
+	}
+}
+
+// kidsChunk is the pointer count per kid-slice chunk: big enough to make
+// the amortized per-reduction allocation cost vanish, small enough that a
+// mostly-unused tail chunk is noise.
+const kidsChunk = 4096
+
+// Kids bump-allocates an n-pointer kid slice for a node under construction.
+// The result has capacity exactly n (a full slice expression), so a later
+// append on the node's Kids copies out instead of scribbling over the
+// neighboring node's children. Like node storage, a chunk is reclaimed by
+// the GC once every node holding a piece of it is unreachable.
+func (a *Arena) Kids(n int) []*Node {
+	if cap(a.kidsBuf)-len(a.kidsBuf) < n {
+		c := kidsChunk
+		if n > c {
+			c = n
+		}
+		a.kidsBuf = make([]*Node, 0, c)
+	}
+	i := len(a.kidsBuf)
+	a.kidsBuf = a.kidsBuf[:i+n]
+	return a.kidsBuf[i : i+n : i+n]
+}
 
 // NumNodes returns the number of nodes ever allocated — also the exclusive
 // upper bound of the IDs in use, which Scratch uses to size its tables.
@@ -61,7 +104,9 @@ func (a *Arena) alloc() *Node {
 	if len(a.cur) == cap(a.cur) {
 		a.cur = make([]Node, 0, arenaChunk)
 	}
-	a.cur = append(a.cur, Node{})
+	// Reslice instead of append(a.cur, Node{}): the chunk is already zeroed
+	// by make, so materializing and copying a zero Node would be pure waste.
+	a.cur = a.cur[:len(a.cur)+1]
 	n := &a.cur[len(a.cur)-1]
 	n.ID = a.n
 	a.n++
@@ -80,7 +125,7 @@ func (a *Arena) Terminal(sym grammar.Sym, text string) *Node {
 // of kids.
 func (a *Arena) Production(sym grammar.Sym, prod int, state int, kids []*Node) *Node {
 	n := a.alloc()
-	n.Kind, n.Sym, n.Prod, n.State, n.Kids = KindProduction, sym, prod, state, kids
+	n.Kind, n.Sym, n.Prod, n.State, n.Kids = KindProduction, sym, int32(prod), int32(state), kids
 	n.computeCover()
 	return n
 }

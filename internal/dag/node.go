@@ -59,26 +59,15 @@ const (
 // Node is one abstract-parse-dag node. Nodes are compared by pointer
 // identity; structural sharing is what makes the representation a dag.
 // Nodes are created through an Arena, which assigns the ID.
+//
+// Field order is deliberate: the one-byte kind and flags pack into a single
+// word, the int32s fill the next two, and the pointer-bearing fields close
+// the struct — 104 bytes total. Node memory is the dominant allocation of a
+// cold batch parse (roughly one node per input byte on C-like corpora), so
+// every field byte is zeroed, written, and GC-scanned millions of times per
+// corpus file; keep the struct tight when adding fields.
 type Node struct {
 	Kind Kind
-	// ID is the dense per-arena node number, assigned at allocation. It
-	// never changes and is unique within the node's arena; Scratch tables
-	// index by it.
-	ID int32
-	// Sym is the symbol this node represents: the terminal for leaves, the
-	// production LHS for production nodes, the phylum for choice nodes.
-	Sym grammar.Sym
-	// Prod is the production instance for KindProduction nodes; -1
-	// otherwise.
-	Prod int
-	// State is the deterministic parse state recorded when the node was
-	// shifted (state-matching, §3.2), or NoState / MultiState.
-	State int
-	// Kids are the children: RHS instances for production nodes,
-	// alternatives for choice nodes, elements/subsequences for KindSeq.
-	Kids []*Node
-	// Text is the lexeme (terminals only).
-	Text string
 	// Filtered marks an interpretation rejected by a semantic filter. The
 	// node is retained (semantic filtering is reversible, §4.2) but
 	// ignored by pipeline stages that read the embedded tree.
@@ -86,26 +75,6 @@ type Node struct {
 	// Changed marks terminals removed or modified since the last parse;
 	// the document layer maintains it.
 	Changed bool
-
-	// Incremental bookkeeping (§3.2–3.3). The paper notes that recording
-	// the leftmost terminal descendant in every node trades space for the
-	// ability to locate reuse candidates without traversal; we also record
-	// the rightmost terminal (for the right-context check) and the
-	// terminal count (to advance the input cursor past a shifted subtree).
-
-	// Parent is the node's parent in the last committed tree. Shared nodes
-	// (ambiguous regions) record one representative parent; any parent
-	// chain reaches the root, which is all change propagation needs.
-	Parent *Node
-	// LeftmostTerm/RightmostTerm delimit the node's terminal yield; nil
-	// for null-yield subtrees.
-	LeftmostTerm, RightmostTerm *Node
-	// TermCount is the number of terminal leaves in the subtree.
-	TermCount int32
-	// SeqCount is the number of sequence elements under a KindSeq node
-	// (1 for any other node); it makes balanced-sequence indexing O(1)
-	// per level.
-	SeqCount int32
 	// NestedChange marks interior nodes whose yield contains an edit since
 	// the last parse.
 	NestedChange bool
@@ -122,6 +91,44 @@ type Node struct {
 	// that rely on the §5 bounded-ambiguity claims should treat the region
 	// as disambiguated by policy, not by evidence.
 	BudgetPruned bool
+	// ID is the dense per-arena node number, assigned at allocation. It
+	// never changes and is unique within the node's arena; Scratch tables
+	// index by it.
+	ID int32
+	// Sym is the symbol this node represents: the terminal for leaves, the
+	// production LHS for production nodes, the phylum for choice nodes.
+	Sym grammar.Sym
+	// Prod is the production instance for KindProduction nodes; -1
+	// otherwise.
+	Prod int32
+	// State is the deterministic parse state recorded when the node was
+	// shifted (state-matching, §3.2), or NoState / MultiState.
+	State int32
+
+	// Incremental bookkeeping (§3.2–3.3). The paper notes that recording
+	// the leftmost terminal descendant in every node trades space for the
+	// ability to locate reuse candidates without traversal; we also record
+	// the rightmost terminal (for the right-context check) and the
+	// terminal count (to advance the input cursor past a shifted subtree).
+
+	// TermCount is the number of terminal leaves in the subtree.
+	TermCount int32
+	// SeqCount is the number of sequence elements under a KindSeq node
+	// (1 for any other node); it makes balanced-sequence indexing O(1)
+	// per level.
+	SeqCount int32
+	// Kids are the children: RHS instances for production nodes,
+	// alternatives for choice nodes, elements/subsequences for KindSeq.
+	Kids []*Node
+	// Text is the lexeme (terminals only).
+	Text string
+	// Parent is the node's parent in the last committed tree. Shared nodes
+	// (ambiguous regions) record one representative parent; any parent
+	// chain reaches the root, which is all change propagation needs.
+	Parent *Node
+	// LeftmostTerm/RightmostTerm delimit the node's terminal yield; nil
+	// for null-yield subtrees.
+	LeftmostTerm, RightmostTerm *Node
 	// Err carries the failure detail of a KindError node (nil otherwise).
 	Err *ErrorDetail
 }
@@ -158,6 +165,13 @@ func (n *Node) computeCover() {
 		}
 	}
 }
+
+// RecomputeCover refreshes the terminal-yield bookkeeping (leftmost and
+// rightmost terminal, terminal count) from the current children. Splicing
+// passes that rewire Kids in place — e.g. the chunked batch parser replacing
+// a stub with the preceding chunk's sequence chain — call it bottom-up over
+// the rewired spine.
+func (n *Node) RecomputeCover() { n.computeCover() }
 
 // PropagateChange sets NestedChange on every ancestor of n (stopping at the
 // first already-marked ancestor, which makes repeated marking cheap).
@@ -365,7 +379,7 @@ func format(g *grammar.Grammar, n *Node, depth int, b *strings.Builder) {
 	case KindError:
 		fmt.Fprintf(b, "ERROR «%d token(s)»", n.TermCount)
 	default:
-		fmt.Fprintf(b, "%s := %s", g.Name(n.Sym), g.ProductionString(g.Production(n.Prod)))
+		fmt.Fprintf(b, "%s := %s", g.Name(n.Sym), g.ProductionString(g.Production(int(n.Prod))))
 	}
 	if n.Filtered {
 		b.WriteString("  [filtered]")

@@ -9,7 +9,7 @@ package detparse
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 
 	"iglr/internal/dag"
 	"iglr/internal/grammar"
@@ -55,16 +55,21 @@ type Parser struct {
 	stack  []entry
 	tokens int
 	gauge  guard.Gauge
+
+	// Split stacks reused by the batch kernel (kernel.go) across parses.
+	kstates []int32
+	knodes  []*dag.Node
 }
 
 // expected renders the acceptable-terminal set of a state by name, sorted.
+// Only error paths call it, so the allocations here never touch the hot loop.
 func (p *Parser) expected(state int) []string {
 	syms := p.table.ExpectedTerminals(state)
 	out := make([]string, len(syms))
 	for i, s := range syms {
 		out[i] = p.g.Name(s)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -161,7 +166,7 @@ func (p *Parser) ParseContext(ctx context.Context, stream Stream) (root *dag.Nod
 			// Subtree lookahead: state-matching reuse, precomputed
 			// nonterminal reductions, or breakdown (§3.2).
 			if !la.Changed && !la.IsChoice() && la.State >= 0 {
-				if gt := p.table.Goto(top, la.Sym); gt >= 0 && gt == la.State {
+				if gt := p.table.Goto(top, la.Sym); gt >= 0 && gt == int(la.State) {
 					p.stack = append(p.stack, entry{state: gt, node: la})
 					p.Stats.Shifts++
 					p.Stats.SubtreeShifts++
@@ -186,7 +191,7 @@ func (p *Parser) ParseContext(ctx context.Context, stream Stream) (root *dag.Nod
 		}
 		switch act.Kind {
 		case lr.Shift:
-			la.State = int(act.Target)
+			la.State = int32(act.Target)
 			la.Changed = false
 			p.stack = append(p.stack, entry{state: int(act.Target), node: la})
 			p.Stats.Shifts++
@@ -213,7 +218,7 @@ func (p *Parser) reduce(rule int) {
 	p.Stats.Reductions++
 	prod := p.g.Production(rule)
 	n := prod.Arity()
-	kids := make([]*dag.Node, n)
+	kids := p.arena.Kids(n)
 	for i := 0; i < n; i++ {
 		kids[i] = p.stack[len(p.stack)-n+i].node
 	}

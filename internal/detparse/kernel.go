@@ -1,0 +1,136 @@
+package detparse
+
+import (
+	"context"
+
+	"iglr/internal/dag"
+	"iglr/internal/grammar"
+	"iglr/internal/guard"
+	"iglr/internal/lr"
+)
+
+// ParseBatch is the cold-parse kernel: it consumes the packed terminal slice
+// directly, with none of the machinery a reparse needs. The incremental
+// ParseContext pays, per token, for an interface dispatch into the stream,
+// a subtree-vs-terminal branch, and a breakdown branch; a cold parse never
+// takes any of them, because a fresh document's stream yields exactly the
+// significant terminals followed by EOF. The kernel also splits the parse
+// stack into an int32 state stack and a parallel node stack (halving the
+// bytes the shift/reduce loop touches per entry) and collapses precomputed
+// reduction cascades via lr.FusedChain into a single action lookup.
+//
+// Semantics are identical to ParseContext over a cold stream — same node
+// sequence and fields, same errors, same Stats, same budget behavior — which
+// the differential tests pin down. Sessions route cold deterministic parses
+// here and keep ParseContext for everything else.
+func (p *Parser) ParseBatch(ctx context.Context, terms []*dag.Node, eof *dag.Node, arena *dag.Arena) (root *dag.Node, err error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	p.Stats = Stats{}
+	p.arena = arena
+	p.gauge.Reset(p.Budget)
+	if p.Budget.MaxArenaNodes > 0 {
+		arena.SetLimit(arena.NumNodes() + p.Budget.MaxArenaNodes)
+	}
+	defer func() {
+		arena.SetLimit(0)
+		if r := recover(); r != nil {
+			root, err = nil, guard.Recovered(r)
+		}
+	}()
+	states := append(p.kstates[:0], int32(p.table.StartState()))
+	nodes := append(p.knodes[:0], nil)
+	defer func() { p.kstates, p.knodes = states[:0], nodes[:0] }()
+	p.tokens = 0
+
+	pos := 0
+	la := eof
+	if len(terms) > 0 {
+		la = terms[0]
+	}
+	for rounds := 0; ; rounds++ {
+		if rounds%checkEvery == checkEvery-1 {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			p.gauge.CheckDeadline()
+		}
+		top := int(states[len(states)-1])
+		if la == nil {
+			// The eof sentinel itself was shifted; a cold stream would now
+			// yield nil, and ParseContext reports exhaustion the same way.
+			return nil, &SyntaxError{Sym: grammar.EOF, SymName: "$",
+				TokenIndex: p.tokens, Expected: p.expected(top)}
+		}
+
+		if chain := p.table.FusedChain(top, la.Sym); chain != nil {
+			for _, step := range chain {
+				prod := p.g.Production(int(step.Rule))
+				n := prod.Arity()
+				kids := p.arena.Kids(n)
+				for i := 0; i < n; i++ {
+					kids[i] = nodes[len(nodes)-n+i]
+				}
+				states = states[:len(states)-n]
+				nodes = nodes[:len(nodes)-n]
+				node := p.arena.Production(prod.LHS, int(step.Rule), int(step.Goto), kids)
+				states = append(states, step.Goto)
+				nodes = append(nodes, node)
+			}
+			p.Stats.Reductions += len(chain)
+			continue
+		}
+
+		act, n := p.table.OneAction(top, la.Sym)
+		if n == 0 {
+			return nil, &SyntaxError{Sym: la.Sym, SymName: p.g.Name(la.Sym), Text: la.Text,
+				TokenIndex: p.tokens, Expected: p.expected(top)}
+		}
+		switch act.Kind {
+		case lr.Shift:
+			la.State = int32(act.Target)
+			la.Changed = false
+			states = append(states, act.Target)
+			nodes = append(nodes, la)
+			p.Stats.Shifts++
+			p.Stats.TerminalShifts++
+			if la.Sym != grammar.EOF {
+				p.tokens++
+			}
+			pos++
+			switch {
+			case pos < len(terms):
+				la = terms[pos]
+			case pos == len(terms):
+				la = eof
+			default:
+				la = nil
+			}
+		case lr.Reduce:
+			prod := p.g.Production(int(act.Target))
+			k := prod.Arity()
+			kids := p.arena.Kids(k)
+			for i := 0; i < k; i++ {
+				kids[i] = nodes[len(nodes)-k+i]
+			}
+			states = states[:len(states)-k]
+			nodes = nodes[:len(nodes)-k]
+			gt := p.table.Goto(int(states[len(states)-1]), prod.LHS)
+			node := p.arena.Production(prod.LHS, int(act.Target), gt, kids)
+			states = append(states, int32(gt))
+			nodes = append(nodes, node)
+			p.Stats.Reductions++
+		case lr.Accept:
+			if la.Sym != grammar.EOF {
+				return nil, &SyntaxError{Sym: la.Sym, SymName: p.g.Name(la.Sym), Text: la.Text,
+					TokenIndex: p.tokens, Expected: p.expected(top)}
+			}
+			return nodes[len(nodes)-1], nil
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package iglr
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"iglr/internal/dag"
+	"iglr/internal/grammar"
+	"iglr/internal/lr"
+)
+
+// burstGrammars covers the spectrum the fast path must be transparent
+// across: fully deterministic, locally ambiguous, and pathological.
+var burstGrammars = []struct {
+	name string
+	src  string
+	gen  func(g *grammar.Grammar, n int) []grammar.Sym
+}{
+	{
+		name: "deterministic-stmts",
+		src: `
+%token ID NUM '=' ';' '+'
+%start Prog
+Prog : Stmt* ;
+Stmt : ID '=' Expr ';' ;
+Expr : Expr '+' Term | Term ;
+Term : ID | NUM ;
+`,
+		gen: func(g *grammar.Grammar, n int) []grammar.Sym {
+			id, num, eq, semi, plus := g.Lookup("ID"), g.Lookup("NUM"), g.Lookup("'='"), g.Lookup("';'"), g.Lookup("'+'")
+			var out []grammar.Sym
+			for i := 0; i < n; i++ {
+				out = append(out, id, eq, num, plus, id, semi)
+			}
+			return out
+		},
+	},
+	{
+		name: "ambiguous-expr",
+		src: `
+%token ID '+' ';'
+%start Prog
+Prog : Stmt* ;
+Stmt : Expr ';' ;
+Expr : Expr '+' Expr | ID ;
+`,
+		gen: func(g *grammar.Grammar, n int) []grammar.Sym {
+			id, plus, semi := g.Lookup("ID"), g.Lookup("'+'"), g.Lookup("';'")
+			var out []grammar.Sym
+			for i := 0; i < n; i++ {
+				out = append(out, id, plus, id, plus, id, semi)
+			}
+			return out
+		},
+	},
+	{
+		name: "catalan",
+		src: `
+%token x
+%start S
+S : S S | x ;
+`,
+		gen: func(g *grammar.Grammar, n int) []grammar.Sym {
+			x := g.Lookup("x")
+			out := make([]grammar.Sym, n%7+1)
+			for i := range out {
+				out[i] = x
+			}
+			return out
+		},
+	},
+}
+
+// TestBurstMatchesRounds holds the round engine up as the oracle: with and
+// without the fast path, structure and stats must be identical.
+func TestBurstMatchesRounds(t *testing.T) {
+	for _, bg := range burstGrammars {
+		t.Run(bg.name, func(t *testing.T) {
+			g, err := grammar.Parse(bg.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl, err := lr.Build(g, lr.Options{Method: lr.LALR})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range []int{1, 3, 17, 120} {
+				input := bg.gen(g, n)
+				fast, slow := New(tbl), New(tbl)
+				slow.NoBurst = true
+				rootF, errF := fast.ParseSyms(input)
+				rootS, errS := slow.ParseSyms(input)
+				if (errF == nil) != (errS == nil) {
+					t.Fatalf("n=%d: burst err %v, rounds err %v", n, errF, errS)
+				}
+				if errF != nil {
+					continue
+				}
+				if got, want := dag.Format(g, rootF), dag.Format(g, rootS); got != want {
+					t.Fatalf("n=%d: burst tree differs from rounds tree", n)
+				}
+				if fast.Stats != slow.Stats {
+					t.Fatalf("n=%d: stats differ:\n  burst:  %+v\n  rounds: %+v", n, fast.Stats, slow.Stats)
+				}
+			}
+		})
+	}
+}
+
+// TestBurstErrorParity: syntax errors (position, expected set) must be
+// identical with and without the fast path.
+func TestBurstErrorParity(t *testing.T) {
+	g, err := grammar.Parse(`
+%token ID NUM '=' ';'
+%start Prog
+Prog : Stmt* ;
+Stmt : ID '=' NUM ';' ;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := lr.Build(g, lr.Options{Method: lr.LALR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, num, eq, semi := g.Lookup("ID"), g.Lookup("NUM"), g.Lookup("'='"), g.Lookup("';'")
+	cases := [][]grammar.Sym{
+		{id, eq, num},                          // truncated
+		{id, eq, eq, num, semi},                // bad token mid-statement
+		{id, eq, num, semi, id, id},            // error after a clean prefix
+		{num},                                  // wrong first token
+		{id, eq, num, semi, id, eq, num, semi}, // no error at all
+	}
+	for i, input := range cases {
+		fast, slow := New(tbl), New(tbl)
+		slow.NoBurst = true
+		_, errF := fast.ParseSyms(input)
+		_, errS := slow.ParseSyms(input)
+		switch {
+		case (errF == nil) != (errS == nil):
+			t.Fatalf("case %d: burst err %v, rounds err %v", i, errF, errS)
+		case errF != nil && errF.Error() != errS.Error():
+			t.Fatalf("case %d: error text differs:\n  burst:  %v\n  rounds: %v", i, errF, errS)
+		}
+		if fast.Stats != slow.Stats {
+			t.Fatalf("case %d: stats differ:\n  burst:  %+v\n  rounds: %+v", i, fast.Stats, slow.Stats)
+		}
+	}
+}
+
+// TestBurstLongDeterministicRun sanity-checks that the fast path stays
+// byte-identical over input long enough to cross every internal buffer
+// boundary (kids chunks, GSS arena chunks, poll intervals).
+func TestBurstLongDeterministicRun(t *testing.T) {
+	g, err := grammar.Parse(`
+%token ID NUM '=' ';' '+'
+%start Prog
+Prog : Stmt* ;
+Stmt : ID '=' Expr ';' ;
+Expr : Expr '+' Term | Term ;
+Term : ID | NUM ;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := lr.Build(g, lr.Options{Method: lr.LALR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	id, num, eq, semi, plus := g.Lookup("ID"), g.Lookup("NUM"), g.Lookup("'='"), g.Lookup("';'"), g.Lookup("'+'")
+	var input []grammar.Sym
+	// 1200 statements crosses every buffer boundary; much deeper and the
+	// Format oracle (quadratic in chain depth from indentation) dominates
+	// the test's runtime.
+	for i := 0; i < 1200; i++ {
+		input = append(input, id, eq, num)
+		for j := 0; j < i%5; j++ {
+			input = append(input, plus, id)
+		}
+		input = append(input, semi)
+	}
+	_ = sb
+	fast, slow := New(tbl), New(tbl)
+	slow.NoBurst = true
+	rootF, err := fast.ParseSyms(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootS, err := slow.ParseSyms(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dag.Format(g, rootF) != dag.Format(g, rootS) {
+		t.Fatal("burst tree differs on long input")
+	}
+	if fast.Stats != slow.Stats {
+		t.Fatalf("stats differ:\n  burst:  %+v\n  rounds: %+v", fast.Stats, slow.Stats)
+	}
+	if fmt.Sprint(fast.Stats) == "" {
+		t.Fatal("unreachable")
+	}
+}

@@ -1,0 +1,621 @@
+package iglr
+
+import (
+	"context"
+	"sync"
+
+	"iglr/internal/dag"
+	"iglr/internal/faultinject"
+	"iglr/internal/grammar"
+	"iglr/internal/lr"
+)
+
+// Chunked parallel parsing over the top-level associative sequence (§3.4).
+//
+// Every bundled language has the shape `Start : Elem*` (or Elem+): the tree
+// is a left-recursive chain of sequence productions over independent
+// elements. That chain is a seam for parallelism. The token stream is cut
+// at positions a cheap prescan believes to be element boundaries (after a
+// terminal in LAST(Elem), at bracket depth zero — the cut operates on
+// already-lexed tokens, so delimiters inside string or comment *text* are
+// structurally invisible and multi-byte runes cannot straddle a seam).
+// Each chunk is parsed concurrently by an ordinary Parser into its own
+// arena: worker 0 from the real start state, worker w>0 from a two-node
+// GSS [start, seqState] whose link carries a stub standing in for the
+// not-yet-known chain of everything to its left. After its last token each
+// worker *replays* the pending reductions using the first token of the next
+// chunk as lookahead and must end in exactly [start, chain@seqState] — the
+// configuration the next worker assumed. The fragments are then spliced
+// (the stub of chunk w is replaced by the chain of chunk w-1, covers
+// recomputed up the left spine), node IDs are renumbered densely into the
+// document arena's ID space, and the final reductions to the start symbol
+// run sequentially on the caller's goroutine.
+//
+// The fallback contract: anything the scheme cannot prove is handed back —
+// ParseChunked returns ok=false and the caller parses sequentially. That
+// covers unqualified grammars, unbalanced or uncuttable inputs, a boundary
+// that turns out not to end an element (the replay cannot reach the
+// handoff shape), a reduction that would consume the stub other than as
+// the left operand of a chain production, ambiguity touching the chain
+// spine, or a worker syntax error (the sequential parse may still succeed,
+// and if not, it owns error reporting). Until the splice commits, the
+// document arena is untouched, so falling back is free of side effects.
+// Chunked success is byte-identical to the sequential parse: each worker
+// runs the same table from the same configuration the sequential parser
+// would reach, and the handoff shape is verified, not assumed.
+
+// chunkAbort unwinds a worker that detected a condition requiring the
+// sequential fallback.
+type chunkAbort struct{}
+
+// chunkPlan is the per-table analysis enabling chunked parsing.
+type chunkPlan struct {
+	chainSym grammar.Sym // the X+ chain nonterminal
+	elemSym  grammar.Sym // X
+	seqState int         // Goto(start state, chainSym)
+	isLast   []bool      // by Sym: terminal may end an element
+	bracket  []int8      // by Sym: +1 open, -1 close, 0 neither
+}
+
+// planChunks analyzes the table's grammar; nil when the top level is not a
+// §3.4 sequence the chunker can use.
+func planChunks(t *lr.Table) *chunkPlan {
+	g := t.Grammar()
+	sprods := g.ProductionsFor(g.Start())
+	if len(sprods) != 1 || sprods[0].Arity() != 1 {
+		return nil
+	}
+	top := sprods[0].RHS[0]
+	if g.IsTerminal(top) || !g.Symbol(top).IsSequence() {
+		return nil
+	}
+	chain := top
+	if lp := g.ProductionsFor(top); len(lp) == 2 && (lp[0].IsEpsilon() || lp[1].IsEpsilon()) {
+		// X*: the chain is the X+ behind its non-ε production.
+		chain = grammar.InvalidSym
+		for _, p := range lp {
+			if !p.IsEpsilon() && p.Arity() == 1 && !g.IsTerminal(p.RHS[0]) {
+				chain = p.RHS[0]
+			}
+		}
+		if chain == grammar.InvalidSym || !g.Symbol(chain).IsSequence() {
+			return nil
+		}
+	}
+	elem := g.Symbol(chain).SeqElem
+	// The chain must be exactly the generated left-recursive pair
+	// X+ → X | X+ X, so a worker's stub is consumed by one chain reduction.
+	cp := g.ProductionsFor(chain)
+	if len(cp) != 2 {
+		return nil
+	}
+	okSingle, okPair := false, false
+	for _, p := range cp {
+		switch {
+		case p.Seq && p.Arity() == 1 && p.RHS[0] == elem:
+			okSingle = true
+		case p.Seq && p.Arity() == 2 && p.RHS[0] == chain && p.RHS[1] == elem:
+			okPair = true
+		}
+	}
+	if !okSingle || !okPair {
+		return nil
+	}
+	seqState := t.Goto(t.StartState(), chain)
+	if seqState < 0 {
+		return nil
+	}
+
+	plan := &chunkPlan{
+		chainSym: chain,
+		elemSym:  elem,
+		seqState: seqState,
+		isLast:   lastTerminals(g, elem),
+		bracket:  bracketMap(g),
+	}
+	any := false
+	for _, b := range plan.isLast {
+		if b {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	return plan
+}
+
+// lastTerminals computes LAST(elem): the terminals that can end an element,
+// by the usual fixpoint (walking each RHS right to left through nullable
+// suffixes).
+func lastTerminals(g *grammar.Grammar, elem grammar.Sym) []bool {
+	n := g.NumSymbols()
+	last := make([][]bool, n)
+	row := func(s grammar.Sym) []bool {
+		if last[s] == nil {
+			last[s] = make([]bool, n)
+		}
+		return last[s]
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, p := range g.Productions() {
+			dst := row(p.LHS)
+			for i := len(p.RHS) - 1; i >= 0; i-- {
+				s := p.RHS[i]
+				if g.IsTerminal(s) {
+					if !dst[s] {
+						dst[s] = true
+						changed = true
+					}
+					break
+				}
+				for t, ok := range row(s) {
+					if ok && !dst[t] {
+						dst[t] = true
+						changed = true
+					}
+				}
+				if !g.Nullable(s) {
+					break
+				}
+			}
+		}
+	}
+	if g.IsTerminal(elem) {
+		r := make([]bool, n)
+		r[elem] = true
+		return r
+	}
+	return row(elem)
+}
+
+// bracketMap classifies terminals by their literal name: (, [, { open a
+// nesting level; ), ], } close one. The prescan only cuts at depth zero, so
+// an element-final terminal inside any bracketed region never becomes a
+// seam candidate.
+func bracketMap(g *grammar.Grammar) []int8 {
+	out := make([]int8, g.NumSymbols())
+	for _, s := range g.Terminals() {
+		name := g.Name(s)
+		if len(name) == 3 && (name[0] == '\'' || name[0] == '"') && name[2] == name[0] {
+			name = name[1:2]
+		}
+		if len(name) != 1 {
+			continue
+		}
+		switch name[0] {
+		case '(', '[', '{':
+			out[s] = 1
+		case ')', ']', '}':
+			out[s] = -1
+		}
+	}
+	return out
+}
+
+// cutPoints selects up to nchunks-1 boundaries (indices into terms where a
+// new chunk starts), aiming at equal-sized chunks. Returns nil when the
+// stream is unbalanced or offers no usable seams.
+func (plan *chunkPlan) cutPoints(terms []*dag.Node, nchunks int) []int {
+	if nchunks < 2 || len(terms) < 2 {
+		return nil
+	}
+	target := len(terms) / nchunks
+	if target < 1 {
+		return nil
+	}
+	var cuts []int
+	depth := 0
+	next := target
+	for i, t := range terms {
+		switch plan.bracket[t.Sym] {
+		case 1:
+			depth++
+		case -1:
+			depth--
+			if depth < 0 {
+				return nil
+			}
+		}
+		if depth == 0 && plan.isLast[t.Sym] && i+1 >= next && i+1 < len(terms) {
+			cuts = append(cuts, i+1)
+			if len(cuts) == nchunks-1 {
+				break
+			}
+			next = i + 1 + target
+		}
+	}
+	return cuts
+}
+
+// chunkStream feeds one worker its token range; the boundary token is
+// readable as the next chunk's first terminal but never served here, so a
+// worker cannot shift past its seam.
+type chunkStream struct {
+	arena  *dag.Arena
+	terms  []*dag.Node
+	i, end int
+}
+
+func (cs *chunkStream) La() *dag.Node {
+	if cs.i >= cs.end {
+		return nil
+	}
+	return cs.terms[cs.i]
+}
+
+func (cs *chunkStream) Pop() {
+	if cs.i < cs.end {
+		cs.i++
+	}
+}
+
+func (cs *chunkStream) Breakdown() { panic("iglr: breakdown of a terminal chunk stream") }
+
+func (cs *chunkStream) Arena() *dag.Arena { return cs.arena }
+
+// chunkOut is one worker's result.
+type chunkOut struct {
+	top       *dag.Node  // the chain node at seqState after replay
+	stub      *dag.Node  // the placeholder (nil for worker 0)
+	arena     *dag.Arena // worker-private arena, first ID = T
+	stats      Stats
+	anyNondet  bool
+	sawNullKid bool
+	ok         bool
+	err        error
+}
+
+// runChunk parses terms[lo:hi] on a fresh parser, then replays the pending
+// reductions under boundary (the first terminal of the next chunk, or the
+// document EOF for the last chunk) down to the handoff shape.
+func runChunk(ctx context.Context, table *lr.Table, plan *chunkPlan, terms []*dag.Node, lo, hi int, boundary *dag.Node, baseID int) (out chunkOut) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isAbort := r.(chunkAbort); isAbort {
+				out = chunkOut{ok: false}
+				return
+			}
+			panic(r)
+		}
+	}()
+	arena := dag.NewArenaAt(baseID)
+	p := New(table)
+	p.ctx = ctx
+	cs := &chunkStream{arena: arena, terms: terms, i: lo, end: hi}
+	p.stream = cs
+	p.arena = arena
+	p.gauge.Reset(p.Budget)
+	p.Stats = Stats{}
+	p.sh.reset()
+	p.gssNodes.reset()
+	p.gssLinks.reset()
+	p.accepting = nil
+	p.multiple = false
+	p.anyNondet = false
+	p.sawNullKid = false
+	p.tokens = 0
+
+	bottom := p.newGSSNode(table.StartState())
+	if lo == 0 {
+		p.active = append(p.active[:0], bottom)
+	} else {
+		stub := arena.Production(plan.chainSym, -1, plan.seqState, nil)
+		head := p.newGSSNode(plan.seqState)
+		p.addLink(head, bottom, stub)
+		p.active = append(p.active[:0], head)
+		p.stubNode, p.stubSym = stub, plan.chainSym
+		out.stub = stub
+	}
+
+	for {
+		la := cs.La()
+		if la == nil {
+			break
+		}
+		if p.burstEligible(la) {
+			if err := p.burst(); err != nil {
+				return chunkOut{err: err}
+			}
+			if cs.La() == nil {
+				break
+			}
+		}
+		if err := p.parseNextSymbol(); err != nil {
+			if _, isSyntax := err.(*SyntaxError); isSyntax {
+				// The sequential parse may still succeed (e.g. a mis-cut
+				// boundary); hand the whole input back.
+				return chunkOut{ok: false}
+			}
+			return chunkOut{err: err}
+		}
+		if p.accepting != nil {
+			return chunkOut{ok: false}
+		}
+	}
+
+	top, ok := p.replayToHandoff(plan, boundary, bottom)
+	if !ok {
+		return chunkOut{ok: false}
+	}
+	out.top = top
+	out.arena = arena
+	out.stats = p.Stats
+	out.anyNondet = p.anyNondet
+	out.sawNullKid = p.sawNullKid
+	out.ok = true
+	return out
+}
+
+// replayToHandoff runs the reductions still pending at the chunk seam,
+// using boundary as the lookahead, until the stack is exactly
+// [start, chain@seqState] — the configuration the next worker started
+// from. Every other outcome means the cut was not an element boundary.
+func (p *Parser) replayToHandoff(plan *chunkPlan, boundary *dag.Node, bottom *gssNode) (*dag.Node, bool) {
+	if p.accepting != nil || len(p.active) != 1 || p.multiple {
+		return nil, false
+	}
+	// Materialize the (necessarily linear) stack, top first.
+	states := p.bStates[:0]
+	nodes := p.bNodes[:0]
+	for cur := p.active[0]; cur != bottom; {
+		if cur.nlinks != 1 {
+			return nil, false
+		}
+		states = append(states, int32(cur.state))
+		nodes = append(nodes, cur.link0.node)
+		cur = cur.link0.head
+	}
+	// Reverse into bottom-first order.
+	for i, j := 0, len(states)-1; i < j; i, j = i+1, j-1 {
+		states[i], states[j] = states[j], states[i]
+		nodes[i], nodes[j] = nodes[j], nodes[i]
+	}
+	defer func() { p.bStates, p.bNodes = states[:0], nodes[:0] }()
+
+	limit := 2*len(states) + 64
+	for iter := 0; ; iter++ {
+		if len(states) == 1 && int(states[0]) == plan.seqState && nodes[0].Sym == plan.chainSym {
+			return nodes[0], true
+		}
+		if iter >= limit || len(states) == 0 {
+			return nil, false
+		}
+		act, n := p.table.OneAction(int(states[len(states)-1]), boundary.Sym)
+		if n != 1 || act.Kind != lr.Reduce {
+			return nil, false
+		}
+		prod := p.g.Production(int(act.Target))
+		k := prod.Arity()
+		if k > len(states) {
+			return nil, false
+		}
+		kids := nodes[len(nodes)-k:]
+		if p.stubNode != nil && len(kids) > 0 && kids[0] == p.stubNode &&
+			(!prod.Seq || prod.LHS != p.stubSym) {
+			return nil, false
+		}
+		under := p.table.StartState()
+		if k < len(states) {
+			under = int(states[len(states)-1-k])
+		}
+		gt := p.table.Goto(under, prod.LHS)
+		if gt < 0 {
+			return nil, false
+		}
+		p.Stats.Reductions++
+		p.noteNullKids(kids)
+		owned := p.arena.Kids(k)
+		copy(owned, kids)
+		node := p.arena.Production(prod.LHS, int(act.Target), gt, owned)
+		states = append(states[:len(states)-k], int32(gt))
+		nodes = append(nodes[:len(nodes)-k], node)
+	}
+}
+
+// renumberFragment assigns dense IDs base, base+1, ... to the worker-built
+// nodes reachable from top (document terminals and the stub are skipped),
+// returning the count. seen and the traversal stack are caller-provided
+// scratch; the traversal is iterative because the chain spine is as deep as
+// the chunk has elements.
+func renumberFragment(top, stub *dag.Node, firstID, arenaEnd, base int, stack, list []*dag.Node) (int, []*dag.Node, []*dag.Node) {
+	seen := make([]bool, arenaEnd-firstID)
+	list = list[:0]
+	stack = append(stack[:0], top)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == stub || int(n.ID) < firstID {
+			continue
+		}
+		idx := int(n.ID) - firstID
+		if seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		list = append(list, n)
+		for _, k := range n.Kids {
+			stack = append(stack, k)
+		}
+	}
+	for i, n := range list {
+		n.ID = int32(base + i)
+	}
+	return len(list), stack, list
+}
+
+// spliceFragment replaces fragment w's stub with the chain built by the
+// fragments to its left, recomputing covers up the left spine. The spine
+// must be pure deterministic chain structure; anything else (a choice node
+// from ambiguity reaching the top level) aborts the splice.
+func spliceFragment(g *grammar.Grammar, plan *chunkPlan, top, stub, left *dag.Node) bool {
+	var spine []*dag.Node
+	for cur := top; ; cur = cur.Kids[0] {
+		if cur.Kind != dag.KindProduction || cur.Sym != plan.chainSym ||
+			!g.Production(int(cur.Prod)).Seq || len(cur.Kids) == 0 {
+			return false
+		}
+		spine = append(spine, cur)
+		if cur.Kids[0] == stub {
+			break
+		}
+	}
+	spine[len(spine)-1].Kids[0] = left
+	for i := len(spine) - 1; i >= 0; i-- {
+		spine[i].RecomputeCover()
+	}
+	return true
+}
+
+// chunkMinTokens is the smallest stream worth cutting: below this the
+// coordination overhead swamps any parallel win.
+const chunkMinTokens = 2048
+
+// maxChunkWorkers caps the fan-out: chunks are sized ~tokens/workers, and
+// far beyond the core count extra chunks only add splice and replay
+// overhead. The cap is deliberately not GOMAXPROCS — oversubscribed
+// goroutines still make progress (and keep the path testable on small
+// machines); the caller picks the count that matches its hardware.
+const maxChunkWorkers = 64
+
+// ParseChunked parses a cold token stream with workers goroutines over the
+// top-level sequence seam. On ok=true the returned root is byte-identical
+// to what the sequential parser would build over the same terminals, the
+// document arena has adopted the fragment nodes (IDs dense and unique), and
+// stats aggregates all workers. ok=false means the input or grammar did not
+// qualify and NOTHING was changed — the caller must parse sequentially.
+// A non-nil error is real (cancellation) regardless of ok.
+func ParseChunked(ctx context.Context, table *lr.Table, terms []*dag.Node, eof *dag.Node, docArena *dag.Arena, workers int) (*dag.Node, Stats, bool, error) {
+	if workers > maxChunkWorkers {
+		workers = maxChunkWorkers
+	}
+	if workers < 2 || len(terms) < chunkMinTokens || faultinject.Enabled() {
+		return nil, Stats{}, false, nil
+	}
+	plan := planChunks(table)
+	if plan == nil {
+		return nil, Stats{}, false, nil
+	}
+	cuts := plan.cutPoints(terms, workers)
+	if len(cuts) == 0 {
+		return nil, Stats{}, false, nil
+	}
+
+	T := docArena.NumNodes()
+	bounds := append(append([]int{0}, cuts...), len(terms))
+	outs := make([]chunkOut, len(bounds)-1)
+	var wg sync.WaitGroup
+	for w := 0; w < len(outs); w++ {
+		lo, hi := bounds[w], bounds[w+1]
+		boundary := eof
+		if hi < len(terms) {
+			boundary = terms[hi]
+		}
+		wg.Add(1)
+		go func(w, lo, hi int, boundary *dag.Node) {
+			defer wg.Done()
+			outs[w] = runChunk(ctx, table, plan, terms, lo, hi, boundary, T)
+		}(w, lo, hi, boundary)
+	}
+	wg.Wait()
+
+	var stats Stats
+	stats.ChunkWorkers = len(outs)
+	anyNondet, sawNullKid := false, false
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, Stats{}, false, o.err
+		}
+		if !o.ok {
+			return nil, Stats{}, false, nil
+		}
+		stats.Shifts += o.stats.Shifts
+		stats.SubtreeShifts += o.stats.SubtreeShifts
+		stats.TerminalShifts += o.stats.TerminalShifts
+		stats.Reductions += o.stats.Reductions
+		stats.Breakdowns += o.stats.Breakdowns
+		stats.Splits += o.stats.Splits
+		stats.Rounds += o.stats.Rounds
+		stats.RetainedNodes += o.stats.RetainedNodes
+		stats.BudgetPruned += o.stats.BudgetPruned
+		if o.stats.MaxActiveParsers > stats.MaxActiveParsers {
+			stats.MaxActiveParsers = o.stats.MaxActiveParsers
+		}
+		anyNondet = anyNondet || o.anyNondet
+		sawNullKid = sawNullKid || o.sawNullKid
+	}
+
+	// Renumber each fragment into a dense shared ID space (before splicing,
+	// while fragments are still disjoint), then wire them together.
+	base := T
+	var stack, list []*dag.Node
+	var count int
+	for w := range outs {
+		count, stack, list = renumberFragment(outs[w].top, outs[w].stub, T, outs[w].arena.NumNodes(), base, stack, list)
+		base += count
+	}
+	g := table.Grammar()
+	for w := 1; w < len(outs); w++ {
+		if !spliceFragment(g, plan, outs[w].top, outs[w].stub, outs[w-1].top) {
+			return nil, Stats{}, false, nil
+		}
+	}
+	docArena.AdvanceTo(base)
+
+	// Final reductions to the start symbol, on the document arena.
+	root, tailReds, ok := replayTail(table, plan, outs[len(outs)-1].top, eof, docArena)
+	if !ok {
+		return nil, Stats{}, false, nil
+	}
+	stats.Reductions += tailReds
+	// Same gate as the sequential epilogue: the walk only matters when a
+	// worker both used nondeterministic machinery and attached a null-yield
+	// subtree somewhere (splice-built chain edges are always non-null — every
+	// element contains at least its cut terminal).
+	if anyNondet && sawNullKid {
+		dag.UnshareEpsilon(docArena, root)
+	}
+	return root, stats, true, nil
+}
+
+// replayTail reduces [start, chain@seqState] under EOF to the accepted
+// start-symbol node — the tail every chunk handed off to.
+func replayTail(table *lr.Table, plan *chunkPlan, chain, eof *dag.Node, arena *dag.Arena) (*dag.Node, int, bool) {
+	g := table.Grammar()
+	states := []int32{int32(table.StartState()), int32(plan.seqState)}
+	nodes := []*dag.Node{nil, chain}
+	reds := 0
+	for iter := 0; iter < 64; iter++ {
+		act, n := table.OneAction(int(states[len(states)-1]), eof.Sym)
+		if n != 1 {
+			return nil, 0, false
+		}
+		switch act.Kind {
+		case lr.Accept:
+			return nodes[len(nodes)-1], reds, true
+		case lr.Reduce:
+			prod := g.Production(int(act.Target))
+			k := prod.Arity()
+			if k > len(states)-1 {
+				return nil, 0, false
+			}
+			kids := arena.Kids(k)
+			copy(kids, nodes[len(nodes)-k:])
+			states = states[:len(states)-k]
+			nodes = nodes[:len(nodes)-k]
+			gt := table.Goto(int(states[len(states)-1]), prod.LHS)
+			if gt < 0 {
+				return nil, 0, false
+			}
+			node := arena.Production(prod.LHS, int(act.Target), gt, kids)
+			states = append(states, int32(gt))
+			nodes = append(nodes, node)
+			reds++
+		default:
+			return nil, 0, false
+		}
+	}
+	return nil, 0, false
+}

@@ -53,6 +53,7 @@ type Stats struct {
 	Rounds           int // parse_next_symbol invocations
 	RetainedNodes    int // old nodes reused by bottom-up node retention [25]
 	BudgetPruned     int // ambiguous regions pruned by the ambiguity budget
+	ChunkWorkers     int // chunks a successful parallel cold parse used (0: sequential)
 }
 
 // retained implements bottom-up node reuse: if every child was reused from
@@ -66,7 +67,7 @@ func retained(rule int, kids []*dag.Node) *dag.Node {
 	}
 	old := kids[0].Parent
 	if old == nil || !old.Committed || old.Kind != dag.KindProduction ||
-		old.Prod != rule || len(old.Kids) != len(kids) {
+		int(old.Prod) != rule || len(old.Kids) != len(kids) {
 		return nil
 	}
 	for i, k := range kids {
@@ -106,9 +107,24 @@ type Parser struct {
 	forShifter []shiftPair
 	multiple   bool
 	anyNondet  bool // any round used non-deterministic machinery
+	sawNullKid bool // any fresh node gained a null-yield child or alternative
 	accepting  *gssNode
 	sh         *share
 	tokens     int
+
+	// NoBurst disables the linear-stack fast path (burst.go), forcing every
+	// symbol through the round engine. The two paths are byte-identical by
+	// contract; the flag exists so differential tests can hold the round
+	// engine up as the oracle.
+	NoBurst bool
+
+	// stubNode/stubSym are set only on chunk-worker parsers (chunk.go): the
+	// placeholder standing in for the unparsed left context. Any reduction
+	// that consumes the stub other than as the left operand of a
+	// deterministic chain production would bake the missing context into an
+	// unspliceable shape, so it aborts the worker (sequential fallback).
+	stubNode *dag.Node
+	stubSym  grammar.Sym
 
 	// Recycled storage: the GSS node/link arenas rewind at each Parse and
 	// the reduction-kids buffer is reused across rounds, so a steady-state
@@ -116,6 +132,12 @@ type Parser struct {
 	gssNodes gssNodeArena
 	gssLinks gssLinkArena
 	kidsBuf  []*dag.Node
+
+	// Burst-mode scratch (burst.go), reused across parses.
+	bStates []int32
+	bNodes  []*dag.Node
+	bSteps  []burstStep
+	bSim    []int32
 
 	// gauge meters the current parse against Budget.
 	gauge guard.Gauge
@@ -216,11 +238,24 @@ func (p *Parser) ParseContext(ctx context.Context, stream Stream) (root *dag.Nod
 	p.accepting = nil
 	p.multiple = false
 	p.anyNondet = false
+	p.sawNullKid = false
 	p.tokens = 0
 
 	for p.accepting == nil {
-		if p.stream.La() == nil {
+		la := p.stream.La()
+		if la == nil {
 			return nil, &SyntaxError{Sym: grammar.EOF, SymName: "$", Text: "", TokenIndex: p.tokens}
+		}
+		if p.burstEligible(la) {
+			// The fast path consumes the degenerate prefix, then exits on a
+			// lookahead it committed nothing for; the round below handles
+			// that lookahead, which also guarantees progress.
+			if err := p.burst(); err != nil {
+				return nil, err
+			}
+			if p.stream.La() == nil {
+				return nil, &SyntaxError{Sym: grammar.EOF, SymName: "$", Text: "", TokenIndex: p.tokens}
+			}
 		}
 		if err := p.parseNextSymbol(); err != nil {
 			return nil, err
@@ -229,11 +264,32 @@ func (p *Parser) ParseContext(ctx context.Context, stream Stream) (root *dag.Nod
 
 	root = p.acceptedRoot()
 	// Epsilon over-sharing can only arise from the sharing tables, which
-	// deterministic rounds bypass entirely (§3.5).
-	if p.anyNondet {
+	// deterministic rounds bypass entirely (§3.5) — and only when some
+	// fresh node took a null-yield child or alternative (duplicating a
+	// null subtree requires a second parent edge to it, and every such
+	// edge trips sawNullKid where it is created). Grammars whose ε
+	// productions never fire skip the whole-tree walk.
+	if p.anyNondet && p.sawNullKid {
 		dag.UnshareEpsilon(p.arena, root)
 	}
 	return root, nil
+}
+
+// noteNullKids flags the parse as needing the §3.5 ε-unshare pass when any
+// child being attached to a fresh node has a null yield. Every parent edge
+// a node ever gains passes through here (reducer, burst commit) or through
+// the explicit alternative-merge checks, so a parse that never trips the
+// flag provably has no multiply-parented null subtree.
+func (p *Parser) noteNullKids(kids []*dag.Node) {
+	if p.sawNullKid {
+		return
+	}
+	for _, k := range kids {
+		if k.TermCount == 0 && !k.IsTerminal() {
+			p.sawNullKid = true
+			return
+		}
+	}
 }
 
 // acceptedRoot extracts the start-symbol node from the accepting parser.
@@ -243,7 +299,11 @@ func (p *Parser) acceptedRoot() *dag.Node {
 	// Multiple top-level interpretations that never converged in the GSS
 	// are merged explicitly.
 	for i := 1; i < acc.numLinks(); i++ {
-		root = p.enforceAltCap(addInterpretation(p.arena, root, acc.linkAt(i).node))
+		alt := acc.linkAt(i).node
+		if alt.TermCount == 0 {
+			p.sawNullKid = true // null subtree becomes an alternative edge
+		}
+		root = p.enforceAltCap(addInterpretation(p.arena, root, alt))
 	}
 	return root
 }
@@ -290,7 +350,7 @@ func (p *Parser) preferAlt(a, b *dag.Node) bool {
 	if b.Kind != dag.KindProduction {
 		return true
 	}
-	pa, pb := p.g.Production(a.Prod), p.g.Production(b.Prod)
+	pa, pb := p.g.Production(int(a.Prod)), p.g.Production(int(b.Prod))
 	if pa.Prec != pb.Prec {
 		return pa.Prec > pb.Prec
 	}
@@ -435,7 +495,7 @@ func (p *Parser) actor(a *gssNode) {
 			// deterministically-built subtree whose recorded state equals
 			// today's goto target.
 			if p.soleParser(a) && p.reusable(la) {
-				if gt := p.table.Goto(a.state, la.Sym); gt >= 0 && gt == la.State && !p.table.HasConflict(a.state) {
+				if gt := p.table.Goto(a.state, la.Sym); gt >= 0 && gt == int(la.State) && !p.table.HasConflict(a.state) {
 					p.tracef("S: %s (subtree, %d tokens) -> state %d", p.g.Name(la.Sym), countTerms(la), gt)
 					p.forShifter = append(p.forShifter, shiftPair{from: a, target: gt})
 					return
@@ -562,12 +622,17 @@ func (p *Parser) reducer(q *gssNode, rule int, kids []*dag.Node) {
 		p.injectReduce()
 	}
 	lhs := p.g.Production(rule).LHS
+	if p.stubNode != nil && len(kids) > 0 && kids[0] == p.stubNode &&
+		(p.multiple || !p.g.Production(rule).Seq || lhs != p.stubSym) {
+		panic(chunkAbort{})
+	}
 	state := p.table.Goto(q.state, lhs)
 	if state < 0 {
 		// No goto: this reduction path is invalid in context (possible in
 		// non-deterministic regions); the would-be parser dies.
 		return
 	}
+	p.noteNullKids(kids)
 	// The multipleStates flag (§3.3) — set on conflicted table cells and
 	// maintained by the shifter — decides whether this node is stamped
 	// with a deterministic state or the MultiState equivalence class. In
@@ -582,12 +647,14 @@ func (p *Parser) reducer(q *gssNode, rule int, kids []*dag.Node) {
 		p.anyNondet = true
 		node = p.sh.getNode(p.arena, p.g, rule, kids, state, true)
 	} else if old := retained(rule, kids); old != nil {
-		old.State = state
+		old.State = int32(state)
 		node = old
 		p.Stats.RetainedNodes++
 	} else {
-		// kids may be the shared reduction buffer; the node needs its own.
-		owned := make([]*dag.Node, len(kids))
+		// kids may be the shared reduction buffer; the node needs its own,
+		// bump-allocated so a reduce-heavy parse is one allocation per
+		// kidsChunk pointers rather than one per reduction.
+		owned := p.arena.Kids(len(kids))
 		copy(owned, kids)
 		node = p.arena.Production(p.g.Production(rule).LHS, rule, state, owned)
 	}
@@ -598,6 +665,9 @@ func (p *Parser) reducer(q *gssNode, rule int, kids []*dag.Node) {
 			// link's node (ambiguity packing).
 			if p.Trace != nil {
 				p.tracef("M: merge interpretation for %s", p.g.Name(lhs))
+			}
+			if node.TermCount == 0 {
+				p.sawNullKid = true // null subtree becomes an alternative edge
 			}
 			l.node = p.enforceAltCap(addInterpretation(p.arena, l.node, node))
 			return
@@ -622,6 +692,9 @@ func (p *Parser) reducer(q *gssNode, rule int, kids []*dag.Node) {
 
 	n := node
 	if p.multiple {
+		if node.TermCount == 0 {
+			p.sawNullKid = true // symbol-table merge may alias the null subtree
+		}
 		n = p.enforceAltCap(p.sh.mergeInterpretation(p.arena, node))
 	}
 	np := p.newGSSNode(state)
@@ -680,7 +753,7 @@ func (p *Parser) shifter() {
 	if p.multiple {
 		la.State = dag.MultiState
 	} else {
-		la.State = p.forShifter[0].target
+		la.State = int32(p.forShifter[0].target)
 	}
 	la.Changed = false
 

@@ -73,7 +73,7 @@ func (s *share) getNode(a *dag.Arena, g *grammar.Grammar, rule int, kids []*dag.
 	s.dirty = true
 	key := nodeKey{rule: int32(rule), kids: s.kidsKey(kids)}
 	if n, ok := s.nodes[key]; ok {
-		if multi || n.State != state {
+		if multi || n.State != int32(state) {
 			n.State = dag.MultiState
 		}
 		return n
@@ -82,7 +82,7 @@ func (s *share) getNode(a *dag.Arena, g *grammar.Grammar, rule int, kids []*dag.
 	if multi {
 		st = dag.MultiState
 	}
-	owned := make([]*dag.Node, len(kids))
+	owned := a.Kids(len(kids))
 	copy(owned, kids)
 	n := a.Production(g.Production(rule).LHS, rule, st, owned)
 	s.nodes[key] = n

@@ -188,5 +188,5 @@ func (s *splicer) withKid(n *dag.Node, i int, nk *dag.Node) *dag.Node {
 	kids := make([]*dag.Node, len(n.Kids))
 	copy(kids, n.Kids)
 	kids[i] = nk
-	return s.a.Production(n.Sym, n.Prod, dag.NoState, kids)
+	return s.a.Production(n.Sym, int(n.Prod), dag.NoState, kids)
 }

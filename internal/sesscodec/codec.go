@@ -613,7 +613,7 @@ func decodeNodes(r *reader, arena *dag.Arena, toks []lexer.Token, l *langs.Langu
 		// The constructors compute cover bookkeeping and default states;
 		// the recorded state (and flags) override — they are part of the
 		// committed tree's identity (state-matching, §3.2).
-		n.State = int(state)
+		n.State = int32(state)
 		n.Filtered = f&nodeFiltered != 0
 		n.BudgetPruned = f&nodeBudgetPruned != 0
 		table = append(table, n)

@@ -1,0 +1,201 @@
+package incremental_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	incremental "iglr"
+	"iglr/internal/corpus"
+)
+
+// bigLispSource emits enough top-level forms to clear the chunked parser's
+// minimum token count.
+func bigLispSource(forms int) string {
+	var sb strings.Builder
+	for i := 0; i < forms; i++ {
+		fmt.Fprintf(&sb, "(define (f%d x) (* x x)) (f%d %d)\n", i, i, i)
+	}
+	return sb.String()
+}
+
+// bigJavaSource emits classes whose bodies hide brackets and semicolons
+// inside string literals and comments — exactly the content a naive
+// text-level splitter would trip over. The chunker cuts on the *token*
+// stream, after lexing, so these must be invisible to it.
+func bigJavaSource(classes int) string {
+	var sb strings.Builder
+	for i := 0; i < classes; i++ {
+		switch i % 3 {
+		case 0:
+			fmt.Fprintf(&sb, "class C%d { int x; void m() { x = x + %d; } }\n", i, i)
+		case 1:
+			fmt.Fprintf(&sb, "class C%d { String s = \"} ; { not code\"; /* } ; */ }\n", i)
+		default:
+			fmt.Fprintf(&sb, "class C%d { // trailing } ; comment\n  int y = %d; }\n", i, i)
+		}
+	}
+	return sb.String()
+}
+
+// TestParseWorkersDifferential: for every bundled language, a session with
+// WithParseWorkers must produce a tree byte-identical to a sequential
+// session — whether the chunked path engages (big qualifying inputs) or
+// falls back (small or unqualifying ones) — and the committed tree must
+// serve incremental edits afterwards.
+func TestParseWorkersDifferential(t *testing.T) {
+	csrc, _ := corpus.Generate(corpus.Spec{Name: "pw", Lines: 700, Lang: "c", AmbiguousPerKLoC: 5, Seed: 42})
+	cppsrc, _ := corpus.Generate(corpus.Spec{Name: "pw", Lines: 700, Lang: "c++", AmbiguousPerKLoC: 5, Seed: 43})
+	cases := []struct {
+		name       string
+		lang       *incremental.Language
+		src        string
+		wantChunks bool // chunked path must actually engage
+	}{
+		{"csub-corpus", incremental.CSubset(), csrc, true},
+		{"cppsub-corpus", incremental.CPPSubset(), cppsrc, true},
+		{"javasub-big", incremental.JavaSubset(), bigJavaSource(400), true},
+		{"lispsub-big", incremental.LispSubset(), bigLispSource(700), true},
+		{"csub-small", incremental.CSubset(), "typedef int t; t(a); int b; b = b + 1;", false},
+		{"expr", incremental.ExprLanguage(), "1 + 2 * x", false},
+		{"ambig-expr", incremental.AmbiguousExprLanguage(), "a+b*c+d", false},
+		{"javasub", incremental.JavaSubset(), "class A { int[] xs; void m() { xs[0] = 1; } }", false},
+		{"mod2sub", incremental.Modula2Subset(), "MODULE M;\nVAR x : INTEGER;\nBEGIN\n  x := 1\nEND M.\n", false},
+		{"scannerless", incremental.ScannerlessLanguage(), "if(cond)x=1;", false},
+		{"lr2", incremental.LR2Language(), "x z c", false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			seq := incremental.NewSession(c.lang, c.src)
+			seqRoot, err := seq.Parse()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := incremental.FormatDag(c.lang, seqRoot)
+
+			par := incremental.NewSession(c.lang, c.src, incremental.WithParseWorkers(4))
+			parRoot, err := par.Parse()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := incremental.FormatDag(c.lang, parRoot); got != want {
+				t.Fatal("parallel cold parse differs from sequential")
+			}
+			if c.wantChunks && par.Stats().ChunkWorkers == 0 {
+				t.Fatal("chunked path did not engage on a qualifying input")
+			}
+			if !c.wantChunks && par.Stats().ChunkWorkers != 0 {
+				t.Fatal("chunked path engaged where it should have fallen back")
+			}
+
+			// The chunk-built committed tree must be a first-class citizen:
+			// edit both sessions and compare the incremental reparses.
+			off := strings.LastIndex(c.src, ";")
+			if off < 0 {
+				off = len(c.src) - 1
+			}
+			for _, s := range []*incremental.Session{seq, par} {
+				s.Edit(off, 0, " ")
+			}
+			r1, err1 := seq.Parse()
+			r2, err2 := par.Parse()
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("edit reparse: seq err %v, par err %v", err1, err2)
+			}
+			if err1 == nil {
+				if incremental.FormatDag(c.lang, r1) != incremental.FormatDag(c.lang, r2) {
+					t.Fatal("incremental reparse differs after chunked cold parse")
+				}
+			}
+		})
+	}
+}
+
+// TestParseWorkersEditLocality: a chunk-parsed tree must support *local*
+// incremental edits — the reparse after a one-token change in a big file
+// must reuse committed subtrees rather than rebuild the document.
+func TestParseWorkersEditLocality(t *testing.T) {
+	src, _ := corpus.Generate(corpus.Spec{Name: "pw", Lines: 900, Lang: "c", AmbiguousPerKLoC: 0, Seed: 7})
+	s := incremental.NewSession(incremental.CSubset(), src, incremental.WithParseWorkers(4))
+	if _, err := s.Parse(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().ChunkWorkers == 0 {
+		t.Fatal("chunked path did not engage")
+	}
+	off := strings.Index(src, "int v0 = ")
+	if off < 0 {
+		t.Fatal("no initialized declaration found in corpus")
+	}
+	s.Edit(off+len("int v0 = "), 1, "7")
+	if _, err := s.Parse(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.SubtreeShifts == 0 {
+		t.Fatalf("no subtree reuse after chunked cold parse: %+v", st)
+	}
+	if st.TerminalShifts > 64 {
+		t.Fatalf("reparse relexed too much after chunked cold parse: %+v", st)
+	}
+}
+
+// TestParseWorkersTolerantAndRecovery: the parallel gate must compose with
+// the recovery pipeline — a broken edit after a chunked cold parse goes
+// through isolation exactly as it would sequentially.
+func TestParseWorkersTolerantAndRecovery(t *testing.T) {
+	src, _ := corpus.Generate(corpus.Spec{Name: "pw", Lines: 700, Lang: "c", AmbiguousPerKLoC: 0, Seed: 9})
+	s := incremental.NewSession(incremental.CSubset(), src, incremental.WithParseWorkers(4))
+	if _, err := s.Parse(); err != nil {
+		t.Fatal(err)
+	}
+	off := strings.Index(src, ";")
+	s.Edit(off, 1, "(") // break the first statement
+	out := s.ParseWithRecovery()
+	if out.Err != nil {
+		t.Fatalf("recovery errored: %v", out.Err)
+	}
+	if out.Clean {
+		t.Fatal("edit should have broken the parse")
+	}
+}
+
+// FuzzChunkedParse feeds adversarial programs through both a sequential and
+// a parallel session: delimiters hidden in strings and comments, unbalanced
+// brackets, multi-byte runes near potential seams. The two trees (or the
+// two errors) must agree byte for byte.
+func FuzzChunkedParse(f *testing.F) {
+	// Seeds: boundary-hostile constructs repeated past chunkMinTokens.
+	// javasub is a GLR language whose top level chunks, and whose lexer has
+	// both string literals and comments to hide delimiters in.
+	rep := func(s string, n int) string { return strings.Repeat(s, n) }
+	f.Add(rep("class A { int x; } ", 200))
+	f.Add(rep("class B { String s = \"} ; {\"; } ", 150))
+	f.Add(rep("class C { /* } ; */ int y; } ", 150))
+	f.Add(rep("class D { // } ;\n int z; } ", 150))
+	f.Add(rep("class E { int q; } ", 120) + "class F { int")
+	f.Add(rep("class G { String u = \"é世界\"; } ", 150)) // multi-byte runes at seams
+	f.Add(rep("class H { int a; } ", 100) + "}" + rep("class I { int b; } ", 100))
+	lang := incremental.JavaSubset()
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			t.Skip()
+		}
+		seq := incremental.NewSession(lang, src)
+		par := incremental.NewSession(lang, src, incremental.WithParseWorkers(3))
+		r1, err1 := seq.Parse()
+		r2, err2 := par.Parse()
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("error disagreement: seq %v, par %v", err1, err2)
+		}
+		if err1 != nil {
+			if err1.Error() != err2.Error() {
+				t.Fatalf("error text differs:\n  seq: %v\n  par: %v", err1, err2)
+			}
+			return
+		}
+		if incremental.FormatDag(lang, r1) != incremental.FormatDag(lang, r2) {
+			t.Fatal("parallel tree differs from sequential")
+		}
+	})
+}
