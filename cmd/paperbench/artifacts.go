@@ -98,6 +98,10 @@ type BenchReport struct {
 	// ColdCorpus is the Table 1 batch-throughput sweep over lex-worker
 	// counts (raw lexer MB/s and end-to-end engine MB/s).
 	ColdCorpus *ColdCorpusBench `json:"cold_corpus"`
+	// Overload is the backpressure workload: an undersized daemon under
+	// more clients than it can admit — shed rate and codes, queue-wait
+	// percentiles, and the admitted traffic's throughput.
+	Overload *OverloadBench `json:"overload"`
 }
 
 func runArtifactBench(outPath string) error {
@@ -308,6 +312,13 @@ func runArtifactBench(outPath string) error {
 	}
 	report.ColdCorpus = cc
 	fmt.Fprint(os.Stderr, formatColdCorpus(cc))
+
+	ob, err := runOverloadBench(16, 6)
+	if err != nil {
+		return fmt.Errorf("overload workload: %w", err)
+	}
+	report.Overload = ob
+	fmt.Fprint(os.Stderr, formatOverload(ob))
 
 	out, err := json.MarshalIndent(&report, "", "  ")
 	if err != nil {

@@ -46,6 +46,9 @@ func main() {
 	corpusOnly := flag.Bool("corpus", false, "run only the cold-corpus throughput workload (lex, parse-stage, and end-to-end MB/s per worker count) and exit; with -json, write its report there")
 	corpusScale := flag.Float64("corpus-scale", 0.05, "fraction of Table 1 line counts for the cold-corpus workload")
 	corpusWorkers := flag.String("corpus-workers", "1,2,4,8", "comma-separated worker counts (lex and parse) for the cold-corpus sweep")
+	overloadOnly := flag.Bool("overload", false, "run only the overload/backpressure workload (shed rate, queue-wait percentiles, accepted throughput against an undersized daemon) and exit; with -json, write its report there")
+	overloadWorkers := flag.Int("overload-workers", 16, "concurrent clients for the -overload workload")
+	overloadRounds := flag.Int("overload-rounds", 6, "create/edit/read/close rounds per client for the -overload workload")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -82,6 +85,14 @@ func main() {
 	if *corpusOnly {
 		if err := runCorpusOnly(*corpusScale, *corpusWorkers, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "paperbench: -corpus: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *overloadOnly {
+		if err := runOverloadOnly(*overloadWorkers, *overloadRounds, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: -overload: %v\n", err)
 			os.Exit(1)
 		}
 		return

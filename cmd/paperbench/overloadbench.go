@@ -1,0 +1,325 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	incremental "iglr"
+	"iglr/daemon"
+	"iglr/daemon/client"
+)
+
+// OverloadBench is the backpressure workload's row in the report: an
+// undersized daemon — two shards with tiny queues, a global in-flight cap,
+// low memory watermarks — hammered by more concurrent clients than it can
+// admit. Retries are disabled so every refusal is observed; the point of
+// the workload is that overload turns into fast, well-formed sheds while
+// the admitted slice of traffic keeps its throughput and every shed
+// carries a usable retry hint.
+type OverloadBench struct {
+	Workers     int `json:"workers"`
+	PerWorker   int `json:"requests_per_worker"`
+	Shards      int `json:"shards"`
+	QueueDepth  int `json:"queue_depth"`
+	MaxInflight int `json:"max_inflight"`
+
+	// Requests counts client operations attempted (creates, edits,
+	// subtree reads, closes); every one either succeeded or was shed.
+	Requests int64 `json:"requests"`
+	Accepted int64 `json:"accepted"`
+	Shed     int64 `json:"shed"`
+	// ShedRate = Shed / Requests.
+	ShedRate float64 `json:"shed_rate"`
+	// ShedByCode breaks the sheds down by the server's shed code
+	// (queue_full, inflight_cap, memory_pressure, deadline, ...).
+	ShedByCode map[string]int64 `json:"shed_by_code"`
+
+	WallMicros int64 `json:"wall_micros"`
+	// AcceptedPerSec is the throughput of the admitted traffic only.
+	AcceptedPerSec float64 `json:"accepted_per_sec"`
+
+	// Queue-wait percentiles come from the daemon's own
+	// iglrd_queue_wait_seconds histogram (bucket upper bounds, so they are
+	// conservative), covering every task a shard actually ran.
+	QueueWaitP50Micros int64 `json:"queue_wait_p50_micros"`
+	QueueWaitP95Micros int64 `json:"queue_wait_p95_micros"`
+	QueueWaitP99Micros int64 `json:"queue_wait_p99_micros"`
+
+	// PressureEvictions counts sessions the janitor parked to disk to get
+	// back under the soft watermark during the storm.
+	PressureEvictions int64 `json:"pressure_evictions"`
+}
+
+// runOverloadBench drives workers concurrent clients, perWorker rounds
+// each, against a deliberately undersized daemon. Even workers are cheap
+// expr editors; odd workers open ambiguity bombs that pile up live bytes
+// and trip the memory governor. Any failure that is not a proper shed
+// (429/503 with a code and a retry hint) fails the bench.
+func runOverloadBench(workers, perWorker int) (*OverloadBench, error) {
+	dir, err := os.MkdirTemp("", "paperbench-overload-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	bench := &OverloadBench{
+		Workers:     workers,
+		PerWorker:   perWorker,
+		Shards:      2,
+		QueueDepth:  4,
+		MaxInflight: workers / 2,
+		ShedByCode:  map[string]int64{},
+	}
+	d, err := daemon.New(daemon.Config{
+		Listen:          "127.0.0.1:0",
+		AdminListen:     "127.0.0.1:0",
+		Bundled:         []string{"expr", "expr-ambiguous"},
+		Persist:         daemon.Persist{Dir: dir},
+		Shards:          bench.Shards,
+		QueueDepth:      bench.QueueDepth,
+		MaxInflight:     bench.MaxInflight,
+		DefaultDeadline: daemon.Duration(2 * time.Second),
+		MemorySoftBytes: 1 << 20,
+		MemoryHardBytes: 24 << 20,
+		DefaultTenant:   daemon.Tenant{Budget: incremental.Budget{MaxAlternatives: 2}},
+		PressureBudget:  incremental.Budget{MaxAlternatives: 1},
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.Logf = func(string, ...any) {}
+	if err := d.Start(); err != nil {
+		return nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		d.Shutdown(ctx)
+	}()
+
+	// Ambiguity bomb: a long chain of same-precedence operators in the
+	// deliberately ambiguous grammar, so each parse carries a dense DAG.
+	bomb := "1" + strings.Repeat("+2*3-4/5", 12)
+
+	var (
+		accepted atomic.Int64
+		requests atomic.Int64
+		mu       sync.Mutex
+		firstErr error
+	)
+	shed := func(err error) bool {
+		var se *client.StatusError
+		if !errors.As(err, &se) || !se.Shed() || se.Code == "" || se.RetryAfter <= 0 {
+			return false
+		}
+		mu.Lock()
+		bench.ShedByCode[se.Code]++
+		mu.Unlock()
+		return true
+	}
+	// op runs one client call: success and proper sheds both count; any
+	// other failure aborts the bench. Returns true on success.
+	op := func(err error) bool {
+		requests.Add(1)
+		if err == nil {
+			accepted.Add(1)
+			return true
+		}
+		if !shed(err) {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}
+		return false
+	}
+
+	ctx := context.Background()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl := client.New("http://"+d.Addr().String(), client.Options{NoRetry: true})
+			lang, text := "expr", "1+2*3"
+			if i%2 == 1 {
+				lang, text = "expr-ambiguous", bomb
+			}
+			for r := 0; r < perWorker; r++ {
+				s, err := cl.CreateSession(ctx, lang, text, "", false)
+				if !op(err) {
+					continue
+				}
+				// A shed edit changed nothing (the codes guarantee it), so
+				// the committed text grows only when the edit was admitted.
+				curLen := len(text)
+				if _, err := cl.Edits(ctx, s.ID, []client.Edit{{Offset: len(text), Insert: "+9"}}); op(err) {
+					curLen += 2
+				}
+				if _, err := cl.Subtree(ctx, s.ID, 0, curLen); err != nil {
+					op(err)
+				} else {
+					op(nil)
+				}
+				op(cl.Close(ctx, s.ID))
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if firstErr != nil {
+		return nil, fmt.Errorf("non-shed failure under overload: %w", firstErr)
+	}
+
+	bench.Requests = requests.Load()
+	bench.Accepted = accepted.Load()
+	bench.Shed = bench.Requests - bench.Accepted
+	if bench.Requests > 0 {
+		bench.ShedRate = float64(bench.Shed) / float64(bench.Requests)
+	}
+	bench.WallMicros = wall.Microseconds()
+	if wall > 0 {
+		bench.AcceptedPerSec = float64(bench.Accepted) / wall.Seconds()
+	}
+
+	mets, err := scrapeDaemonMetrics(d.AdminAddr().String())
+	if err != nil {
+		return nil, fmt.Errorf("scrape metrics: %w", err)
+	}
+	bench.PressureEvictions = counterValue(mets, "iglrd_pressure_evictions_total")
+	bench.QueueWaitP50Micros = histogramPercentileMicros(mets, "iglrd_queue_wait_seconds", 0.50)
+	bench.QueueWaitP95Micros = histogramPercentileMicros(mets, "iglrd_queue_wait_seconds", 0.95)
+	bench.QueueWaitP99Micros = histogramPercentileMicros(mets, "iglrd_queue_wait_seconds", 0.99)
+	return bench, nil
+}
+
+// scrapeDaemonMetrics fetches the admin plane's Prometheus text exposition.
+func scrapeDaemonMetrics(host string) (string, error) {
+	resp, err := http.Get("http://" + host + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("/metrics: status %d", resp.StatusCode)
+	}
+	return string(raw), nil
+}
+
+// counterValue extracts one plain counter/gauge sample from the exposition.
+func counterValue(mets, name string) int64 {
+	for _, line := range strings.Split(mets, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, _ := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+			return v
+		}
+	}
+	return 0
+}
+
+// histogramPercentileMicros estimates the p'th percentile of a cumulative
+// Prometheus histogram as the upper bound (in microseconds) of the first
+// bucket whose cumulative count reaches p of the total. The +Inf bucket
+// reports the last finite bound — an underestimate, flagged by the caller
+// comparing against it.
+func histogramPercentileMicros(mets, name string, p float64) int64 {
+	type bucket struct {
+		le  float64
+		cum int64
+	}
+	var (
+		buckets []bucket
+		total   int64
+	)
+	for _, line := range strings.Split(mets, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+"_bucket{le=\""); ok {
+			bound, count, ok := strings.Cut(rest, "\"} ")
+			if !ok {
+				continue
+			}
+			cum, err := strconv.ParseInt(strings.TrimSpace(count), 10, 64)
+			if err != nil {
+				continue
+			}
+			le, err := strconv.ParseFloat(bound, 64)
+			if err != nil { // "+Inf"
+				le = -1
+			}
+			buckets = append(buckets, bucket{le: le, cum: cum})
+		} else if rest, ok := strings.CutPrefix(line, name+"_count "); ok {
+			total, _ = strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+		}
+	}
+	if total == 0 || len(buckets) == 0 {
+		return 0
+	}
+	want := int64(p*float64(total-1)) + 1
+	lastFinite := float64(0)
+	for _, b := range buckets {
+		if b.le >= 0 {
+			lastFinite = b.le
+		}
+		if b.cum >= want {
+			if b.le < 0 {
+				break // +Inf: fall through to the last finite bound
+			}
+			return int64(b.le * 1e6)
+		}
+	}
+	return int64(lastFinite * 1e6)
+}
+
+func formatOverload(b *OverloadBench) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "overload: %d workers x %d rounds against %d shards (queue %d, inflight cap %d)\n",
+		b.Workers, b.PerWorker, b.Shards, b.QueueDepth, b.MaxInflight)
+	fmt.Fprintf(&sb, "  %d requests: %d accepted (%.0f/s), %d shed (%.1f%%)\n",
+		b.Requests, b.Accepted, b.AcceptedPerSec, b.Shed, 100*b.ShedRate)
+	if len(b.ShedByCode) > 0 {
+		fmt.Fprintf(&sb, "  shed codes:")
+		for code, n := range b.ShedByCode {
+			fmt.Fprintf(&sb, " %s=%d", code, n)
+		}
+		fmt.Fprintln(&sb)
+	}
+	fmt.Fprintf(&sb, "  queue wait p50<=%s p95<=%s p99<=%s, %d pressure evictions\n",
+		time.Duration(b.QueueWaitP50Micros)*time.Microsecond,
+		time.Duration(b.QueueWaitP95Micros)*time.Microsecond,
+		time.Duration(b.QueueWaitP99Micros)*time.Microsecond,
+		b.PressureEvictions)
+	return sb.String()
+}
+
+// runOverloadOnly is the -overload entry point: the standalone workload,
+// table to stdout, jsonPath (when set) gets the machine-readable report.
+func runOverloadOnly(workers, perWorker int, jsonPath string) error {
+	bench, err := runOverloadBench(workers, perWorker)
+	if err != nil {
+		return err
+	}
+	fmt.Print(formatOverload(bench))
+	if jsonPath == "" {
+		return nil
+	}
+	out, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(out, '\n'), 0o644)
+}

@@ -1,0 +1,203 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func shed(w http.ResponseWriter, status int, code string, retryMS int64) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", "1")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error": "overloaded", "code": code, "retry_after_ms": retryMS,
+	})
+}
+
+func TestRetriesShedThenSucceeds(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			shed(w, http.StatusTooManyRequests, "queue_full", 5)
+			return
+		}
+		json.NewEncoder(w).Encode(Session{ID: "s1", Language: "expr"})
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, Options{BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond})
+	s, err := c.CreateSession(context.Background(), "expr", "a+b", "", false)
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	if s.ID != "s1" {
+		t.Fatalf("got session %q, want s1", s.ID)
+	}
+	if n := hits.Load(); n != 3 {
+		t.Fatalf("server saw %d requests, want 3 (2 sheds + success)", n)
+	}
+}
+
+func TestShedExhaustsRetriesWithStatusError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		shed(w, http.StatusServiceUnavailable, "memory_pressure", 10)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, Options{MaxRetries: 2, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+	_, err := c.CreateSession(context.Background(), "expr", "a", "", false)
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *StatusError, got %T: %v", err, err)
+	}
+	if se.Status != http.StatusServiceUnavailable || se.Code != "memory_pressure" {
+		t.Fatalf("got status=%d code=%q", se.Status, se.Code)
+	}
+	if !se.Shed() {
+		t.Fatal("503 with shed body should report Shed()")
+	}
+	if se.RetryAfter != 10*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want 10ms (body hint preferred over header)", se.RetryAfter)
+	}
+}
+
+func TestNonShedErrorNotRetried(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"no such session"}`, http.StatusNotFound)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, Options{BaseBackoff: time.Millisecond})
+	_, err := c.Diagnostics(context.Background(), "nope")
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusNotFound {
+		t.Fatalf("want 404 StatusError, got %v", err)
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("404 was retried (%d hits); terminal errors must not be", n)
+	}
+}
+
+func TestRetryAfterHeaderFallback(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "2")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("plain overload"))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, Options{NoRetry: true})
+	err := c.Close(context.Background(), "s1")
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *StatusError, got %v", err)
+	}
+	if se.RetryAfter != 2*time.Second {
+		t.Fatalf("RetryAfter = %v, want 2s from header", se.RetryAfter)
+	}
+	if se.Code != "" || se.Msg != "plain overload" {
+		t.Fatalf("unstructured body mis-parsed: code=%q msg=%q", se.Code, se.Msg)
+	}
+}
+
+func TestNoRetryDisablesRetries(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		shed(w, http.StatusTooManyRequests, "queue_full", 1)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, Options{NoRetry: true})
+	if _, err := c.CreateSession(context.Background(), "expr", "a", "", false); err == nil {
+		t.Fatal("want shed error with NoRetry")
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("NoRetry client sent %d requests, want 1", n)
+	}
+}
+
+func TestTransportErrorRetriedOnlyWhenIdempotent(t *testing.T) {
+	// A server that drops connections: every attempt is a transport error.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Fatal("no hijacker")
+		}
+		conn, _, _ := hj.Hijack()
+		conn.Close()
+	}))
+	defer srv.Close()
+
+	var attempts atomic.Int64
+	hc := &http.Client{Transport: countingTransport{n: &attempts}}
+	c := New(srv.URL, Options{MaxRetries: 2, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond, HTTPClient: hc})
+
+	// POST: the server may have acted, so a transport error is terminal.
+	if _, err := c.CreateSession(context.Background(), "expr", "a", "", false); err == nil {
+		t.Fatal("want transport error")
+	}
+	if n := attempts.Load(); n != 1 {
+		t.Fatalf("POST retried after transport error (%d attempts), must not be", n)
+	}
+
+	// DELETE: idempotent, retried up to MaxRetries.
+	attempts.Store(0)
+	if err := c.Close(context.Background(), "s1"); err == nil {
+		t.Fatal("want transport error")
+	}
+	if n := attempts.Load(); n != 3 {
+		t.Fatalf("DELETE attempts = %d, want 3 (1 + 2 retries)", n)
+	}
+}
+
+type countingTransport struct{ n *atomic.Int64 }
+
+func (t countingTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	t.n.Add(1)
+	return http.DefaultTransport.RoundTrip(r)
+}
+
+func TestContextCancelStopsBackoff(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		shed(w, http.StatusServiceUnavailable, "memory_pressure", 60_000)
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	c := New(srv.URL, Options{MaxRetries: 5})
+	start := time.Now()
+	_, err := c.CreateSession(ctx, "expr", "a", "", false)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded while waiting out Retry-After, got %v", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("cancel took %v; the 60s Retry-After was not interruptible", el)
+	}
+}
+
+func TestBackoffHonorsRetryAfterFloorAndCap(t *testing.T) {
+	c := New("http://x", Options{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond})
+	for attempt := 0; attempt < 10; attempt++ {
+		b := c.backoff(attempt)
+		if b <= 0 || b > c.opt.MaxBackoff {
+			t.Fatalf("backoff(%d) = %v out of (0, %v]", attempt, b, c.opt.MaxBackoff)
+		}
+	}
+	// Deep attempts must saturate at the cap, not overflow.
+	if b := c.backoff(62); b <= 0 || b > c.opt.MaxBackoff {
+		t.Fatalf("backoff(62) = %v; overflow not clamped", b)
+	}
+}

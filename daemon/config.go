@@ -133,6 +133,40 @@ type Config struct {
 	// Persist enables crash-safe session durability (see Persist). Fixed
 	// at startup.
 	Persist Persist `json:"persist,omitempty"`
+
+	// MemorySoftBytes is the governor's soft watermark over the accounted
+	// live bytes of all sessions (0 = none). At or above it the daemon is
+	// under pressure: the janitor parks idle sessions to disk early and
+	// new sessions are admitted under PressureBudget. Reloadable.
+	MemorySoftBytes int64 `json:"memory_soft_bytes,omitempty"`
+	// MemoryHardBytes is the hard watermark (0 = none): the accounting can
+	// never pass it. Growth that would — new sessions, restores, a parse
+	// that outgrew the headroom — is refused with 503 or sheds the session
+	// to disk. Reloadable; must be >= MemorySoftBytes when both are set.
+	MemoryHardBytes int64 `json:"memory_hard_bytes,omitempty"`
+	// QueueDepth bounds each shard's task queue (default 1024). A full
+	// queue sheds data-plane requests with 429 + Retry-After instead of
+	// queueing unboundedly behind a slow parse. Fixed at startup, like
+	// Shards.
+	QueueDepth int `json:"queue_depth,omitempty"`
+	// MaxInflight caps concurrently executing data-plane requests
+	// (0 = unlimited). Excess requests shed with 429 + Retry-After before
+	// touching any session. Reloadable.
+	MaxInflight int `json:"max_inflight,omitempty"`
+	// StallTimeout arms the shard watchdog (0 = disabled): a parse running
+	// longer than this is cancelled via its context and the session is
+	// closed as poisoned — the livelock extension of the panic-recovery
+	// contract. Reloadable.
+	StallTimeout Duration `json:"stall_timeout,omitempty"`
+	// DefaultDeadline is applied to data-plane requests that carry no
+	// deadline of their own (0 = none); queued work whose deadline expired
+	// is dropped without parsing. Reloadable.
+	DefaultDeadline Duration `json:"default_deadline,omitempty"`
+	// PressureBudget, when non-zero, replaces the tenant budget for
+	// sessions created while the daemon is under memory pressure, so new
+	// admissions run degraded instead of deepening the overload.
+	// Reloadable.
+	PressureBudget incremental.Budget `json:"pressure_budget,omitempty"`
 }
 
 // withDefaults returns a copy of c with unset knobs resolved.
@@ -145,6 +179,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Shards < 1 {
 		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 1024
 	}
 	return c
 }
@@ -184,6 +221,11 @@ func (sn *snapshot) languageNames() []string {
 // the whole build — a daemon never starts or reloads half-configured.
 func buildSnapshot(cfg Config, version int64) (*snapshot, error) {
 	cfg = cfg.withDefaults()
+	if cfg.MemorySoftBytes > 0 && cfg.MemoryHardBytes > 0 &&
+		cfg.MemorySoftBytes > cfg.MemoryHardBytes {
+		return nil, fmt.Errorf("daemon: memory_soft_bytes (%d) exceeds memory_hard_bytes (%d)",
+			cfg.MemorySoftBytes, cfg.MemoryHardBytes)
+	}
 	langs := map[string]*incremental.Language{}
 	for _, name := range cfg.Bundled {
 		if name == "*" {

@@ -7,9 +7,12 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"iglr/internal/govern"
 )
 
 // Daemon is the long-lived parse service. Create one with New, serve with
@@ -28,6 +31,16 @@ type Daemon struct {
 	// persist is the session durability store (nil when persistence is
 	// disabled). Fixed at startup, like the shard pool.
 	persist *persistStore
+	// gov accounts every session's memory footprint per shard and globally
+	// against the config's soft/hard watermarks (see internal/govern).
+	gov *govern.Governor
+	// inflight counts concurrently executing data-plane requests for the
+	// MaxInflight admission cap.
+	inflight atomic.Int64
+	// watch holds each shard's currently running parse, if any, for the
+	// stall watchdog. The slot is written only by the shard's own
+	// goroutine; the watchdog reads it and cancels through it.
+	watch []atomic.Pointer[runningTask]
 
 	// ConfigPath, when set, is the file POST /reload re-reads. The
 	// command-line wrapper sets it; embedded daemons may leave it empty
@@ -42,7 +55,20 @@ type Daemon struct {
 	dataLn, adminLn   net.Listener
 	janitorStop       chan struct{}
 	janitorDone       chan struct{}
+	watchdogDone      chan struct{}
 	stopJanitor       sync.Once
+}
+
+// runningTask is one parse in flight on a shard goroutine, registered so
+// the watchdog can see how long it has been running and cancel it.
+type runningTask struct {
+	sessID  string
+	started time.Time
+	cancel  context.CancelFunc
+	// byWatchdog is set (once) by the watchdog before cancelling; the
+	// shard side reads it after the parse returns to tell a stall
+	// cancellation from an ordinary client disconnect.
+	byWatchdog atomic.Bool
 }
 
 // New builds a daemon from cfg: the config is compiled into the first
@@ -54,12 +80,18 @@ func New(cfg Config) (*Daemon, error) {
 		return nil, err
 	}
 	d := &Daemon{
-		pool:        newShardPool(sn.cfg.Shards),
-		sessions:    newRegistry(),
-		Logf:        log.Printf,
-		janitorStop: make(chan struct{}),
-		janitorDone: make(chan struct{}),
+		pool:         newShardPool(sn.cfg.Shards, sn.cfg.QueueDepth),
+		sessions:     newRegistry(),
+		gov:          govern.New(sn.cfg.Shards),
+		watch:        make([]atomic.Pointer[runningTask], sn.cfg.Shards),
+		Logf:         log.Printf,
+		janitorStop:  make(chan struct{}),
+		janitorDone:  make(chan struct{}),
+		watchdogDone: make(chan struct{}),
 	}
+	d.gov.SetWatermarks(sn.cfg.MemorySoftBytes, sn.cfg.MemoryHardBytes)
+	d.pool.onWait = d.mets.queueWait.observe
+	d.pool.onExpired = func() { d.mets.queueExpired.Add(1) }
 	d.mets.configVersion.Store(1)
 	d.snap.Store(sn)
 	if d.persist, err = newPersistStore(sn.cfg.Persist); err != nil {
@@ -77,6 +109,7 @@ func New(cfg Config) (*Daemon, error) {
 		}
 	}
 	go d.janitor()
+	go d.watchdog()
 	return d, nil
 }
 
@@ -120,8 +153,14 @@ func (d *Daemon) Reload(cfg Config) (int64, error) {
 		d.Logf("daemon: persistence fixed at startup (dir %q) until restart", cur.cfg.Persist.Dir)
 		sn.cfg.Persist = cur.cfg.Persist
 	}
+	if sn.cfg.QueueDepth != cur.cfg.QueueDepth {
+		d.Logf("daemon: queue depth fixed at %d until restart (config asked for %d)",
+			cur.cfg.QueueDepth, sn.cfg.QueueDepth)
+		sn.cfg.QueueDepth = cur.cfg.QueueDepth
+	}
 	// Listeners are bound once; keep the effective addresses visible.
 	sn.cfg.Listen, sn.cfg.AdminListen = cur.cfg.Listen, cur.cfg.AdminListen
+	d.gov.SetWatermarks(sn.cfg.MemorySoftBytes, sn.cfg.MemoryHardBytes)
 	d.snap.Store(sn)
 	d.mets.configVersion.Store(version)
 	d.mets.reloads.Add(1)
@@ -194,6 +233,7 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 	}
 	d.stopJanitor.Do(func() { close(d.janitorStop) })
 	<-d.janitorDone
+	<-d.watchdogDone
 	// Park every live session on disk (bounded by the drain deadline) so
 	// a graceful restart restores each one without journal replay.
 	d.persistAll(ctx)
@@ -220,10 +260,116 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 	return firstErr
 }
 
+// parkSession closes one session and releases its governor account. Runs
+// on the session's shard goroutine. With persistence on, the session is
+// parked on disk first (the next touch restores it); pressure is true for
+// memory-pressure evictions, false for TTL ones (they count differently).
+//
+// A session with an uncommitted parse (fresh before its first parse, or
+// an edit batch whose parse is still queued) is skipped: snapshotting it
+// would persist work whose request may have been shed, and a client retry
+// after the shed would then apply it twice. The tradeoff: such a session
+// stays in RAM until a parse commits it; bounded, since the next touch or
+// the request already in its queue runs that parse.
+func (d *Daemon) parkSession(sess *session, when string, pressure bool) {
+	if sess.pendingParse {
+		return
+	}
+	toDisk := d.persistPark(sess, when)
+	sess.closed = true
+	sess.parked = toDisk
+	if _, ok := d.sessions.remove(sess.id); ok {
+		d.mets.sessionsOpen.Add(-1)
+		if pressure {
+			d.mets.pressureEvictions.Add(1)
+		} else {
+			d.mets.sessionsEvicted.Add(1)
+		}
+		if toDisk {
+			d.mets.evictedToDisk.Add(1)
+		}
+	}
+	d.gov.Release(sess.shard, sess.memBytes)
+	sess.memBytes = 0
+}
+
+// pressureIdleMin is the minimum idle time before a session is eligible
+// for a pressure eviction: sweeps under memory pressure park idle-first,
+// but never a session something touched in the last beat.
+const pressureIdleMin = 100 * time.Millisecond
+
+// relieveShard parks shard i's idle sessions, oldest-idle first, until
+// the governor has at least need bytes of headroom (or the shard runs out
+// of candidates). Runs on shard i's goroutine; protect (the session being
+// grown) is never parked here. Only sessions with their state safely on
+// disk are parked — without persistence, relief would destroy user state,
+// so the governor sheds new work instead.
+func (d *Daemon) relieveShard(i int, need int64, protect *session) {
+	if d.persist == nil {
+		return
+	}
+	cands := d.sessions.byShard(i)
+	sort.Slice(cands, func(a, b int) bool { return cands[a].lastUsed.Before(cands[b].lastUsed) })
+	for _, c := range cands {
+		if hr, ok := d.gov.Headroom(); !ok || hr >= need {
+			return
+		}
+		if c == protect || c.closed {
+			continue
+		}
+		d.parkSession(c, "pressure", true)
+	}
+}
+
+// accountParse settles a session's governor account after a parse: the
+// footprint delta is charged (or released) against the shard. A charge the
+// hard watermark refuses triggers relief — idle neighbors are parked to
+// disk — and if the shard still cannot absorb the growth, the grown
+// session itself is parked (persistence on) or dropped (persistence off):
+// the response the client is about to get is still correct, and the next
+// touch restores or recreates. Runs on the session's shard goroutine.
+func (d *Daemon) accountParse(sess *session) {
+	fp := sess.s.MemoryFootprint()
+	delta := fp - sess.memBytes
+	if delta <= 0 {
+		d.gov.Adjust(sess.shard, delta)
+		sess.memBytes = fp
+		return
+	}
+	if d.gov.TryCharge(sess.shard, delta) {
+		sess.memBytes = fp
+		return
+	}
+	d.relieveShard(sess.shard, delta, sess)
+	if d.gov.TryCharge(sess.shard, delta) {
+		sess.memBytes = fp
+		return
+	}
+	// The fleet cannot absorb this session's growth: shed it. Its old
+	// account is released inside parkSession; the unaccounted growth
+	// leaves the process with the session.
+	d.Logf("daemon: session %s grew past the memory hard watermark (%d bytes), shedding", sess.id, fp)
+	if d.persist != nil {
+		d.parkSession(sess, "pressure", true)
+		return
+	}
+	sess.closed = true
+	d.persistRemove(sess)
+	if _, ok := d.sessions.remove(sess.id); ok {
+		d.mets.sessionsOpen.Add(-1)
+		d.mets.pressureEvictions.Add(1)
+	}
+	d.gov.Release(sess.shard, sess.memBytes)
+	sess.memBytes = 0
+}
+
 // janitor periodically evicts idle sessions. Each sweep runs on the
 // owning shard's goroutine, so it serializes with session operations and
 // a session can never be evicted mid-parse. The TTL is read from the
-// active snapshot every sweep, making it hot-reloadable.
+// active snapshot every sweep, making it hot-reloadable. Under memory
+// pressure (the governor at or above its soft watermark) the janitor
+// additionally parks idle sessions to disk, oldest-idle first, until the
+// fleet is back under the soft watermark.
 func (d *Daemon) janitor() {
 	defer close(d.janitorDone)
 	tick := time.NewTicker(250 * time.Millisecond)
@@ -235,36 +381,103 @@ func (d *Daemon) janitor() {
 		case <-tick.C:
 		}
 		ttl := time.Duration(d.snap.Load().cfg.SessionTTL)
-		if ttl <= 0 {
+		if ttl > 0 {
+			cutoff := time.Now().Add(-ttl)
+			for i := range d.pool.tasks {
+				candidates := d.sessions.byShard(i)
+				if len(candidates) == 0 {
+					continue
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+				d.pool.run(ctx, i, func() {
+					for _, sess := range candidates {
+						if sess.closed || sess.lastUsed.After(cutoff) {
+							continue
+						}
+						// Park the session on disk before dropping it: with
+						// persistence on, eviction demotes to cold storage
+						// (the next touch restores) instead of destroying.
+						d.parkSession(sess, "evict", false)
+					}
+				})
+				cancel()
+			}
+		}
+		// Pressure mode: idle-first eviction to disk until under the soft
+		// watermark. Only parked-safely sessions are eligible, so this
+		// never destroys state (relieveShard enforces both).
+		if d.gov.OverSoft() && d.persist != nil {
+			cutoff := time.Now().Add(-pressureIdleMin)
+			for i := range d.pool.tasks {
+				if !d.gov.OverSoft() {
+					break
+				}
+				candidates := d.sessions.byShard(i)
+				if len(candidates) == 0 {
+					continue
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+				d.pool.run(ctx, i, func() {
+					sort.Slice(candidates, func(a, b int) bool {
+						return candidates[a].lastUsed.Before(candidates[b].lastUsed)
+					})
+					for _, sess := range candidates {
+						if !d.gov.OverSoft() {
+							return
+						}
+						if sess.closed || sess.lastUsed.After(cutoff) {
+							continue
+						}
+						d.parkSession(sess, "pressure", true)
+					}
+				})
+				cancel()
+			}
+		}
+	}
+}
+
+// watchdog scans the shards for a parse stuck beyond the configured stall
+// threshold — a runaway that escaped its budget, a pathological ambiguity
+// blowup — and cancels it through its context. The parsers poll their
+// context (every round in the GLR engine, every kernel block in the
+// deterministic one), so cancellation actually unwedges the shard; the
+// shard side then closes the poisoned session, extending the
+// panic-containment contract to livelock. The tick adapts to the
+// threshold so a short stall_timeout is enforced promptly.
+func (d *Daemon) watchdog() {
+	defer close(d.watchdogDone)
+	for {
+		stall := time.Duration(d.snap.Load().cfg.StallTimeout)
+		tick := 250 * time.Millisecond
+		if stall > 0 {
+			tick = stall / 4
+			if tick < 5*time.Millisecond {
+				tick = 5 * time.Millisecond
+			}
+			if tick > 250*time.Millisecond {
+				tick = 250 * time.Millisecond
+			}
+		}
+		select {
+		case <-d.janitorStop:
+			return
+		case <-time.After(tick):
+		}
+		if stall <= 0 {
 			continue
 		}
-		cutoff := time.Now().Add(-ttl)
-		for i := range d.pool.tasks {
-			candidates := d.sessions.byShard(i)
-			if len(candidates) == 0 {
+		for i := range d.watch {
+			rt := d.watch[i].Load()
+			if rt == nil || time.Since(rt.started) < stall {
 				continue
 			}
-			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
-			d.pool.run(ctx, i, func() {
-				for _, sess := range candidates {
-					if sess.closed || sess.lastUsed.After(cutoff) {
-						continue
-					}
-					// Park the session on disk before dropping it: with
-					// persistence on, eviction demotes to cold storage
-					// (the next touch restores) instead of destroying.
-					toDisk := d.persistPark(sess, "evict")
-					sess.closed = true
-					if _, ok := d.sessions.remove(sess.id); ok {
-						d.mets.sessionsOpen.Add(-1)
-						d.mets.sessionsEvicted.Add(1)
-						if toDisk {
-							d.mets.evictedToDisk.Add(1)
-						}
-					}
-				}
-			})
-			cancel()
+			if rt.byWatchdog.CompareAndSwap(false, true) {
+				rt.cancel()
+				d.mets.watchdogCancels.Add(1)
+				d.Logf("daemon: watchdog cancelled stalled parse on shard %d (session %s, running %v > stall_timeout %v)",
+					i, rt.sessID, time.Since(rt.started).Round(time.Millisecond), stall)
+			}
 		}
 	}
 }

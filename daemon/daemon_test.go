@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -38,10 +39,17 @@ func testDaemon(t *testing.T, cfg Config) *Daemon {
 		t.Fatalf("Start: %v", err)
 	}
 	t.Cleanup(func() {
+		// Drop the shared transport's idle keep-alive conns first: a spare
+		// conn the Transport dialed but never sent a request on is StateNew
+		// server-side, and net/http's graceful Shutdown refuses to treat
+		// such a conn as idle until it is 5s old — long enough to trip the
+		// drain deadline below.
+		http.DefaultClient.CloseIdleConnections()
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := d.Shutdown(ctx); err != nil {
-			t.Errorf("Shutdown: %v", err)
+			buf := make([]byte, 1<<20)
+			t.Errorf("Shutdown: %v\n%s", err, buf[:runtime.Stack(buf, true)])
 		}
 	})
 	return d
@@ -635,7 +643,7 @@ func TestShardPanicContained(t *testing.T) {
 }
 
 func TestShardPoolPanicAndCloseSemantics(t *testing.T) {
-	p := newShardPool(1)
+	p := newShardPool(1, 16)
 	if err := p.run(context.Background(), 0, func() { panic("boom") }); !errors.Is(err, errShardPanic) {
 		t.Fatalf("panicking task: err = %v, want errShardPanic", err)
 	}

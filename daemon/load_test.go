@@ -183,7 +183,7 @@ func TestConcurrentSessionsSurviveReload(t *testing.T) {
 // TestShardDistribution sanity-checks that session IDs spread across
 // shards rather than collapsing onto one goroutine.
 func TestShardDistribution(t *testing.T) {
-	p := newShardPool(8)
+	p := newShardPool(8, 64)
 	defer p.close()
 	counts := make([]int, 8)
 	for i := 0; i < 1024; i++ {

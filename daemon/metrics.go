@@ -79,6 +79,18 @@ type metrics struct {
 	diagnostics  atomic.Int64
 	parseLatency histogram
 
+	// Overload protection: load shedding, queue behavior, the watchdog,
+	// and pressure-mode eviction.
+	shedQueueFull     atomic.Int64
+	shedInflight      atomic.Int64
+	shedMemory        atomic.Int64
+	shedParsePending  atomic.Int64
+	queueExpired      atomic.Int64
+	watchdogCancels   atomic.Int64
+	pressureEvictions atomic.Int64
+	degradedAdmits    atomic.Int64
+	queueWait         histogram
+
 	batchRequests atomic.Int64
 	batchFiles    atomic.Int64
 	batchFailed   atomic.Int64
@@ -145,6 +157,18 @@ func (m *metrics) write(w io.Writer) {
 
 	fmt.Fprintf(w, "# HELP iglrd_parse_seconds Parse latency, per session parse.\n# TYPE iglrd_parse_seconds histogram\n")
 	m.parseLatency.write(w, "iglrd_parse_seconds")
+
+	c("iglrd_shed_queue_full_total", "Requests shed with 429 because their shard's queue was full.", m.shedQueueFull.Load())
+	c("iglrd_shed_inflight_total", "Requests shed with 429 by the global in-flight cap.", m.shedInflight.Load())
+	c("iglrd_shed_memory_total", "Creations and restores shed with 503 by the memory hard watermark.", m.shedMemory.Load())
+	c("iglrd_shed_parse_pending_total", "Edit batches accepted and durable whose reparse failed (503 parse_pending; the batch must not be re-sent).", m.shedParsePending.Load())
+	c("iglrd_queue_expired_total", "Queued tasks dropped because their request deadline expired before a shard could run them.", m.queueExpired.Load())
+	c("iglrd_watchdog_cancels_total", "Stalled parses cancelled by the shard watchdog (the session is closed).", m.watchdogCancels.Load())
+	c("iglrd_pressure_evictions_total", "Sessions parked to disk by memory-pressure eviction (soft-watermark sweeps and hard-watermark relief).", m.pressureEvictions.Load())
+	c("iglrd_degraded_admits_total", "Sessions admitted under the degraded pressure budget.", m.degradedAdmits.Load())
+
+	fmt.Fprintf(w, "# HELP iglrd_queue_wait_seconds Time tasks spent waiting in a shard queue before running.\n# TYPE iglrd_queue_wait_seconds histogram\n")
+	m.queueWait.write(w, "iglrd_queue_wait_seconds")
 
 	c("iglrd_batch_requests_total", "One-shot POST /parse batch requests.", m.batchRequests.Load())
 	c("iglrd_batch_files_total", "Files parsed by batch requests.", m.batchFiles.Load())

@@ -203,13 +203,18 @@ type sessionMetaJSON struct {
 }
 
 // persistFault consults the fault-injection plan for the persistence
-// layer's points, turning ActError into an injected disk error.
+// layer's points, turning ActError into an injected disk error and
+// honoring ActDelay as slow disk I/O (the overload harness stalls parks
+// this way to pile work up behind a shard).
 func persistFault(p faultinject.Point, detail string) error {
 	if !faultinject.Enabled() {
 		return nil
 	}
-	if faultinject.Fire(p, detail) == faultinject.ActError {
+	switch act, sleep := faultinject.FireTimed(p, detail); act {
+	case faultinject.ActError:
 		return fmt.Errorf("faultinject: injected %s failure", p)
+	case faultinject.ActDelay:
+		time.Sleep(sleep)
 	}
 	return nil
 }
@@ -412,22 +417,24 @@ func (d *Daemon) persistAll(ctx context.Context) {
 // each batch applied and parsed exactly as the live daemon did. Any
 // unusable state fails the restore, removes the artifacts, and reports a
 // miss — the caller 404s and the client re-creates the session from
-// source. Runs on the request goroutine; the session is private until
-// restoreAdd publishes it.
-func (d *Daemon) restoreSession(id string) (*session, bool) {
+// source. shed is true when the rebuilt session's footprint would push
+// the memory governor past its hard watermark: the artifacts stay intact
+// and the caller 503s with a retry hint instead of 404ing. Runs on the
+// request goroutine; the session is private until restoreAdd publishes it.
+func (d *Daemon) restoreSession(id string) (sess *session, ok, shed bool) {
 	ps := d.persist
 	seqID, ok := sessionSeqFromID(id)
 	if !ok {
-		return nil, false
+		return nil, false, false
 	}
 	metaRaw, err := os.ReadFile(ps.metaPath(id))
 	if err != nil {
-		return nil, false // never persisted: a plain 404, not a miss
+		return nil, false, false // never persisted: a plain 404, not a miss
 	}
 	var meta sessionMetaJSON
 	if err := json.Unmarshal(metaRaw, &meta); err != nil {
 		d.restoreFailed(id, "meta", err)
-		return nil, false
+		return nil, false, false
 	}
 	sn := d.snap.Load()
 	lang, ok := sn.langs[meta.Language]
@@ -436,19 +443,19 @@ func (d *Daemon) restoreSession(id string) (*session, bool) {
 		// files — a reload may bring it back.
 		d.mets.restoreMisses.Add(1)
 		d.Logf("daemon: session %s not restored: language %q not in active config", id, meta.Language)
-		return nil, false
+		return nil, false, false
 	}
 	snapRaw, err := os.ReadFile(ps.snapPath(id))
 	if err != nil {
 		d.restoreFailed(id, "snapshot", err)
-		return nil, false
+		return nil, false, false
 	}
 	ten := sn.tenant(meta.Tenant)
 	s, tag, err := incremental.RestoreSessionTagged(bytes.NewReader(snapRaw), lang,
 		incremental.WithBudget(ten.Budget))
 	if err != nil {
 		d.restoreFailed(id, "snapshot decode", err)
-		return nil, false
+		return nil, false, false
 	}
 
 	seq := tag
@@ -461,7 +468,7 @@ func (d *Daemon) restoreSession(id string) (*session, bool) {
 			}
 			if err := replayRecord(s, rec, meta.Tolerant); err != nil {
 				d.restoreFailed(id, "journal replay", err)
-				return nil, false
+				return nil, false, false
 			}
 			seq = rec.Seq
 			d.mets.journalReplayed.Add(1)
@@ -479,7 +486,7 @@ func (d *Daemon) restoreSession(id string) (*session, bool) {
 			}
 			if err := os.Truncate(ps.walPath(id), int64(len(intact))); err != nil {
 				d.restoreFailed(id, "journal truncate", err)
-				return nil, false
+				return nil, false, false
 			}
 			walBytes = int64(len(intact))
 		} else {
@@ -487,7 +494,7 @@ func (d *Daemon) restoreSession(id string) (*session, bool) {
 		}
 	}
 
-	sess := &session{
+	sess = &session{
 		id:       id,
 		tenant:   meta.Tenant,
 		langName: meta.Language,
@@ -500,17 +507,26 @@ func (d *Daemon) restoreSession(id string) (*session, bool) {
 			store: ps, walBytes: walBytes, seq: seq, snapSeq: tag, haveSnap: true,
 		},
 	}
+	// Reviving the session adds its full footprint back to the fleet; a
+	// charge the hard watermark refuses keeps it parked (shed, not lost).
+	fp := s.MemoryFootprint()
+	if !d.gov.TryCharge(sess.shard, fp) {
+		return nil, false, true
+	}
+	sess.memBytes = fp
 	d.sessions.floorSeq(seqID)
 	winner, inserted := d.sessions.restoreAdd(sess)
 	if !inserted {
 		// Two requests raced the restore; the published session wins and
-		// this copy (which opened no files) is garbage-collected.
-		return winner, true
+		// this copy (which opened no files) is garbage-collected — and its
+		// charge returned.
+		d.gov.Release(sess.shard, fp)
+		return winner, true, false
 	}
 	d.mets.sessionsOpen.Add(1)
 	d.mets.restoreHits.Add(1)
 	d.Logf("daemon: session %s restored from disk (%s, seq %d)", id, meta.Language, seq)
-	return sess, true
+	return sess, true, false
 }
 
 // restoreFailed counts a failed restore and removes the artifacts so the

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"strconv"
@@ -13,6 +14,7 @@ import (
 	incremental "iglr"
 	"iglr/engine"
 	"iglr/internal/dag"
+	"iglr/internal/govern"
 )
 
 // ---- wire types ----------------------------------------------------------
@@ -122,6 +124,47 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
 }
 
+// shedJSON is the structured body of every load-shedding response (429 and
+// 503): a machine-readable code and the retry hint the Retry-After header
+// carries, in milliseconds so clients can back off finer than a second.
+type shedJSON struct {
+	Error        string `json:"error"`
+	Code         string `json:"code"`
+	RetryAfterMS int64  `json:"retry_after_ms"`
+}
+
+// Shed codes, one per admission-control gate.
+const (
+	shedCodeQueueFull = "queue_full"
+	shedCodeInflight  = "inflight_cap"
+	shedCodeMemory    = "memory_pressure"
+	shedCodeQuota     = "quota"
+	shedCodeStalled   = "stalled"
+	shedCodeDeadline  = "deadline"
+	shedCodeShutdown  = "shutdown"
+	// shedCodeParsePending is special: the edit batch WAS accepted —
+	// journaled, durable, applied — but the reparse after it did not
+	// complete. Re-sending the batch would apply it twice; converge with a
+	// read (GET, subtree) or an empty edit batch instead. Every other shed
+	// code means the daemon acted on nothing.
+	shedCodeParsePending = "parse_pending"
+)
+
+// writeShed renders a load-shedding response: Retry-After (whole seconds,
+// rounded up, per RFC 9110) plus the structured JSON body.
+func writeShed(w http.ResponseWriter, status int, code string, retry time.Duration, format string, args ...any) {
+	secs := int64((retry + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, status, shedJSON{
+		Error:        fmt.Sprintf(format, args...),
+		Code:         code,
+		RetryAfterMS: retry.Milliseconds(),
+	})
+}
+
 func toDiagJSON(ds []incremental.Diagnostic) []diagnosticJSON {
 	out := make([]diagnosticJSON, len(ds))
 	for i, d := range ds {
@@ -150,13 +193,15 @@ func kindString(k dag.Kind) string {
 	}
 }
 
-// runSession executes fn on sess's shard. A panic inside fn — a poisoned
-// parse state, a library bug — is contained to this one request: the shard
+// runSession executes fn on sess's shard through the bounded data-plane
+// queue: a full queue sheds the request (errQueueFull → 429) instead of
+// piling up behind a slow parse. A panic inside fn — a poisoned parse
+// state, a library bug — is contained to this one request: the shard
 // goroutine survives (see shardPool.run), the session, whose state can no
 // longer be trusted, is closed and unregistered, and the caller gets an
 // error wrapping errShardPanic.
 func (d *Daemon) runSession(ctx context.Context, sess *session, fn func()) error {
-	err := d.pool.run(ctx, sess.shard, fn)
+	err := d.pool.runQueued(ctx, sess.shard, fn)
 	if errors.Is(err, errShardPanic) {
 		d.mets.panics.Add(1)
 		d.Logf("daemon: session %s poisoned, closing: %v", sess.id, err)
@@ -179,27 +224,48 @@ func (d *Daemon) dropSession(sess *session) {
 	if _, ok := d.sessions.remove(sess.id); ok {
 		d.mets.sessionsOpen.Add(-1)
 		d.mets.sessionsClosed.Add(1)
+		d.gov.Release(sess.shard, sess.memBytes)
 	}
 }
 
-// writeShardError renders a shard-task failure: 503 when the request gave
-// up waiting for the shard (or the pool is shutting down), 500 when the
-// task itself panicked. Panic details stay in the log, not the response.
-func writeShardError(w http.ResponseWriter, err error) {
-	if errors.Is(err, errShardPanic) {
+// writeShardError renders a shard-task failure: 429 + Retry-After when the
+// shard's queue shed the request, 503 + Retry-After when the request's
+// deadline expired (waiting in queue or mid-parse) or the watchdog killed
+// a stalled parse, 500 when the task itself panicked. Panic details stay
+// in the log, not the response.
+func (d *Daemon) writeShardError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errShardPanic):
 		httpError(w, http.StatusInternalServerError, "internal error; session closed")
-		return
+	case errors.Is(err, errQueueFull):
+		d.mets.shedQueueFull.Add(1)
+		writeShed(w, http.StatusTooManyRequests, shedCodeQueueFull, time.Second,
+			"shard queue full; retry")
+	case errors.Is(err, errShardStalled):
+		writeShed(w, http.StatusServiceUnavailable, shedCodeStalled, 2*time.Second,
+			"parse stalled beyond stall_timeout; session closed")
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeShed(w, http.StatusServiceUnavailable, shedCodeDeadline, time.Second,
+			"request deadline expired before the shard could serve it")
+	case errors.Is(err, errPoolClosed):
+		writeShed(w, http.StatusServiceUnavailable, shedCodeShutdown, 2*time.Second,
+			"daemon shutting down")
+	default:
+		httpError(w, http.StatusServiceUnavailable, "shard unavailable: %v", err)
 	}
-	httpError(w, http.StatusServiceUnavailable, "shard unavailable: %v", err)
 }
 
-// parseSession runs one parse of sess on its shard, updating metrics and
-// the idle clock, and renders the outcome. The bool reports whether the
-// session was still open.
+// parseSession runs one parse of sess on its shard, updating metrics, the
+// idle clock, and the session's governor account, and renders the outcome.
+// The parse is registered with the stall watchdog: a parse the watchdog
+// cancelled closes the session (its state can no longer be trusted to
+// finish anything) and surfaces as errShardStalled. The bool reports
+// whether the session was still open.
 func (d *Daemon) parseSession(r *http.Request, sess *session) (outcomeJSON, bool, error) {
 	var (
-		oj   outcomeJSON
-		open bool
+		oj      outcomeJSON
+		open    bool
+		stalled bool
 	)
 	err := d.runSession(r.Context(), sess, func() {
 		if sess.closed {
@@ -208,12 +274,34 @@ func (d *Daemon) parseSession(r *http.Request, sess *session) (outcomeJSON, bool
 		open = true
 		sess.lastUsed = time.Now()
 		start := time.Now()
+		pctx, cancel := context.WithCancel(r.Context())
+		rt := &runningTask{sessID: sess.id, started: start, cancel: cancel}
+		d.watch[sess.shard].Store(rt)
 		var out incremental.Outcome
 		if sess.tolerant {
-			out = sess.s.Do(r.Context(), incremental.Tolerant())
+			out = sess.s.Do(pctx, incremental.Tolerant())
 		} else {
-			out = sess.s.Do(r.Context())
+			out = sess.s.Do(pctx)
 		}
+		d.watch[sess.shard].Store(nil)
+		cancel()
+		if rt.byWatchdog.Load() {
+			// The watchdog had to kill this parse: close the session like a
+			// panicked one — livelock and panic get the same containment.
+			stalled = true
+			sess.closed = true
+			d.persistRemove(sess)
+			if _, ok := d.sessions.remove(sess.id); ok {
+				d.mets.sessionsOpen.Add(-1)
+				d.mets.sessionsClosed.Add(1)
+			}
+			d.gov.Release(sess.shard, sess.memBytes)
+			sess.memBytes = 0
+			return
+		}
+		// The parse committed whatever was pending (the initial text, an
+		// applied edit batch); the session is safe to park again.
+		sess.pendingParse = false
 		dur := time.Since(start)
 		diags := sess.s.Diagnostics()
 		d.mets.observeParse(&out, dur, len(diags))
@@ -231,14 +319,22 @@ func (d *Daemon) parseSession(r *http.Request, sess *session) (outcomeJSON, bool
 			oj.BudgetTrip = errors.Is(out.Err, incremental.ErrBudget)
 		}
 		d.persistAfterParse(sess)
+		d.accountParse(sess)
 	})
+	if err == nil && stalled {
+		err = errShardStalled
+	}
 	return oj, open, err
 }
 
 // ---- data plane ----------------------------------------------------------
 
 // Handler returns the data-plane HTTP handler: session lifecycle, edits,
-// diagnostics, subtree queries, and one-shot batch parses.
+// diagnostics, subtree queries, and one-shot batch parses. Every route
+// passes through admission control first — the global in-flight cap sheds
+// excess concurrency with 429 before it touches a session, and requests
+// without a deadline get the config's default one, so work abandoned in a
+// shard queue can be recognized and dropped.
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /sessions", d.handleCreateSession)
@@ -249,7 +345,25 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("GET /sessions/{id}/subtree", d.handleSubtree)
 	mux.HandleFunc("POST /parse", d.handleBatchParse)
 	mux.HandleFunc("GET /languages", d.handleLanguages)
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sn := d.snap.Load()
+		cur := d.inflight.Add(1)
+		defer d.inflight.Add(-1)
+		if max := sn.cfg.MaxInflight; max > 0 && cur > int64(max) {
+			d.mets.shedInflight.Add(1)
+			writeShed(w, http.StatusTooManyRequests, shedCodeInflight, time.Second,
+				"in-flight request cap (%d) reached", max)
+			return
+		}
+		if dl := time.Duration(sn.cfg.DefaultDeadline); dl > 0 {
+			if _, has := r.Context().Deadline(); !has {
+				ctx, cancel := context.WithTimeout(r.Context(), dl)
+				defer cancel()
+				r = r.WithContext(ctx)
+			}
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
 
 func (d *Daemon) handleCreateSession(w http.ResponseWriter, r *http.Request) {
@@ -265,20 +379,53 @@ func (d *Daemon) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 			req.Language, sn.languageNames())
 		return
 	}
+	// Admission, cheapest gate first: above the hard watermark no new
+	// session is accepted at all (the load balancer saw /healthz flip 503
+	// before this starts firing).
+	if d.gov.State() == govern.StateCritical {
+		d.mets.shedMemory.Add(1)
+		writeShed(w, http.StatusServiceUnavailable, shedCodeMemory, 2*time.Second,
+			"memory hard watermark reached")
+		return
+	}
 	ten := sn.tenant(req.Tenant)
+	budget := ten.Budget
+	if d.gov.OverSoft() {
+		// Pressure mode: new admissions run under the degraded budget so
+		// they cannot deepen the overload.
+		if pb := sn.cfg.PressureBudget; pb != (incremental.Budget{}) {
+			budget = pb
+			d.mets.degradedAdmits.Add(1)
+		}
+	}
 	sess := &session{
 		tenant:   req.Tenant,
 		langName: req.Language,
 		lang:     lang,
 		tolerant: req.Tolerant,
 		lastUsed: time.Now(),
+		// Not parkable until the first parse commits the initial text.
+		pendingParse: true,
 	}
-	sess.s = incremental.NewSession(lang, req.Text, incremental.WithBudget(ten.Budget))
+	sess.s = incremental.NewSession(lang, req.Text, incremental.WithBudget(budget))
 	if !d.sessions.add(sess, d.pool, sn.cfg.MaxSessions, ten.MaxSessions) {
 		d.mets.sessionsDenied.Add(1)
-		httpError(w, http.StatusTooManyRequests, "session quota exhausted (tenant %q)", req.Tenant)
+		writeShed(w, http.StatusTooManyRequests, shedCodeQuota, 5*time.Second,
+			"session quota exhausted (tenant %q)", req.Tenant)
 		return
 	}
+	// Charge the pre-parse estimate (the source text and fixed session
+	// state; the first parse settles the real figure). A refusal here is
+	// the hard watermark holding as an invariant, not just a threshold.
+	est := int64(len(req.Text)) + 4096
+	if !d.gov.TryCharge(sess.shard, est) {
+		d.sessions.remove(sess.id)
+		d.mets.shedMemory.Add(1)
+		writeShed(w, http.StatusServiceUnavailable, shedCodeMemory, 2*time.Second,
+			"memory hard watermark reached")
+		return
+	}
+	sess.memBytes = est
 	d.mets.sessionsOpen.Add(1)
 	d.mets.sessionsOpened.Add(1)
 
@@ -289,7 +436,7 @@ func (d *Daemon) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		// panic path already did) or an aborted create leaks its quota
 		// slot forever.
 		d.dropSession(sess)
-		writeShardError(w, err)
+		d.writeShardError(w, err)
 		return
 	}
 	if !open {
@@ -306,12 +453,21 @@ func (d *Daemon) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 
 // lookup resolves {id} or writes a 404, transparently restoring the
 // session from the persistence directory when it is not live (evicted to
-// disk, or persisted by a previous process before a restart).
+// disk, or persisted by a previous process before a restart). A restore
+// the memory governor refuses is a 503 shed, not a 404: the session
+// exists, safely parked, and a retry after relief will revive it.
 func (d *Daemon) lookup(w http.ResponseWriter, r *http.Request) (*session, bool) {
 	id := r.PathValue("id")
 	sess, ok := d.sessions.get(id)
 	if !ok && d.persist != nil {
-		sess, ok = d.restoreSession(id)
+		var shed bool
+		sess, ok, shed = d.restoreSession(id)
+		if shed {
+			d.mets.shedMemory.Add(1)
+			writeShed(w, http.StatusServiceUnavailable, shedCodeMemory, 2*time.Second,
+				"memory hard watermark reached; session %q stays parked", id)
+			return nil, false
+		}
 	}
 	if !ok {
 		httpError(w, http.StatusNotFound, "no session %q", id)
@@ -340,11 +496,11 @@ func (d *Daemon) handleGetSession(w http.ResponseWriter, r *http.Request) {
 		diags = len(sess.s.Diagnostics())
 	})
 	if err != nil {
-		writeShardError(w, err)
+		d.writeShardError(w, err)
 		return
 	}
 	if !open {
-		httpError(w, http.StatusNotFound, "no session %q", sess.id)
+		d.writeSessionGone(w, sess)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -370,7 +526,7 @@ func (d *Daemon) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 		}
 	})
 	if err != nil {
-		writeShardError(w, err)
+		d.writeShardError(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -416,13 +572,16 @@ func (d *Daemon) handleEdits(w http.ResponseWriter, r *http.Request) {
 		for _, e := range req.Edits {
 			sess.s.Edit(e.Offset, e.Remove, e.Insert)
 		}
+		// Applied but not yet reparsed: block parking until the parse
+		// task commits (see parkSession).
+		sess.pendingParse = true
 	})
 	if err != nil {
-		writeShardError(w, err)
+		d.writeShardError(w, err)
 		return
 	}
 	if !open {
-		httpError(w, http.StatusNotFound, "no session %q", sess.id)
+		d.writeSessionGone(w, sess)
 		return
 	}
 	if badEdit != nil {
@@ -433,14 +592,36 @@ func (d *Daemon) handleEdits(w http.ResponseWriter, r *http.Request) {
 
 	oj, open, err := d.parseSession(r, sess)
 	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, "shard unavailable: %v", err)
+		// The batch is journaled and applied — only the reparse failed.
+		// This must not look like the retry-safe sheds: re-sending the
+		// batch would apply it twice.
+		if errors.Is(err, errShardPanic) {
+			httpError(w, http.StatusInternalServerError, "internal error; session closed")
+			return
+		}
+		d.mets.shedParsePending.Add(1)
+		writeShed(w, http.StatusServiceUnavailable, shedCodeParsePending, time.Second,
+			"edit batch accepted and durable, but the reparse did not complete (%v); converge with a read or an empty batch, do not re-send", err)
 		return
 	}
 	if !open {
-		httpError(w, http.StatusNotFound, "no session %q", sess.id)
+		d.writeSessionGone(w, sess)
 		return
 	}
 	writeJSON(w, http.StatusOK, oj)
+}
+
+// writeSessionGone renders the fate of a session that closed between
+// lookup and its shard task: parked ones are retryable — the state is on
+// disk and the next attempt restores it — deleted ones are a plain 404.
+func (d *Daemon) writeSessionGone(w http.ResponseWriter, sess *session) {
+	if sess.parked {
+		d.mets.shedMemory.Add(1)
+		writeShed(w, http.StatusServiceUnavailable, shedCodeMemory, time.Second,
+			"session %q parked under memory pressure; retry to restore", sess.id)
+		return
+	}
+	httpError(w, http.StatusNotFound, "no session %q", sess.id)
 }
 
 func (d *Daemon) handleDiagnostics(w http.ResponseWriter, r *http.Request) {
@@ -461,11 +642,11 @@ func (d *Daemon) handleDiagnostics(w http.ResponseWriter, r *http.Request) {
 		diags = sess.s.Diagnostics()
 	})
 	if err != nil {
-		writeShardError(w, err)
+		d.writeShardError(w, err)
 		return
 	}
 	if !open {
-		httpError(w, http.StatusNotFound, "no session %q", sess.id)
+		d.writeSessionGone(w, sess)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"diagnostics": toDiagJSON(diags)})
@@ -520,11 +701,11 @@ func (d *Daemon) handleSubtree(w http.ResponseWriter, r *http.Request) {
 		}
 	})
 	if err != nil {
-		writeShardError(w, err)
+		d.writeShardError(w, err)
 		return
 	}
 	if !open {
-		httpError(w, http.StatusNotFound, "no session %q", sess.id)
+		d.writeSessionGone(w, sess)
 		return
 	}
 	if !found {
@@ -615,14 +796,34 @@ func (d *Daemon) AdminHandler() http.Handler {
 	return mux
 }
 
+// handleHealthz is readiness-aware: "ready" below the soft watermark,
+// "degraded" (still 200 — serving, but load balancers should start
+// draining) under pressure, 503 "overloaded" at or above the hard
+// watermark, before hard shedding starts refusing session creation.
 func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	sn := d.snap.Load()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":        true,
-		"version":   sn.version,
-		"sessions":  d.sessions.len(),
-		"languages": len(sn.langs),
-	})
+	soft, hard := d.gov.Watermarks()
+	body := map[string]any{
+		"ok":           true,
+		"state":        "ready",
+		"version":      sn.version,
+		"sessions":     d.sessions.len(),
+		"languages":    len(sn.langs),
+		"memory_bytes": d.gov.Global(),
+	}
+	if soft > 0 || hard > 0 {
+		body["memory_soft_bytes"], body["memory_hard_bytes"] = soft, hard
+	}
+	switch d.gov.State() {
+	case govern.StateCritical:
+		body["ok"], body["state"] = false, "overloaded"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	case govern.StatePressure:
+		body["state"] = "degraded"
+		writeJSON(w, http.StatusOK, body)
+	default:
+		writeJSON(w, http.StatusOK, body)
+	}
 }
 
 func (d *Daemon) handleGetConfig(w http.ResponseWriter, r *http.Request) {
@@ -675,4 +876,20 @@ func (d *Daemon) handleReload(w http.ResponseWriter, r *http.Request) {
 func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	d.mets.write(w)
+	d.writeGovernorMetrics(w)
+}
+
+// writeGovernorMetrics renders the memory governor's gauges: watermarks,
+// the global account, its state, and the per-shard split.
+func (d *Daemon) writeGovernorMetrics(w io.Writer) {
+	soft, hard := d.gov.Watermarks()
+	fmt.Fprintf(w, "# HELP iglrd_memory_bytes Accounted live session bytes.\n# TYPE iglrd_memory_bytes gauge\niglrd_memory_bytes %d\n", d.gov.Global())
+	fmt.Fprintf(w, "# HELP iglrd_memory_soft_bytes Soft (pressure) watermark; 0 = unset.\n# TYPE iglrd_memory_soft_bytes gauge\niglrd_memory_soft_bytes %d\n", soft)
+	fmt.Fprintf(w, "# HELP iglrd_memory_hard_bytes Hard (refusal) watermark; 0 = unset.\n# TYPE iglrd_memory_hard_bytes gauge\niglrd_memory_hard_bytes %d\n", hard)
+	fmt.Fprintf(w, "# HELP iglrd_memory_state Governor state: 0 normal, 1 pressure, 2 critical.\n# TYPE iglrd_memory_state gauge\niglrd_memory_state %d\n", int(d.gov.State()))
+	fmt.Fprintf(w, "# HELP iglrd_shard_memory_bytes Accounted live bytes per shard.\n# TYPE iglrd_shard_memory_bytes gauge\n")
+	for i := 0; i < d.gov.Shards(); i++ {
+		fmt.Fprintf(w, "iglrd_shard_memory_bytes{shard=\"%d\"} %d\n", i, d.gov.Shard(i))
+	}
+	fmt.Fprintf(w, "# HELP iglrd_inflight_requests Data-plane requests currently executing.\n# TYPE iglrd_inflight_requests gauge\niglrd_inflight_requests %d\n", d.inflight.Load())
 }

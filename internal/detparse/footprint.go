@@ -1,0 +1,12 @@
+package detparse
+
+import "unsafe"
+
+// Footprint estimates the parser's retained scratch bytes: the entry stack
+// and the batch kernel's split stacks, all reused across parses.
+func (p *Parser) Footprint() int64 {
+	n := int64(cap(p.stack)) * int64(unsafe.Sizeof(entry{}))
+	n += int64(cap(p.kstates)) * 4
+	n += int64(cap(p.knodes)) * 8
+	return n
+}

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Point identifies an injection site in the pipeline.
@@ -99,6 +100,12 @@ const (
 	// ActBudget makes the site panic with a *guard.BudgetError — a forced
 	// resource-cap hit on the existing abort path.
 	ActBudget
+	// ActDelay makes the site sleep for the trigger's Sleep duration before
+	// continuing normally. Delay-aware sites call FireTimed; sites that only
+	// call Fire treat ActDelay as ActNone (they cannot honor it). Slow
+	// persist I/O and stalled parse rounds — the overload chaos harness's
+	// raw material — are built from this.
+	ActDelay
 )
 
 // Panic is the value injected panics carry, so tests (and recover sites)
@@ -128,6 +135,9 @@ type Trigger struct {
 	Every int
 	// Do is the action the site takes when the trigger fires.
 	Do Action
+	// Sleep is how long an ActDelay firing stalls the site. Ignored for
+	// other actions.
+	Sleep time.Duration
 }
 
 // Plan is an installed set of triggers. Plans are immutable once activated;
@@ -194,10 +204,24 @@ func Enabled() bool { return enabled.Load() }
 // Fire consults the active plan for point. It returns the action to take —
 // ActNone when no plan is active or no trigger fires. Callers should guard
 // with Enabled() so the detail string is only built when a plan is live.
+// A firing ActDelay trigger is reported as ActNone — a site that cannot
+// stall must not misread the delay as an error; use FireTimed at sites
+// that can.
 func Fire(point Point, detail string) Action {
+	act, _ := FireTimed(point, detail)
+	if act == ActDelay {
+		return ActNone
+	}
+	return act
+}
+
+// FireTimed is Fire for delay-aware sites: along with the action it returns
+// the stall duration an ActDelay trigger asks for. The site is responsible
+// for sleeping — FireTimed itself never blocks.
+func FireTimed(point Point, detail string) (Action, time.Duration) {
 	p := active.Load()
 	if p == nil {
-		return ActNone
+		return ActNone, 0
 	}
 	for _, a := range p.triggers[point] {
 		if a.t.Match != "" && !strings.Contains(detail, a.t.Match) {
@@ -210,15 +234,15 @@ func Fire(point Point, detail string) Action {
 		if a.t.Every > 0 {
 			if (hit-int64(a.t.After))%int64(a.t.Every) == 0 {
 				a.fired.Add(1)
-				return a.t.Do
+				return a.t.Do, a.t.Sleep
 			}
 			continue
 		}
 		if a.fired.CompareAndSwap(0, 1) {
-			return a.t.Do
+			return a.t.Do, a.t.Sleep
 		}
 	}
-	return ActNone
+	return ActNone, 0
 }
 
 // Fired reports how many times any trigger on point has fired under the

@@ -1,0 +1,182 @@
+// Package govern is the process-wide resource governor behind the parse
+// service's overload protection. Where guard bounds what one parse may
+// consume, govern bounds what the whole fleet of live sessions may hold:
+// every session's resident bytes (text buffer, token stream, dag arena,
+// GSS storage — the quantities the guard.Gauge counters meter per parse)
+// are accounted per shard and globally against two watermarks.
+//
+//   - Below the soft watermark the service runs normally.
+//   - At or above the soft watermark it is under Pressure: the daemon's
+//     janitor switches to idle-first snapshot-to-disk eviction and newly
+//     admitted parses run under degraded budgets.
+//   - The hard watermark is a ceiling the accounting can never pass:
+//     growth is admitted with TryCharge, a CAS that refuses any charge
+//     that would push the global figure above the hard watermark, so the
+//     invariant "accounted bytes <= hard" holds at every instant, not just
+//     between janitor sweeps. Refused charges surface as 503s (session
+//     creation, restore) or forced evictions (a parse that outgrew the
+//     remaining headroom parks its session to disk).
+//
+// The accounting is an estimate of resident bytes (see the Footprint
+// methods it is fed from), not an OS RSS measurement: it moves
+// synchronously with session lifecycle events, which is what admission
+// control needs — kernel-reported memory lags eviction and double-counts
+// allocator slack.
+package govern
+
+import "sync/atomic"
+
+// State is the governor's pressure classification.
+type State int32
+
+const (
+	// StateNormal: below the soft watermark (or no watermarks configured).
+	StateNormal State = iota
+	// StatePressure: at or above the soft watermark but below the hard
+	// one. Degrade: evict idle sessions to disk, shrink new parse budgets.
+	StatePressure
+	// StateCritical: at or above the hard watermark. Refuse new work that
+	// would add memory.
+	StateCritical
+)
+
+func (s State) String() string {
+	switch s {
+	case StatePressure:
+		return "pressure"
+	case StateCritical:
+		return "critical"
+	default:
+		return "normal"
+	}
+}
+
+// Governor tracks live session bytes per shard and globally against soft
+// and hard watermarks. All methods are safe for concurrent use; charges
+// are plain atomics except TryCharge, which is a CAS loop so the global
+// account can never exceed the hard watermark.
+type Governor struct {
+	soft, hard atomic.Int64
+	global     atomic.Int64
+	shards     []atomic.Int64
+}
+
+// New creates a governor accounting over n shards with no watermarks
+// (unlimited). Set them with SetWatermarks.
+func New(n int) *Governor {
+	if n < 1 {
+		n = 1
+	}
+	return &Governor{shards: make([]atomic.Int64, n)}
+}
+
+// SetWatermarks installs the soft and hard watermarks in bytes; zero
+// disables that watermark. Watermarks are hot-reloadable: a lowered hard
+// watermark does not evict anything by itself, but every further TryCharge
+// is refused until the fleet shrinks below it.
+func (g *Governor) SetWatermarks(soft, hard int64) {
+	g.soft.Store(soft)
+	g.hard.Store(hard)
+}
+
+// Watermarks returns the active soft and hard watermarks.
+func (g *Governor) Watermarks() (soft, hard int64) {
+	return g.soft.Load(), g.hard.Load()
+}
+
+// Global returns the globally accounted live bytes.
+func (g *Governor) Global() int64 { return g.global.Load() }
+
+// Shard returns shard i's accounted live bytes.
+func (g *Governor) Shard(i int) int64 {
+	if i < 0 || i >= len(g.shards) {
+		return 0
+	}
+	return g.shards[i].Load()
+}
+
+// Shards returns the number of shard accounts.
+func (g *Governor) Shards() int { return len(g.shards) }
+
+// State classifies the current global account against the watermarks.
+func (g *Governor) State() State {
+	n := g.global.Load()
+	if hard := g.hard.Load(); hard > 0 && n >= hard {
+		return StateCritical
+	}
+	if soft := g.soft.Load(); soft > 0 && n >= soft {
+		return StatePressure
+	}
+	return StateNormal
+}
+
+// OverSoft reports whether the global account is at or above the soft
+// watermark (false when no soft watermark is set).
+func (g *Governor) OverSoft() bool {
+	soft := g.soft.Load()
+	return soft > 0 && g.global.Load() >= soft
+}
+
+// Release returns bytes to shard i's and the global account. Releases are
+// never refused.
+func (g *Governor) Release(i int, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	g.adjust(i, -bytes)
+}
+
+// Adjust applies a signed delta to shard i's and the global account with
+// no watermark check. Use it only for corrections that must not be
+// refused (shrinking a session's account, rebalancing after a re-measure);
+// growth that should respect the hard watermark goes through TryCharge.
+func (g *Governor) Adjust(i int, delta int64) { g.adjust(i, delta) }
+
+func (g *Governor) adjust(i int, delta int64) {
+	if i >= 0 && i < len(g.shards) {
+		g.shards[i].Add(delta)
+	}
+	if n := g.global.Add(delta); n < 0 {
+		// Accounting is release-before-charge in a few windows (a parked
+		// session re-admitted); clamp rather than let transient negatives
+		// confuse the watermark comparisons.
+		g.global.CompareAndSwap(n, 0)
+	}
+}
+
+// TryCharge attempts to add bytes to shard i's and the global account,
+// refusing (and charging nothing) if the addition would push the global
+// account above the hard watermark. With no hard watermark every charge
+// succeeds. The CAS makes the hard watermark an invariant: two shards
+// racing their last headroom cannot jointly overshoot it.
+func (g *Governor) TryCharge(i int, bytes int64) bool {
+	if bytes < 0 {
+		g.adjust(i, bytes)
+		return true
+	}
+	hard := g.hard.Load()
+	for {
+		cur := g.global.Load()
+		next := cur + bytes
+		if hard > 0 && next > hard {
+			return false
+		}
+		if g.global.CompareAndSwap(cur, next) {
+			if i >= 0 && i < len(g.shards) {
+				g.shards[i].Add(bytes)
+			}
+			return true
+		}
+	}
+}
+
+// Headroom returns how many bytes remain under the hard watermark
+// (a negative value means the account is over it); ok is false when no
+// hard watermark is set.
+func (g *Governor) Headroom() (bytes int64, ok bool) {
+	hard := g.hard.Load()
+	if hard <= 0 {
+		return 0, false
+	}
+	return hard - g.global.Load(), true
+}

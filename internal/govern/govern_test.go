@@ -1,0 +1,121 @@
+package govern
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestStates(t *testing.T) {
+	g := New(2)
+	if got := g.State(); got != StateNormal {
+		t.Fatalf("empty governor state = %v, want normal", got)
+	}
+	g.SetWatermarks(100, 200)
+	if !g.TryCharge(0, 99) {
+		t.Fatal("charge under soft refused")
+	}
+	if got := g.State(); got != StateNormal {
+		t.Fatalf("state at 99/100 = %v, want normal", got)
+	}
+	if !g.TryCharge(1, 1) {
+		t.Fatal("charge to soft refused")
+	}
+	if got := g.State(); got != StatePressure {
+		t.Fatalf("state at soft = %v, want pressure", got)
+	}
+	if !g.OverSoft() {
+		t.Fatal("OverSoft false at the soft watermark")
+	}
+	if !g.TryCharge(0, 100) {
+		t.Fatal("charge to hard refused (hard is inclusive headroom)")
+	}
+	if got := g.State(); got != StateCritical {
+		t.Fatalf("state at hard = %v, want critical", got)
+	}
+	if g.TryCharge(0, 1) {
+		t.Fatal("charge above hard admitted")
+	}
+	if got := g.Global(); got != 200 {
+		t.Fatalf("global = %d, want 200", got)
+	}
+	g.Release(0, 150)
+	if got := g.State(); got != StateNormal {
+		t.Fatalf("state after release = %v, want normal", got)
+	}
+	if got, want := g.Shard(0), int64(49); got != want {
+		t.Fatalf("shard 0 = %d, want %d", got, want)
+	}
+	if got, want := g.Shard(1), int64(1); got != want {
+		t.Fatalf("shard 1 = %d, want %d", got, want)
+	}
+}
+
+// TestHardWatermarkNeverExceeded is the admission invariant: concurrent
+// TryCharge racing the last headroom must never jointly push the global
+// account above the hard watermark.
+func TestHardWatermarkNeverExceeded(t *testing.T) {
+	const hard = 10_000
+	g := New(8)
+	g.SetWatermarks(hard/2, hard)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if g.TryCharge(w, 7) {
+					if n := g.Global(); n > hard {
+						t.Errorf("global %d exceeded hard %d", n, hard)
+						return
+					}
+					if i%3 == 0 {
+						g.Release(w, 7)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := g.Global(); n > hard {
+		t.Fatalf("final global %d exceeded hard %d", n, hard)
+	}
+}
+
+func TestAdjustClampsNegative(t *testing.T) {
+	g := New(1)
+	g.Adjust(0, -50)
+	if n := g.Global(); n != 0 {
+		t.Fatalf("global after over-release = %d, want clamped 0", n)
+	}
+}
+
+func TestHeadroom(t *testing.T) {
+	g := New(1)
+	if _, ok := g.Headroom(); ok {
+		t.Fatal("headroom reported with no hard watermark")
+	}
+	g.SetWatermarks(0, 100)
+	g.TryCharge(0, 30)
+	if h, ok := g.Headroom(); !ok || h != 70 {
+		t.Fatalf("headroom = %d,%v, want 70,true", h, ok)
+	}
+}
+
+func TestWatermarkReload(t *testing.T) {
+	g := New(1)
+	g.SetWatermarks(0, 100)
+	if !g.TryCharge(0, 90) {
+		t.Fatal("charge refused under hard")
+	}
+	// A lowered hard watermark refuses growth but evicts nothing itself.
+	g.SetWatermarks(0, 50)
+	if g.TryCharge(0, 1) {
+		t.Fatal("charge admitted above the lowered hard watermark")
+	}
+	if g.Global() != 90 {
+		t.Fatalf("lowering the watermark changed the account: %d", g.Global())
+	}
+	if g.State() != StateCritical {
+		t.Fatalf("state = %v, want critical above lowered hard", g.State())
+	}
+}

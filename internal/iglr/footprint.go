@@ -1,0 +1,18 @@
+package iglr
+
+import "unsafe"
+
+// Footprint estimates the parser's retained scratch bytes: the recycled
+// GSS node/link chunks and the reusable round/burst buffers. This is the
+// session-resident cost of keeping a warm parser around between edits
+// (the arenas rewind but never shrink), not the transient cost of one
+// parse — exactly what the memory governor accounts per session.
+func (p *Parser) Footprint() int64 {
+	n := int64(len(p.gssNodes.chunks)) * gssChunk * int64(unsafe.Sizeof(gssNode{}))
+	n += int64(len(p.gssLinks.chunks)) * gssChunk * int64(unsafe.Sizeof(gssLink{}))
+	n += int64(cap(p.kidsBuf)+cap(p.bNodes)+cap(p.active)+cap(p.forActor)) * 8
+	n += int64(cap(p.forShifter)) * int64(unsafe.Sizeof(shiftPair{}))
+	n += int64(cap(p.bStates)+cap(p.bSim)) * 4
+	n += int64(cap(p.bSteps)) * int64(unsafe.Sizeof(burstStep{}))
+	return n
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"iglr/internal/dag"
 	"iglr/internal/faultinject"
@@ -428,11 +429,25 @@ func (p *Parser) injectRound() error {
 	if la := p.stream.La(); la != nil {
 		detail = laText(la)
 	}
-	switch faultinject.Fire(faultinject.ParseRound, detail) {
+	switch act, sleep := faultinject.FireTimed(faultinject.ParseRound, detail); act {
 	case faultinject.ActCancel:
 		return context.Canceled
 	case faultinject.ActPanic:
 		panic(&faultinject.Panic{Point: faultinject.ParseRound, Detail: detail})
+	case faultinject.ActDelay:
+		// A stalled parse round: sleep in context-sized slices so the
+		// watchdog's cancellation still unwedges the shard mid-stall.
+		deadline := time.Now().Add(sleep)
+		for time.Now().Before(deadline) {
+			if p.ctx != nil && p.ctx.Err() != nil {
+				return p.ctx.Err()
+			}
+			rest := time.Until(deadline)
+			if rest > time.Millisecond {
+				rest = time.Millisecond
+			}
+			time.Sleep(rest)
+		}
 	}
 	return nil
 }

@@ -97,6 +97,18 @@ func unsafeString(b []byte) string {
 	return unsafe.String(unsafe.SliceData(b), len(b))
 }
 
+// Footprint estimates the buffer's resident bytes: the backing array
+// (gap included) plus the edit log's entries and their captured insert
+// text. Adopted (ro) backing counts too — it is held alive by the buffer.
+func (b *Buffer) Footprint() int64 {
+	n := int64(cap(b.data))
+	n += int64(cap(b.log)) * int64(unsafe.Sizeof(loggedEdit{}))
+	for i := range b.log {
+		n += int64(len(b.log[i].edit.Inserted))
+	}
+	return n
+}
+
 // Len returns the text length in bytes.
 func (b *Buffer) Len() int { return len(b.data) - (b.gapHi - b.gapLo) }
 
